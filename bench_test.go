@@ -1,0 +1,304 @@
+package rcacopilot
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus component micro-benchmarks for the substrates. The
+// experiment benchmarks print nothing — run `go run ./cmd/experiments` to
+// see the regenerated rows/series — but they regenerate the same results,
+// so `go test -bench=. -benchmem` doubles as a reproduction smoke test.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/handler"
+	"repro/internal/incident"
+	"repro/internal/llm/simgpt"
+	"repro/internal/prompt"
+	"repro/internal/transport"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *eval.Env
+	benchErr  error
+)
+
+func sharedBenchEnv(b *testing.B) *eval.Env {
+	b.Helper()
+	benchOnce.Do(func() { benchEnv, benchErr = eval.NewEnv(1) })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1CorpusGeneration measures generating the full 653-incident
+// year (Table 1's corpus, including fault injection and handler-driven
+// collection for every incident).
+func BenchmarkTable1CorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(dataset.DefaultSpec(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Recurrence regenerates the Figure 2 recurrence histogram.
+func BenchmarkFig2Recurrence(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hs := eval.RunFig2(env); len(hs) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// BenchmarkFig3CategoryFrequency regenerates the Figure 3 long-tail
+// histogram.
+func BenchmarkFig3CategoryFrequency(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hs := eval.RunFig3(env); len(hs) != 10 {
+			b.Fatal("bad histogram")
+		}
+	}
+}
+
+// BenchmarkTable2Methods regenerates the full Table 2 method comparison
+// (all seven methods, training included).
+func BenchmarkTable2Methods(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunTable2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable3Ablation regenerates the Table 3 prompt-context ablation.
+func BenchmarkTable3Ablation(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunTable3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig12KAlphaSweep regenerates a reduced Figure 12 grid (the full
+// 5×5 sweep is `cmd/experiments -run fig12`).
+func BenchmarkFig12KAlphaSweep(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := eval.RunFig12(env, []int{3, 5}, []float64{0.2, 0.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 4 {
+			b.Fatalf("points = %d", len(points))
+		}
+	}
+}
+
+// BenchmarkTable4TeamCollection regenerates the Table 4 multi-team
+// diagnostic-collection simulation.
+func BenchmarkTable4TeamCollection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunTable4(1, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTrustworthinessRounds regenerates the §5.6 stability rounds.
+func BenchmarkTrustworthinessRounds(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rounds, err := eval.RunTrustworthiness(env, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rounds) != 3 {
+			b.Fatalf("rounds = %d", len(rounds))
+		}
+	}
+}
+
+// BenchmarkDesignAblation regenerates the design-choice ablation
+// (retrieval diversity constraint, embedding scale).
+func BenchmarkDesignAblation(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunDesignAblation(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// ---- component micro-benchmarks ----
+
+// benchIncident injects a fault and returns a collected incident plus its
+// copilot, for per-stage benchmarks.
+func benchIncident(b *testing.B) (*core.Copilot, *incident.Incident) {
+	b.Helper()
+	env := sharedBenchEnv(b)
+	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: 1})
+	cop, err := core.New(env.Corpus.Fleet, chat, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ft, _, err := env.FastText()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cop.SetEmbedder(core.FastTextEmbedder{Model: ft})
+	for i, in := range env.Train {
+		if i >= 200 {
+			break
+		}
+		if err := cop.Learn(in.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cop, env.Test[0].Clone()
+}
+
+// BenchmarkCollectionStage measures one handler execution (the paper's
+// per-incident collection work, Table 4's unit).
+func BenchmarkCollectionStage(b *testing.B) {
+	env := sharedBenchEnv(b)
+	fleet := env.Corpus.Fleet
+	runner := handler.NewRunner(fleet)
+	fault, err := fleet.Inject("HubPortExhaustion", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fault.Repair()
+	alert, ok := fleet.FirstAlert()
+	if !ok {
+		b.Fatal("no alert")
+	}
+	h, err := handler.Builtin(alert.Type)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := core.IncidentAt(alert, incident.Sev2, "Transport", i, fleet.Clock().Now())
+		if _, err := runner.Run(h, inc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLLMSummarization measures the Figure 7 summarization step.
+func BenchmarkLLMSummarization(b *testing.B) {
+	cop, inc := benchIncident(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc.Summary = ""
+		if err := cop.Summarize(inc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrediction measures the full prediction stage for one incident
+// (embed, retrieve, prompt, parse) against a 200-incident history.
+func BenchmarkPrediction(b *testing.B) {
+	cop, inc := benchIncident(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cop.Predict(inc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastTextDocVector measures embedding one diagnostic document.
+func BenchmarkFastTextDocVector(b *testing.B) {
+	env := sharedBenchEnv(b)
+	ft, _, err := env.FastText()
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := env.Test[0].DiagnosticText()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := ft.DocVector(text); len(v) == 0 {
+			b.Fatal("empty vector")
+		}
+	}
+}
+
+// BenchmarkVectorTopKDiverse measures one temporal-decay kNN query against
+// the full training history.
+func BenchmarkVectorTopKDiverse(b *testing.B) {
+	cop, inc := benchIncident(b)
+	ft, _, err := sharedBenchEnv(b).FastText()
+	if err != nil {
+		b.Fatal(err)
+	}
+	query, err := core.FastTextEmbedder{Model: ft}.Embed(inc.DiagnosticText())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cop.DB().TopKDiverse(query, inc.CreatedAt, 5, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPromptConstruction measures building a Figure 9 prompt.
+func BenchmarkPromptConstruction(b *testing.B) {
+	demos := []prompt.Demo{
+		{Summary: "probe failures with winsock 11001", Category: "HubPortExhaustion"},
+		{Summary: "delivery threads blocked", Category: "DeliveryHang"},
+		{Summary: "io exceptions on full disk", Category: "FullDisk"},
+	}
+	for i := 0; i < b.N; i++ {
+		req := prompt.Prediction("current incident summary text", demos)
+		if len(req.Messages) == 0 {
+			b.Fatal("empty request")
+		}
+	}
+}
+
+// BenchmarkMonitorScan measures one full-fleet monitor sweep.
+func BenchmarkMonitorScan(b *testing.B) {
+	fleet := transport.NewFleet(transport.DefaultConfig(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if alerts := fleet.RunMonitors(); len(alerts) != 0 {
+			b.Fatal("healthy fleet alerted")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) against the simulated substrates:
+//
+//	experiments -run all            # everything
+//	experiments -run table2         # one experiment
+//	experiments -run table2,fig12   # a subset
+//	experiments -seed 7             # different corpus/LLM seed
+//
+// Outputs are printed in the same row/series layout the paper reports, so
+// shapes can be compared side by side (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,fig2,fig3,fig12,trust,ablation")
+	seed := flag.Int64("seed", 1, "corpus and model seed")
+	teamsN := flag.Int("team-incidents", 20, "incidents per team for table4")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+
+	var env *eval.Env
+	needEnv := all || want["table1"] || want["table2"] || want["table3"] ||
+		want["fig2"] || want["fig3"] || want["fig12"] || want["trust"] || want["ablation"]
+	if needEnv {
+		start := time.Now()
+		var err error
+		env, err = eval.NewEnv(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		stats := env.Corpus.ComputeStats()
+		fmt.Printf("corpus: %d incidents, %d categories, new-category fraction %.4f, recurrence<=20d %.3f (generated in %v)\n\n",
+			stats.NumIncidents, stats.NumCategories, stats.NewFraction, stats.RecurrenceWithin20, time.Since(start).Round(time.Millisecond))
+	}
+
+	if all || want["table1"] {
+		section("Table 1: example incidents per root cause category")
+		rows, err := eval.RunTable1(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.FormatTable1(rows))
+	}
+	if all || want["fig2"] {
+		section("Figure 2: recurring incident proportion vs time interval")
+		fmt.Println(eval.FormatHist("interval (days) | proportion", eval.RunFig2(env), 50))
+	}
+	if all || want["fig3"] {
+		section("Figure 3: distribution of incident category frequency")
+		fmt.Println(eval.FormatHist("occurrences | #categories", eval.RunFig3(env), 0.33))
+	}
+	if all || want["table2"] {
+		section("Table 2: effectiveness of different methods")
+		start := time.Now()
+		rows, err := eval.RunTable2(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.FormatTable2(rows))
+		fmt.Printf("(wall time %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if all || want["table3"] {
+		section("Table 3: effectiveness of different prompt context")
+		rows, err := eval.RunTable3(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.FormatTable3(rows))
+	}
+	if all || want["fig12"] {
+		section("Figure 12: effectiveness of different K and alpha")
+		points, err := eval.RunFig12(env, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.FormatFig12(points))
+	}
+	if all || want["table4"] {
+		section("Table 4: teams using RCACopilot diagnostic collection")
+		rows, err := eval.RunTable4(*seed, *teamsN)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.FormatTable4(rows))
+	}
+	if all || want["trust"] {
+		section("§5.6 Trustworthiness: three evaluation rounds")
+		rounds, err := eval.RunTrustworthiness(env, 3)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.FormatTrust(rounds))
+	}
+	if all || want["ablation"] {
+		section("Design ablation: retrieval diversity and embedding scale")
+		rows, err := eval.RunDesignAblation(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(eval.FormatAblation(rows))
+	}
+}
+
+func section(title string) {
+	fmt.Println("==== " + title)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/handler"
+	"repro/internal/incident"
+)
+
+// API serves the handler-construction endpoints over a registry.
+type API struct {
+	reg *handler.Registry
+	mux *http.ServeMux
+}
+
+// NewAPI builds the HTTP handler.
+func NewAPI(reg *handler.Registry) *API {
+	a := &API{reg: reg, mux: http.NewServeMux()}
+	a.mux.HandleFunc("GET /", a.index)
+	a.mux.HandleFunc("GET /api/ops", a.ops)
+	a.mux.HandleFunc("GET /api/handlers", a.list)
+	a.mux.HandleFunc("GET /api/handlers/{alert}", a.get)
+	a.mux.HandleFunc("POST /api/handlers", a.save)
+	a.mux.HandleFunc("GET /api/versions/{alert}", a.versions)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func (a *API) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html>
+<title>RCACopilot handler construction</title>
+<h1>RCACopilot handler construction</h1>
+<p>To support a new alert type, add a handler composed of reusable
+scope-switching, query and mitigation actions; every save appends a new
+version so historical changes stay addressable.</p>
+<ul>
+<li><code>GET /api/ops</code> — reusable query actions</li>
+<li><code>GET /api/handlers?team=Transport</code> — the team's handlers</li>
+<li><code>GET /api/handlers/{alertType}?team=Transport&amp;version=N</code> — one handler</li>
+<li><code>POST /api/handlers</code> — save (JSON handler document)</li>
+<li><code>GET /api/versions/{alertType}?team=Transport</code> — version count</li>
+</ul>`)
+}
+
+func (a *API) ops(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ops": handler.OpNames()})
+}
+
+func team(r *http.Request) string {
+	t := r.URL.Query().Get("team")
+	if t == "" {
+		t = "Transport"
+	}
+	return t
+}
+
+func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	hs, err := a.reg.List(team(r))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"team": team(r), "handlers": hs})
+}
+
+func (a *API) get(w http.ResponseWriter, r *http.Request) {
+	alert := incident.AlertType(r.PathValue("alert"))
+	var (
+		h   *handler.Handler
+		err error
+	)
+	if v := r.URL.Query().Get("version"); v != "" {
+		n, convErr := strconv.Atoi(v)
+		if convErr != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad version %q", v))
+			return
+		}
+		h, err = a.reg.Version(team(r), alert, n)
+	} else {
+		h, err = a.reg.Latest(team(r), alert)
+	}
+	if err != nil {
+		status := http.StatusNotFound
+		if !strings.Contains(err.Error(), "no handler") && !strings.Contains(err.Error(), "no version") {
+			status = http.StatusInternalServerError
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (a *API) save(w http.ResponseWriter, r *http.Request) {
+	var h handler.Handler
+	if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	version, err := a.reg.Save(&h)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"team": h.Team, "alertType": h.AlertType, "version": version,
+	})
+}
+
+func (a *API) versions(w http.ResponseWriter, r *http.Request) {
+	alert := incident.AlertType(r.PathValue("alert"))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"team": team(r), "alertType": alert,
+		"versions": a.reg.Versions(team(r), alert),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing more can be reported.
+		return
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/handler"
+	"repro/internal/transport"
+)
+
+func testServer(t *testing.T) http.Handler {
+	t.Helper()
+	srv, err := newServer("Transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func do(t *testing.T, srv http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexPage(t *testing.T) {
+	rec := do(t, testServer(t), "GET", "/", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "handler construction") {
+		t.Fatalf("index: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestOpsEndpoint(t *testing.T) {
+	rec := do(t, testServer(t), "GET", "/api/ops", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ops status %d", rec.Code)
+	}
+	var out struct{ Ops []string }
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ops) < 10 {
+		t.Fatalf("ops = %v", out.Ops)
+	}
+}
+
+func TestListAndGetHandlers(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, "GET", "/api/handlers?team=Transport", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	var out struct{ Handlers []handler.Handler }
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Handlers) != len(transport.AllAlertTypes()) {
+		t.Fatalf("handlers = %d, want %d", len(out.Handlers), len(transport.AllAlertTypes()))
+	}
+
+	rec = do(t, srv, "GET", "/api/handlers/"+string(transport.AlertDiskSpaceLow), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get status %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = do(t, srv, "GET", "/api/handlers/NoSuchAlert", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing handler status %d", rec.Code)
+	}
+}
+
+func TestSaveNewVersionRoundTrip(t *testing.T) {
+	srv := testServer(t)
+	h, err := handler.Builtin(transport.AlertDiskSpaceLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Enabled = false
+	body, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, srv, "POST", "/api/handlers", body)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("save status %d: %s", rec.Code, rec.Body.String())
+	}
+	var created struct{ Version int }
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Version != 2 {
+		t.Fatalf("version = %d, want 2 (builtin was v1)", created.Version)
+	}
+
+	rec = do(t, srv, "GET", "/api/versions/"+string(transport.AlertDiskSpaceLow)+"?team=Transport", nil)
+	var vs struct{ Versions int }
+	if err := json.Unmarshal(rec.Body.Bytes(), &vs); err != nil {
+		t.Fatal(err)
+	}
+	if vs.Versions != 2 {
+		t.Fatalf("versions = %d, want 2", vs.Versions)
+	}
+
+	// Old version must stay addressable.
+	rec = do(t, srv, "GET", "/api/handlers/"+string(transport.AlertDiskSpaceLow)+"?version=1", nil)
+	var v1 handler.Handler
+	if err := json.Unmarshal(rec.Body.Bytes(), &v1); err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Enabled {
+		t.Fatal("version 1 should still be the enabled original")
+	}
+}
+
+func TestSaveRejectsInvalidHandler(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, "POST", "/api/handlers", []byte(`{"name":"x"}`))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid handler status %d", rec.Code)
+	}
+	rec = do(t, srv, "POST", "/api/handlers", []byte(`{not json`))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body status %d", rec.Code)
+	}
+}
+
+func TestGetBadVersionParam(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, "GET", "/api/handlers/"+string(transport.AlertDiskSpaceLow)+"?version=abc", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad version status %d", rec.Code)
+	}
+}

@@ -1,0 +1,48 @@
+// Command handlerd is the handler-construction web service — the substitute
+// for the paper's Figure 10 GUI. OCEs author, version, inspect and enable
+// incident handlers over a JSON API; a minimal HTML front page documents
+// the endpoints.
+//
+//	handlerd -addr :8080
+//
+// Endpoints:
+//
+//	GET  /                 HTML overview
+//	GET  /api/ops          registered query-action ops
+//	GET  /api/handlers?team=T             latest handlers of a team
+//	GET  /api/handlers/{alert}?team=T[&version=N]  one handler (or a version)
+//	POST /api/handlers     save a handler (JSON body) as a new version
+//	GET  /api/versions/{alert}?team=T     version count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/handler"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	team := flag.String("bootstrap-team", "Transport", "team to install the builtin handler suite for")
+	flag.Parse()
+
+	srv, err := newServer(*team)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("handlerd listening on %s (builtins installed for team %s)", *addr, *team)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func newServer(bootstrapTeam string) (http.Handler, error) {
+	reg := handler.NewRegistry(nil)
+	if bootstrapTeam != "" {
+		if _, err := reg.InstallBuiltins(bootstrapTeam); err != nil {
+			return nil, fmt.Errorf("bootstrap: %w", err)
+		}
+	}
+	return NewAPI(reg), nil
+}

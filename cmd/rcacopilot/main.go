@@ -1,0 +1,135 @@
+// Command rcacopilot demonstrates the on-call flow end to end: it builds
+// the simulated Transport fleet, ingests a year of labelled incident
+// history, injects a live fault, lets the monitors raise the alert, and
+// runs both RCACopilot stages — printing the collected evidence, the LLM
+// summary, and the predicted root-cause category with its explanation.
+//
+//	rcacopilot -category HubPortExhaustion -model gpt-4 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/incident"
+	"repro/internal/transport"
+
+	rcacopilot "repro"
+)
+
+func main() {
+	category := flag.String("category", "HubPortExhaustion", "fault to inject (a Table-1 category)")
+	model := flag.String("model", rcacopilot.ModelGPT4, "chat model: gpt-4 or gpt-3.5-turbo")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	history := flag.Int("history", 300, "number of historical incidents to ingest")
+	flag.Parse()
+
+	if err := run(incident.Category(*category), *model, *seed, *history); err != nil {
+		fmt.Fprintln(os.Stderr, "rcacopilot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(category incident.Category, model string, seed int64, history int) error {
+	fmt.Println("── building corpus and system ──")
+	corpus, err := rcacopilot.GenerateCorpus(seed)
+	if err != nil {
+		return err
+	}
+	sys, err := rcacopilot.NewSystem(corpus.Fleet, rcacopilot.Config{Model: model, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if history > len(corpus.Incidents) {
+		history = len(corpus.Incidents)
+	}
+	if err := sys.TrainEmbedding(corpus.Incidents[:history]); err != nil {
+		return err
+	}
+	if err := sys.AddHistory(corpus.Incidents[:history]); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d historical incidents across %d categories\n\n",
+		history, sys.Copilot().DB().Len())
+
+	fmt.Printf("── injecting %s and waiting for monitors ──\n", category)
+	fleet := sys.Fleet()
+	fault, err := fleet.Inject(category, 0)
+	if err != nil {
+		return err
+	}
+	defer fault.Repair()
+	alert, ok := fleet.FirstAlert()
+	if !ok {
+		return fmt.Errorf("no monitor fired after injection")
+	}
+	fmt.Printf("alert: %s [%s] on %s\n  %s\n\n", alert.Type, alert.Scope, alert.Target, alert.Message)
+
+	inc := &rcacopilot.Incident{
+		ID: "INC-LIVE-0001", Title: alert.Message, OwningTeam: "Transport",
+		Severity: rcacopilot.Sev2, Alert: alert, CreatedAt: fleet.Clock().Now(),
+	}
+	outcome, err := sys.HandleIncident(inc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("── collection stage ──")
+	fmt.Printf("handler: %s (%d steps, modelled cost %s)\n",
+		outcome.Report.Handler, len(outcome.Report.Steps), outcome.Report.VirtualCost)
+	for _, s := range outcome.Report.Steps {
+		fmt.Printf("  %-28s [%s] -> %s\n", s.Label, s.Kind, s.Outcome)
+	}
+	fmt.Printf("evidence collected: %d sources\n", len(inc.Evidence))
+	for _, ev := range inc.Evidence {
+		fmt.Printf("  [%s/%s] %s\n", ev.Kind, ev.Source, firstLine(ev.Body))
+	}
+
+	fmt.Println("\n── summarized diagnostic information ──")
+	fmt.Println(wrap(outcome.Summary, 78))
+
+	fmt.Println("\n── root cause prediction ──")
+	fmt.Printf("predicted category: %s (option %s, unseen=%t)\n",
+		inc.Predicted, outcome.Prediction.Option, outcome.Prediction.Unseen)
+	fmt.Printf("ground truth:       %s\n", category)
+	fmt.Println("explanation:")
+	fmt.Println(wrap(inc.Explanation, 78))
+	if len(outcome.Report.Mitigations) > 0 {
+		fmt.Println("suggested mitigations:")
+		for _, m := range outcome.Report.Mitigations {
+			fmt.Println("  -", m)
+		}
+	}
+	_ = transport.Table1Categories
+	return nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 90 {
+		s = s[:90] + "…"
+	}
+	return s
+}
+
+func wrap(s string, width int) string {
+	words := strings.Fields(s)
+	var b strings.Builder
+	line := 0
+	for _, w := range words {
+		if line+len(w)+1 > width {
+			b.WriteString("\n")
+			line = 0
+		} else if line > 0 {
+			b.WriteString(" ")
+			line++
+		}
+		b.WriteString(w)
+		line += len(w)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+// Handlers shows the OCE authoring workflow behind §4.1: composing a new
+// incident handler from the reusable action library, saving it to the
+// versioned registry, running it against a live incident, then editing it
+// (the paper's example of wiring a newly introduced metric into an existing
+// handler) — with every version kept addressable.
+//
+//	go run ./examples/handlers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/handler"
+	"repro/internal/incident"
+	"repro/internal/transport"
+
+	rcacopilot "repro"
+)
+
+func main() {
+	fleet := rcacopilot.NewFleet(7)
+
+	// An OCE composes a handler for disk-space alerts: known-issue gate,
+	// disk check, crash scan, and a cleanup mitigation.
+	h, err := handler.NewBuilder("custom-disk-watch", transport.AlertDiskSpaceLow, "StorageTeam").
+		Node("known", "Known Issue?", handler.ActionSpec{Kind: handler.KindQuery, Op: "known-issue"}).
+		Node("fixed", "Apply Known Fix", handler.ActionSpec{Kind: handler.KindMitigation,
+			Params: map[string]string{"action": "apply the recorded known-issue fix"}}).
+		Node("disk", "Check Disk", handler.ActionSpec{Kind: handler.KindQuery, Op: "disk-usage"}).
+		Node("crash", "Scan Crashes", handler.ActionSpec{Kind: handler.KindQuery, Op: "crash-events"}).
+		Node("clean", "Purge Logs", handler.ActionSpec{Kind: handler.KindMitigation,
+			Params: map[string]string{"action": "purge rotated logs from the full volume"}}).
+		Edge("known", handler.OutcomeTrue, "fixed").
+		Edge("known", handler.OutcomeFalse, "disk").
+		Edge("disk", handler.OutcomeDefault, "crash").
+		Edge("crash", handler.OutcomeDefault, "clean").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := handler.NewRegistry(nil)
+	v1, err := reg.Save(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved %q as version %d (%d actions)\n", h.Name, v1, h.NumActions())
+	fmt.Printf("reusable ops available to compose from: %v\n\n", handler.OpNames())
+
+	// A disk fills up; the monitor raises the alert; the handler runs.
+	fault, err := fleet.InjectGeneric(transport.GenericFault{
+		Category:  "ArchiveDiskPressure",
+		Component: "ArchivePipeline",
+		Exception: "ArchiveSpoolOverflowException",
+		Mode:      transport.ModeDiskPressure,
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fault.Repair()
+	// Disk alerts rank below crash alerts; find ours in the full scan.
+	var alert incident.Alert
+	for _, a := range fleet.RunMonitors() {
+		if a.Type == transport.AlertDiskSpaceLow {
+			alert = a
+			break
+		}
+	}
+	if alert.Type == "" {
+		log.Fatal("no disk alert fired")
+	}
+	inc := &incident.Incident{
+		ID: "INC-DISK-1", Title: alert.Message, OwningTeam: "StorageTeam",
+		Severity: incident.Sev3, Alert: alert, CreatedAt: fleet.Clock().Now(),
+	}
+	runner := handler.NewRunner(fleet)
+	matched, err := reg.Match("StorageTeam", inc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := runner.Run(matched, inc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %q: %d steps, %d evidence items, mitigations %v\n\n",
+		report.Handler, len(report.Steps), len(inc.Evidence), report.Mitigations)
+
+	// The team ships a new telemetry source; the OCE edits the handler to
+	// use it. Saving appends version 2; version 1 stays retrievable.
+	edited := matched.Clone()
+	edited.Nodes["prov"] = &handler.Node{
+		ID: "prov", Label: "Check Provisioning",
+		Action: handler.ActionSpec{Kind: handler.KindQuery, Op: "provisioning-status"},
+	}
+	edited.Nodes["crash"].Next[handler.OutcomeDefault] = "prov"
+	edited.Nodes["prov"].Next = map[handler.Outcome]string{handler.OutcomeDefault: "clean"}
+	v2, err := reg.Save(edited)
+	if err != nil {
+		log.Fatal(err)
+	}
+	old, err := reg.Version("StorageTeam", transport.AlertDiskSpaceLow, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edited handler saved as version %d; version 1 still has %d actions, version %d has %d\n",
+		v2, old.NumActions(), v2, edited.NumActions())
+}

@@ -1,0 +1,310 @@
+// Package boost implements gradient-boosted decision trees with a softmax
+// multiclass objective — the XGBoost substitute for the paper's Table-2
+// baseline ("XGBoost provides a parallel tree boosting that has been
+// commonly used in the networking system diagnosis").
+//
+// Each boosting round fits one multi-output regression tree to the negative
+// gradient of the cross-entropy loss; leaves store a per-class step vector.
+// Splits greedily maximize the summed squared-gradient gain, the same
+// criterion family XGBoost uses (without its regularization terms, which do
+// not change the baseline's qualitative behaviour on this task).
+package boost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterizes training.
+type Config struct {
+	Rounds    int     // boosting rounds (default 20)
+	MaxDepth  int     // tree depth (default 3)
+	LR        float64 // shrinkage (default 0.3)
+	MinLeaf   int     // minimum samples per leaf (default 2)
+	NumThresh int     // candidate thresholds per feature (default 8)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 20
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.LR <= 0 {
+		c.LR = 0.3
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.NumThresh <= 0 {
+		c.NumThresh = 8
+	}
+	return c
+}
+
+// node is one tree node; leaves have feature == -1 and carry values.
+type node struct {
+	feature int
+	thresh  float64
+	left    *node
+	right   *node
+	value   []float64
+}
+
+func (n *node) isLeaf() bool { return n.feature < 0 }
+
+func (n *node) predict(x []float64) []float64 {
+	for !n.isLeaf() {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Classifier is a trained multiclass boosted-tree model.
+type Classifier struct {
+	cfg    Config
+	labels []string
+	trees  []*node
+	base   []float64 // class log-priors
+}
+
+// Labels returns the label set in training order.
+func (c *Classifier) Labels() []string { return append([]string(nil), c.labels...) }
+
+// NumTrees returns how many boosting rounds were fitted.
+func (c *Classifier) NumTrees() int { return len(c.trees) }
+
+// Train fits a classifier from feature matrix X and parallel string labels.
+func Train(x [][]float64, labels []string, cfg Config) (*Classifier, error) {
+	if len(x) == 0 || len(x) != len(labels) {
+		return nil, fmt.Errorf("boost: %d rows but %d labels", len(x), len(labels))
+	}
+	cfg = cfg.withDefaults()
+
+	c := &Classifier{cfg: cfg}
+	lindex := make(map[string]int)
+	y := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := lindex[l]
+		if !ok {
+			id = len(c.labels)
+			lindex[l] = id
+			c.labels = append(c.labels, l)
+		}
+		y[i] = id
+	}
+	k := len(c.labels)
+	n := len(x)
+	if k < 2 {
+		return nil, fmt.Errorf("boost: need at least 2 classes, got %d", k)
+	}
+
+	// Class log-prior initialization.
+	c.base = make([]float64, k)
+	for _, yi := range y {
+		c.base[yi]++
+	}
+	for i := range c.base {
+		c.base[i] = math.Log((c.base[i] + 1) / float64(n+k))
+	}
+
+	// Running raw scores.
+	scores := make([][]float64, n)
+	for i := range scores {
+		scores[i] = append([]float64(nil), c.base...)
+	}
+	probs := make([]float64, k)
+	grads := make([][]float64, n)
+	for i := range grads {
+		grads[i] = make([]float64, k)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Negative gradient of softmax cross-entropy: y_onehot - p.
+		for i := range x {
+			softmaxInto(scores[i], probs)
+			for j := 0; j < k; j++ {
+				g := -probs[j]
+				if y[i] == j {
+					g += 1
+				}
+				grads[i][j] = g
+			}
+		}
+		tree := c.buildTree(x, grads, idx, cfg.MaxDepth)
+		c.trees = append(c.trees, tree)
+		for i := range x {
+			step := tree.predict(x[i])
+			for j := 0; j < k; j++ {
+				scores[i][j] += cfg.LR * step[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// buildTree recursively fits a multi-output regression tree on the gradient
+// targets of the samples in idx.
+func (c *Classifier) buildTree(x, grads [][]float64, idx []int, depth int) *node {
+	if depth == 0 || len(idx) < 2*c.cfg.MinLeaf {
+		return c.leaf(grads, idx)
+	}
+	feature, thresh, ok := c.bestSplit(x, grads, idx)
+	if !ok {
+		return c.leaf(grads, idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feature] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < c.cfg.MinLeaf || len(right) < c.cfg.MinLeaf {
+		return c.leaf(grads, idx)
+	}
+	return &node{
+		feature: feature,
+		thresh:  thresh,
+		left:    c.buildTree(x, grads, left, depth-1),
+		right:   c.buildTree(x, grads, right, depth-1),
+	}
+}
+
+// leaf returns a leaf whose value is the mean gradient of its samples.
+func (c *Classifier) leaf(grads [][]float64, idx []int) *node {
+	k := len(c.labels)
+	v := make([]float64, k)
+	if len(idx) == 0 {
+		return &node{feature: -1, value: v}
+	}
+	for _, i := range idx {
+		for j := 0; j < k; j++ {
+			v[j] += grads[i][j]
+		}
+	}
+	for j := range v {
+		v[j] /= float64(len(idx))
+	}
+	return &node{feature: -1, value: v}
+}
+
+// bestSplit scans features × candidate thresholds for the split maximizing
+// gain = |G_L|²/n_L + |G_R|²/n_R − |G|²/n (summed over classes).
+func (c *Classifier) bestSplit(x, grads [][]float64, idx []int) (int, float64, bool) {
+	if len(idx) == 0 {
+		return 0, 0, false
+	}
+	numFeatures := len(x[idx[0]])
+	k := len(c.labels)
+
+	total := make([]float64, k)
+	for _, i := range idx {
+		for j := 0; j < k; j++ {
+			total[j] += grads[i][j]
+		}
+	}
+	parentScore := sqNorm(total) / float64(len(idx))
+
+	bestGain, bestFeature, bestThresh := 1e-12, -1, 0.0
+	gl := make([]float64, k)
+	for f := 0; f < numFeatures; f++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, i := range idx {
+			v := x[i][f]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		for t := 1; t <= c.cfg.NumThresh; t++ {
+			thresh := lo + (hi-lo)*float64(t)/float64(c.cfg.NumThresh+1)
+			for j := range gl {
+				gl[j] = 0
+			}
+			nl := 0
+			for _, i := range idx {
+				if x[i][f] <= thresh {
+					nl++
+					for j := 0; j < k; j++ {
+						gl[j] += grads[i][j]
+					}
+				}
+			}
+			nr := len(idx) - nl
+			if nl < c.cfg.MinLeaf || nr < c.cfg.MinLeaf {
+				continue
+			}
+			var right float64
+			for j := 0; j < k; j++ {
+				d := total[j] - gl[j]
+				right += d * d
+			}
+			gain := sqNorm(gl)/float64(nl) + right/float64(nr) - parentScore
+			if gain > bestGain {
+				bestGain, bestFeature, bestThresh = gain, f, thresh
+			}
+		}
+	}
+	return bestFeature, bestThresh, bestFeature >= 0
+}
+
+func sqNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+func softmaxInto(scores []float64, probs []float64) {
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var z float64
+	for i, s := range scores {
+		probs[i] = math.Exp(s - maxS)
+		z += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= z
+	}
+}
+
+// Predict returns the most probable label and its probability.
+func (c *Classifier) Predict(x []float64) (string, float64) {
+	scores := append([]float64(nil), c.base...)
+	for _, t := range c.trees {
+		step := t.predict(x)
+		for j := range scores {
+			scores[j] += c.cfg.LR * step[j]
+		}
+	}
+	probs := make([]float64, len(scores))
+	softmaxInto(scores, probs)
+	best, bestP := 0, -1.0
+	for i, p := range probs {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return c.labels[best], bestP
+}

@@ -1,0 +1,375 @@
+// Package core wires RCACopilot's two stages together (Figure 4): the
+// diagnostic-information collection stage (incident parsing, handler
+// matching, multi-source collection) and the root-cause prediction stage
+// (LLM summarization, embedding, temporal nearest-neighbour retrieval,
+// chain-of-thought category prediction with explanation).
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/embed/fasttext"
+	"repro/internal/handler"
+	"repro/internal/incident"
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/timeutil"
+	"repro/internal/transport"
+	"repro/internal/vectordb"
+)
+
+// Embedder maps incident text into the retrieval vector space. The default
+// is a FastText model trained on historical incidents (§4.2.1); the GPT-4
+// Embed. baseline swaps in the LLM's embedding endpoint. Users may plug in
+// their own ("we provide users with the flexibility to customize their
+// embedding model").
+type Embedder interface {
+	Embed(text string) ([]float64, error)
+	Dim() int
+}
+
+// FastTextEmbedder adapts a trained FastText model. Document vectors are
+// unit-normalized and multiplied by Scale: the temporal-decay similarity
+// 1/(1+d)·e^(−α·Δt) trades embedding distance against days, so the
+// embedding's distance scale decides how many days of recency a semantic
+// match is worth. Scale is calibrated so the paper's α = 0.3 sits at the
+// retrieval sweet spot (Figure 12).
+type FastTextEmbedder struct {
+	Model *fasttext.Model
+	// Scale defaults to 24 (≈ one unit of cosine distance is worth ~12
+	// days of recency at α = 0.3).
+	Scale float64
+}
+
+// Embed implements Embedder.
+func (f FastTextEmbedder) Embed(text string) ([]float64, error) {
+	v := f.Model.DocVector(text)
+	scale := f.Scale
+	if scale == 0 {
+		scale = 24
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		k := scale / math.Sqrt(norm)
+		for i := range v {
+			v[i] *= k
+		}
+	}
+	return v, nil
+}
+
+// Dim implements Embedder.
+func (f FastTextEmbedder) Dim() int { return f.Model.Dim() }
+
+// LLMEmbedder adapts an llm.Client's embedding endpoint (GPT-4 Embed.).
+type LLMEmbedder struct {
+	Client llm.Client
+	// EmbedDim must match the client's embedding output width.
+	EmbedDim int
+}
+
+// Embed implements Embedder.
+func (l LLMEmbedder) Embed(text string) ([]float64, error) { return l.Client.Embed(text) }
+
+// Dim implements Embedder.
+func (l LLMEmbedder) Dim() int { return l.EmbedDim }
+
+// ContextSources selects which incident information feeds the prediction
+// prompt — the paper's Table 3 ablation axes.
+type ContextSources struct {
+	// AlertInfo includes the alert type and scope block.
+	AlertInfo bool
+	// DiagnosticInfo includes the collected multi-source diagnostic text.
+	DiagnosticInfo bool
+	// Summarized replaces raw diagnostic text with its LLM summary
+	// (the ✓sum. row of Table 3, RCACopilot's default).
+	Summarized bool
+	// ActionOutput includes the handler actions' key-value outputs.
+	ActionOutput bool
+}
+
+// DefaultContext is RCACopilot's shipped configuration: summarized
+// diagnostic information only, the best row of Table 3.
+func DefaultContext() ContextSources {
+	return ContextSources{DiagnosticInfo: true, Summarized: true}
+}
+
+// Config parameterizes a Copilot.
+type Config struct {
+	Team string
+	// K is the number of demonstrations retrieved (default 5, §4.2.2).
+	K int
+	// Alpha is the temporal-decay coefficient per day (default 0.3).
+	Alpha float64
+	// Context selects the prompt context sources (default: summarized
+	// diagnostic info).
+	Context ContextSources
+	// PromptReserve keeps headroom for instructions and the completion
+	// within the model context window (default 768 tokens).
+	PromptReserve int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Team == "" {
+		c.Team = "Transport"
+	}
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.Context == (ContextSources{}) {
+		c.Context = DefaultContext()
+	}
+	if c.PromptReserve <= 0 {
+		c.PromptReserve = 768
+	}
+	return c
+}
+
+// Copilot is the assembled RCACopilot system.
+type Copilot struct {
+	cfg      Config
+	fleet    *transport.Fleet
+	registry *handler.Registry
+	runner   *handler.Runner
+	chat     llm.Client
+	embedder Embedder
+	db       *vectordb.DB
+	meter    *timeutil.CostMeter
+}
+
+// New assembles a Copilot over a fleet and a chat model. The embedder (and
+// with it the vector store) is attached later via SetEmbedder, once it has
+// been trained on historical incidents.
+func New(fleet *transport.Fleet, chat llm.Client, cfg Config) (*Copilot, error) {
+	if fleet == nil || chat == nil {
+		return nil, fmt.Errorf("core: fleet and chat model are required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Copilot{
+		cfg:      cfg,
+		fleet:    fleet,
+		registry: handler.NewRegistry(nil),
+		runner:   handler.NewRunner(fleet),
+		chat:     chat,
+		meter:    timeutil.NewCostMeter(),
+	}
+	if _, err := c.registry.InstallBuiltins(cfg.Team); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Registry exposes the handler registry (for handler authoring tools).
+func (c *Copilot) Registry() *handler.Registry { return c.registry }
+
+// Runner exposes the handler runner (for known-issue administration).
+func (c *Copilot) Runner() *handler.Runner { return c.runner }
+
+// Meter returns the accumulated modelled LLM latency.
+func (c *Copilot) Meter() *timeutil.CostMeter { return c.meter }
+
+// Chat returns the underlying chat model.
+func (c *Copilot) Chat() llm.Client { return c.chat }
+
+// Config returns the effective configuration.
+func (c *Copilot) Config() Config { return c.cfg }
+
+// SetEmbedder attaches the retrieval embedder and resets the vector store
+// to its dimensionality.
+func (c *Copilot) SetEmbedder(e Embedder) {
+	c.embedder = e
+	c.db = vectordb.New(e.Dim())
+}
+
+// DB returns the vector store (nil until SetEmbedder).
+func (c *Copilot) DB() *vectordb.DB { return c.db }
+
+// Collect runs the collection stage: match the incident's alert type to the
+// team's handler and execute it, enriching the incident with multi-source
+// evidence and action outputs.
+func (c *Copilot) Collect(inc *incident.Incident) (*handler.RunReport, error) {
+	if err := inc.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := c.registry.Match(c.cfg.Team, inc)
+	if err != nil {
+		return nil, err
+	}
+	return c.runner.Run(h, inc)
+}
+
+// Summarize compresses the incident's collected diagnostic text through the
+// LLM (Figure 7) and stores the result on the incident.
+func (c *Copilot) Summarize(inc *incident.Incident) error {
+	diag := inc.DiagnosticText()
+	if diag == "" {
+		return fmt.Errorf("core: incident %s has no diagnostic information to summarize (run Collect first)", inc.ID)
+	}
+	budget := c.chat.ContextWindow() - c.cfg.PromptReserve
+	diag = prompt.TrimToTokens(diag, budget, c.chat.CountTokens)
+	resp, err := c.chat.Complete(prompt.Summary(diag))
+	if err != nil {
+		return fmt.Errorf("core: summarize %s: %w", inc.ID, err)
+	}
+	c.meter.Charge("llm-summarize", resp.ModelLatency)
+	inc.Summary = resp.Content
+	return nil
+}
+
+// ContextText assembles the prompt context for an incident per the
+// configured sources (Table 3 rows).
+func (c *Copilot) ContextText(inc *incident.Incident) string {
+	var parts []string
+	if c.cfg.Context.AlertInfo {
+		parts = append(parts, inc.Alert.Info())
+	}
+	if c.cfg.Context.DiagnosticInfo {
+		if c.cfg.Context.Summarized && inc.Summary != "" {
+			parts = append(parts, inc.Summary)
+		} else {
+			parts = append(parts, inc.DiagnosticText())
+		}
+	}
+	if c.cfg.Context.ActionOutput {
+		parts = append(parts, inc.ActionOutputText())
+	}
+	var out string
+	for i, p := range parts {
+		if i > 0 {
+			out += "\n"
+		}
+		out += p
+	}
+	return out
+}
+
+// embedText is what the retriever embeds: the original (unsummarized)
+// incident information — "we use the original incident information to do
+// the embedding and nearest neighbor search, and use the corresponding
+// summarized information as part of demonstrations" (§4.2.4).
+func (c *Copilot) embedText(inc *incident.Incident) string {
+	if t := inc.DiagnosticText(); t != "" {
+		return t
+	}
+	return inc.Alert.Info()
+}
+
+// Learn inserts a labelled historical incident into the vector store. The
+// incident must carry its ground-truth category; a missing summary is
+// generated on the fly.
+func (c *Copilot) Learn(inc *incident.Incident) error {
+	if c.embedder == nil {
+		return fmt.Errorf("core: no embedder attached (call SetEmbedder)")
+	}
+	if inc.Category == "" {
+		return fmt.Errorf("core: incident %s has no root-cause label", inc.ID)
+	}
+	if inc.Summary == "" && c.cfg.Context.Summarized {
+		if err := c.Summarize(inc); err != nil {
+			return err
+		}
+	}
+	vec, err := c.embedder.Embed(c.embedText(inc))
+	if err != nil {
+		return fmt.Errorf("core: embed %s: %w", inc.ID, err)
+	}
+	demo := inc.Summary
+	if demo == "" {
+		demo = prompt.TrimToTokens(c.embedText(inc), 200, c.chat.CountTokens)
+	}
+	return c.db.Add(vectordb.Entry{
+		ID:       inc.ID,
+		Vector:   vec,
+		Category: inc.Category,
+		Time:     inc.CreatedAt,
+		Summary:  demo,
+	})
+}
+
+// Predict runs the prediction stage for a collected incident: embed the
+// original diagnostics, retrieve the top-K category-diverse neighbours
+// under temporal-decay similarity, build the Figure 9 chain-of-thought
+// prompt, and parse the model's category + explanation onto the incident.
+func (c *Copilot) Predict(inc *incident.Incident) (prompt.Result, error) {
+	if c.embedder == nil {
+		return prompt.Result{}, fmt.Errorf("core: no embedder attached (call SetEmbedder)")
+	}
+	if c.cfg.Context.Summarized && c.cfg.Context.DiagnosticInfo && inc.Summary == "" {
+		if err := c.Summarize(inc); err != nil {
+			return prompt.Result{}, err
+		}
+	}
+	query, err := c.embedder.Embed(c.embedText(inc))
+	if err != nil {
+		return prompt.Result{}, fmt.Errorf("core: embed query %s: %w", inc.ID, err)
+	}
+	var demos []prompt.Demo
+	if c.db.Len() > 0 {
+		hits, err := c.db.TopKDiverse(query, inc.CreatedAt, c.cfg.K, c.cfg.Alpha)
+		if err != nil {
+			return prompt.Result{}, err
+		}
+		budget := (c.chat.ContextWindow() - c.cfg.PromptReserve) / max(1, len(hits))
+		for _, h := range hits {
+			demos = append(demos, prompt.Demo{
+				Summary:  prompt.TrimToTokens(h.Entry.Summary, budget, c.chat.CountTokens),
+				Category: h.Entry.Category,
+			})
+		}
+	}
+	input := c.ContextText(inc)
+	inputBudget := (c.chat.ContextWindow() - c.cfg.PromptReserve) / 3
+	input = prompt.TrimToTokens(input, inputBudget, c.chat.CountTokens)
+
+	resp, err := c.chat.Complete(prompt.Prediction(input, demos))
+	if err != nil {
+		return prompt.Result{}, fmt.Errorf("core: predict %s: %w", inc.ID, err)
+	}
+	c.meter.Charge("llm-predict", resp.ModelLatency)
+	res, err := prompt.ParsePrediction(resp.Content)
+	if err != nil {
+		return prompt.Result{}, fmt.Errorf("core: predict %s: %w", inc.ID, err)
+	}
+	inc.Predicted = res.Category
+	inc.Explanation = res.Explanation
+	return res, nil
+}
+
+// HandleIncident runs the full pipeline on a fresh incident: collection,
+// summarization, prediction. It returns the collection report and the
+// parsed prediction.
+func (c *Copilot) HandleIncident(inc *incident.Incident) (*handler.RunReport, prompt.Result, error) {
+	report, err := c.Collect(inc)
+	if err != nil {
+		return nil, prompt.Result{}, err
+	}
+	if err := c.Summarize(inc); err != nil {
+		return report, prompt.Result{}, err
+	}
+	res, err := c.Predict(inc)
+	if err != nil {
+		return report, prompt.Result{}, err
+	}
+	return report, res, nil
+}
+
+// IncidentAt stamps an incident from an alert at the given time with a
+// deterministic ID suffix (the "Incident Parsing" box of Figure 4).
+func IncidentAt(alert incident.Alert, severity incident.Severity, team string, seq int, at time.Time) *incident.Incident {
+	return &incident.Incident{
+		ID:         fmt.Sprintf("INC-%s-%06d", at.Format("20060102"), seq),
+		Title:      alert.Message,
+		OwningTeam: team,
+		Severity:   severity,
+		Alert:      alert,
+		CreatedAt:  at,
+	}
+}

@@ -1,0 +1,256 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/incident"
+)
+
+// sharedCorpus is generated once; the generator is deterministic so tests
+// can share it.
+var sharedCorpus *Corpus
+
+func corpus(t *testing.T) *Corpus {
+	t.Helper()
+	if sharedCorpus == nil {
+		c, err := Generate(DefaultSpec(1))
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		sharedCorpus = c
+	}
+	return sharedCorpus
+}
+
+func TestCorpusMatchesPublishedShape(t *testing.T) {
+	c := corpus(t)
+	s := c.ComputeStats()
+	if s.NumIncidents != 653 {
+		t.Fatalf("incidents = %d, want 653", s.NumIncidents)
+	}
+	if s.NumCategories != 163 {
+		t.Fatalf("categories = %d, want 163", s.NumCategories)
+	}
+	if math.Abs(s.NewFraction-0.2496) > 0.001 {
+		t.Fatalf("new-category fraction = %.4f, want 0.2496", s.NewFraction)
+	}
+	if s.RecurrenceWithin20 < 0.85 || s.RecurrenceWithin20 > 1.0 {
+		t.Fatalf("recurrence within 20 days = %.3f, want ≈ 0.938", s.RecurrenceWithin20)
+	}
+}
+
+func TestTable1OccurrenceCounts(t *testing.T) {
+	counts := corpus(t).CategoryCounts()
+	want := map[incident.Category]int{
+		"AuthCertIssue": 3, "HubPortExhaustion": 27, "DeliveryHang": 6,
+		"CodeRegression": 15, "CertForBogusTenants": 11, "MaliciousAttack": 2,
+		"UseRouteResolution": 9, "FullDisk": 2, "InvalidJournaling": 11,
+		"DispatcherTaskCancelled": 22,
+	}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("%s occurrences = %d, want %d", cat, counts[cat], n)
+		}
+	}
+}
+
+func TestIncidentsSortedAndWithinYear(t *testing.T) {
+	c := corpus(t)
+	spec := DefaultSpec(1)
+	end := spec.Start.AddDate(0, 0, spec.Days)
+	for i, inc := range c.Incidents {
+		if i > 0 && inc.CreatedAt.Before(c.Incidents[i-1].CreatedAt) {
+			t.Fatal("incidents must be sorted by creation time")
+		}
+		if inc.CreatedAt.Before(spec.Start) || inc.CreatedAt.After(end) {
+			t.Fatalf("incident %s at %v outside the year", inc.ID, inc.CreatedAt)
+		}
+	}
+}
+
+func TestEveryIncidentIsCollectedAndValid(t *testing.T) {
+	c := corpus(t)
+	for _, inc := range c.Incidents {
+		if err := inc.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", inc.ID, err)
+		}
+		if len(inc.Evidence) < 2 {
+			t.Fatalf("%s has only %d evidence items — collection did not run", inc.ID, len(inc.Evidence))
+		}
+		if inc.Category == "" {
+			t.Fatalf("%s missing ground-truth label", inc.ID)
+		}
+		if len(inc.ActionOutput) == 0 {
+			t.Fatalf("%s has no action outputs", inc.ID)
+		}
+	}
+}
+
+func TestDiagnosticTextDistinguishesCategories(t *testing.T) {
+	c := corpus(t)
+	// HubPortExhaustion incidents must carry the WinSock/UDP signature.
+	found := false
+	for _, inc := range c.Incidents {
+		if inc.Category == "HubPortExhaustion" {
+			found = true
+			text := inc.DiagnosticText()
+			if !contains(text, "WinSock") && !contains(text, "UDP") {
+				t.Fatalf("%s (HubPortExhaustion) lacks its telemetry signature:\n%.400s", inc.ID, text)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no HubPortExhaustion incidents generated")
+	}
+}
+
+func TestGenericCategoriesCarryExceptionToken(t *testing.T) {
+	c := corpus(t)
+	checked := 0
+	for _, inc := range c.Incidents {
+		if _, ok := c.Generics[inc.Category]; !ok {
+			continue
+		}
+		checked++
+		exc := c.Generics[inc.Category].Exception
+		if !contains(inc.DiagnosticText(), exc) {
+			t.Fatalf("%s (%s) lacks its exception token %s", inc.ID, inc.Category, exc)
+		}
+		// The OCE label must NOT be string-recoverable from the telemetry.
+		if contains(inc.DiagnosticText(), string(inc.Category)) {
+			t.Fatalf("%s: category label %s leaked into diagnostic text", inc.ID, inc.Category)
+		}
+		if checked >= 25 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no generic incidents checked")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := Generate(DefaultSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Incidents) != len(b.Incidents) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Incidents {
+		if a.Incidents[i].Category != b.Incidents[i].Category ||
+			!a.Incidents[i].CreatedAt.Equal(b.Incidents[i].CreatedAt) ||
+			a.Incidents[i].DiagnosticText() != b.Incidents[i].DiagnosticText() {
+			t.Fatalf("incident %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, err := Generate(DefaultSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Incidents {
+		if a.Incidents[i].Category == b.Incidents[i].Category {
+			same++
+		}
+	}
+	if same == len(a.Incidents) {
+		t.Fatal("different seeds should reorder the corpus")
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	c := corpus(t)
+	train, test := c.Split(0.75, 42)
+	if len(train)+len(test) != len(c.Incidents) {
+		t.Fatalf("split loses incidents: %d + %d != %d", len(train), len(test), len(c.Incidents))
+	}
+	if len(train) != 489 {
+		t.Fatalf("train = %d, want 489 (75%% of 653)", len(train))
+	}
+	ids := make(map[string]bool)
+	for _, in := range train {
+		ids[in.ID] = true
+	}
+	for _, in := range test {
+		if ids[in.ID] {
+			t.Fatalf("incident %s in both splits", in.ID)
+		}
+	}
+	// Long tail: the test set must contain categories absent from train.
+	trainCats := make(map[incident.Category]bool)
+	for _, in := range train {
+		trainCats[in.Category] = true
+	}
+	unseen := 0
+	for _, in := range test {
+		if !trainCats[in.Category] {
+			unseen++
+		}
+	}
+	if unseen == 0 {
+		t.Fatal("test set should contain never-trained categories (the paper's unseen-incident challenge)")
+	}
+}
+
+func TestRecurrenceIntervals(t *testing.T) {
+	c := corpus(t)
+	ivs := c.RecurrenceIntervals()
+	if len(ivs) != 653-163 {
+		t.Fatalf("intervals = %d, want %d (incidents - categories)", len(ivs), 653-163)
+	}
+	fast := 0
+	for _, d := range ivs {
+		if d < 0 {
+			t.Fatal("negative recurrence interval")
+		}
+		if d <= 20 {
+			fast++
+		}
+	}
+	if frac := float64(fast) / float64(len(ivs)); frac < 0.85 {
+		t.Fatalf("fast-recurrence fraction = %.3f, want >= 0.85", frac)
+	}
+}
+
+func TestGenerateValidatesSpec(t *testing.T) {
+	if _, err := Generate(Spec{}); err == nil {
+		t.Fatal("zero spec should fail")
+	}
+}
+
+func TestTimestampsSpreadAcrossYear(t *testing.T) {
+	c := corpus(t)
+	first := c.Incidents[0].CreatedAt
+	last := c.Incidents[len(c.Incidents)-1].CreatedAt
+	if last.Sub(first) < 200*24*time.Hour {
+		t.Fatalf("corpus spans only %v, want most of a year", last.Sub(first))
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/incident"
+	"repro/internal/transport"
+)
+
+// corpusDoc is the JSON wire format: the incidents plus the generic fault
+// parameters needed to re-inject long-tail categories.
+type corpusDoc struct {
+	Incidents []*incident.Incident                         `json:"incidents"`
+	Generics  map[incident.Category]transport.GenericFault `json:"generics,omitempty"`
+}
+
+// Save writes the corpus (incidents and generic-fault parameters) as JSON.
+// The fleet itself is not serialized — it is reconstructed from the same
+// seed — so a saved corpus is a portable labelled dataset, usable to feed a
+// deployment's real incident history into the pipeline.
+func (c *Corpus) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(corpusDoc{Incidents: c.Incidents, Generics: c.Generics}); err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a corpus previously written by Save. The returned corpus has
+// no fleet attached; attach one with AttachFleet if live injection is
+// needed.
+func Load(r io.Reader) (*Corpus, error) {
+	var doc corpusDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	if len(doc.Incidents) == 0 {
+		return nil, fmt.Errorf("dataset: load: empty corpus")
+	}
+	for i, in := range doc.Incidents {
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: load: incident %d: %w", i, err)
+		}
+		if in.Category == "" {
+			return nil, fmt.Errorf("dataset: load: incident %s has no label", in.ID)
+		}
+	}
+	return &Corpus{Incidents: doc.Incidents, Generics: doc.Generics}, nil
+}
+
+// AttachFleet sets the fleet live experiments run against.
+func (c *Corpus) AttachFleet(f *transport.Fleet) { c.Fleet = f }

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	c := corpus(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Incidents) != len(c.Incidents) {
+		t.Fatalf("loaded %d incidents, want %d", len(loaded.Incidents), len(c.Incidents))
+	}
+	for i := range c.Incidents {
+		a, b := c.Incidents[i], loaded.Incidents[i]
+		if a.ID != b.ID || a.Category != b.Category || !a.CreatedAt.Equal(b.CreatedAt) {
+			t.Fatalf("incident %d mismatch after round trip", i)
+		}
+		if a.DiagnosticText() != b.DiagnosticText() {
+			t.Fatalf("incident %s diagnostic text mismatch", a.ID)
+		}
+	}
+	if len(loaded.Generics) != len(c.Generics) {
+		t.Fatalf("generics = %d, want %d", len(loaded.Generics), len(c.Generics))
+	}
+	// Stats computed from the loaded corpus must match.
+	if got, want := loaded.ComputeStats(), c.ComputeStats(); got != want {
+		t.Fatalf("stats after load %+v != %+v", got, want)
+	}
+	if loaded.Fleet != nil {
+		t.Fatal("loaded corpus must not carry a fleet")
+	}
+	loaded.AttachFleet(c.Fleet)
+	if loaded.Fleet != c.Fleet {
+		t.Fatal("AttachFleet failed")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"incidents":[]}`))); err == nil {
+		t.Fatal("empty corpus should fail")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"incidents":[{"id":"x"}]}`))); err == nil {
+		t.Fatal("invalid incident should fail")
+	}
+}

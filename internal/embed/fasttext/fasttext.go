@@ -1,0 +1,434 @@
+// Package fasttext is a from-scratch Go implementation of the FastText
+// embedding model RCACopilot trains on historical incidents (§4.2.1):
+// skip-gram with negative sampling where every word vector is the sum of a
+// word-id vector and hashed character-n-gram vectors, so out-of-vocabulary
+// tokens (fresh machine names, new exception types) still embed near their
+// morphological neighbours. The paper chose FastText because it is
+// "efficient, insensitive to text input length, and generates dense
+// matrices, making it easy to calculate the Euclidean distance between
+// similar vectors"; this implementation preserves those properties.
+//
+// The package also provides the supervised FastText classifier used as a
+// baseline in the paper's Table 2.
+package fasttext
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tokenize"
+)
+
+// Config parameterizes training. Zero fields take the documented defaults.
+type Config struct {
+	Dim        int     // embedding dimensionality (default 64)
+	Epochs     int     // passes over the corpus (default 5)
+	Window     int     // skip-gram context window (default 5)
+	NegSamples int     // negative samples per positive pair (default 5)
+	MinCount   int     // minimum word frequency for the vocabulary (default 2)
+	Buckets    int     // hash buckets for char n-grams (default 1<<16)
+	MinN       int     // smallest char n-gram (default 3)
+	MaxN       int     // largest char n-gram (default 5)
+	LR         float64 // initial learning rate (default 0.05)
+	Seed       int64   // RNG seed (default 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.NegSamples <= 0 {
+		c.NegSamples = 5
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 2
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 1 << 16
+	}
+	if c.MinN <= 0 {
+		c.MinN = 3
+	}
+	if c.MaxN < c.MinN {
+		c.MaxN = 5
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Model is a trained FastText embedding model.
+type Model struct {
+	cfg    Config
+	vocab  map[string]int // word -> index
+	words  []string       // index -> word
+	counts []int          // index -> corpus frequency
+	total  int            // sum of counts, lazily computed
+
+	// in holds input vectors: words first, then n-gram buckets.
+	in [][]float64
+	// out holds output (context) vectors, one per vocabulary word.
+	out [][]float64
+
+	negTable []int // unigram^0.75 sampling table
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.cfg.Dim }
+
+// VocabSize returns the number of in-vocabulary words.
+func (m *Model) VocabSize() int { return len(m.words) }
+
+// TrainSkipgram trains a FastText model over the corpus (one document per
+// string). Training is deterministic for a given config.
+func TrainSkipgram(corpus []string, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	m := &Model{cfg: cfg, vocab: make(map[string]int)}
+
+	// Build the vocabulary.
+	freq := make(map[string]int)
+	docs := make([][]string, len(corpus))
+	for i, doc := range corpus {
+		docs[i] = tokenize.Words(doc)
+		for _, w := range docs[i] {
+			freq[w]++
+		}
+	}
+	words := make([]string, 0, len(freq))
+	for w, c := range freq {
+		if c >= cfg.MinCount {
+			words = append(words, w)
+		}
+	}
+	sort.Strings(words)
+	if len(words) == 0 {
+		return nil, fmt.Errorf("fasttext: empty vocabulary (corpus too small for MinCount=%d)", cfg.MinCount)
+	}
+	for i, w := range words {
+		m.vocab[w] = i
+	}
+	m.words = words
+	m.counts = make([]int, len(words))
+	for i, w := range words {
+		m.counts[i] = freq[w]
+	}
+
+	// Allocate vectors: words + n-gram buckets in the input matrix.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := len(words) + cfg.Buckets
+	m.in = make([][]float64, total)
+	for i := range m.in {
+		m.in[i] = randomVector(rng, cfg.Dim)
+	}
+	m.out = make([][]float64, len(words))
+	for i := range m.out {
+		m.out[i] = make([]float64, cfg.Dim) // zeros, per word2vec convention
+	}
+	m.buildNegTable()
+
+	// Convert docs to index sequences (OOV dropped during training).
+	seqs := make([][]int, len(docs))
+	tokens := 0
+	for i, ws := range docs {
+		for _, w := range ws {
+			if id, ok := m.vocab[w]; ok {
+				seqs[i] = append(seqs[i], id)
+				tokens++
+			}
+		}
+	}
+	if tokens == 0 {
+		return nil, fmt.Errorf("fasttext: no in-vocabulary tokens to train on")
+	}
+
+	// Skip-gram with negative sampling.
+	totalSteps := cfg.Epochs * tokens
+	step := 0
+	hidden := make([]float64, cfg.Dim)
+	grad := make([]float64, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, seq := range seqs {
+			for pos, center := range seq {
+				lr := cfg.LR * (1 - float64(step)/float64(totalSteps+1))
+				if lr < cfg.LR*0.0001 {
+					lr = cfg.LR * 0.0001
+				}
+				step++
+				window := 1 + rng.Intn(cfg.Window)
+				inputs := m.inputIndices(m.words[center])
+				m.composeInput(inputs, hidden)
+				for i := range grad {
+					grad[i] = 0
+				}
+				changed := false
+				for off := -window; off <= window; off++ {
+					cpos := pos + off
+					if off == 0 || cpos < 0 || cpos >= len(seq) {
+						continue
+					}
+					target := seq[cpos]
+					m.updatePair(hidden, grad, target, 1, lr)
+					for n := 0; n < cfg.NegSamples; n++ {
+						neg := m.negTable[rng.Intn(len(m.negTable))]
+						if neg == target {
+							continue
+						}
+						m.updatePair(hidden, grad, neg, 0, lr)
+					}
+					changed = true
+				}
+				if changed {
+					scale := 1.0 / float64(len(inputs))
+					for _, idx := range inputs {
+						v := m.in[idx]
+						for i := range v {
+							v[i] += grad[i] * scale
+						}
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// updatePair applies one (hidden, output-word) SGD step with label 1
+// (positive) or 0 (negative), accumulating the input-side gradient.
+func (m *Model) updatePair(hidden, grad []float64, target int, label float64, lr float64) {
+	ov := m.out[target]
+	dot := 0.0
+	for i := range hidden {
+		dot += hidden[i] * ov[i]
+	}
+	g := (label - sigmoid(dot)) * lr
+	for i := range hidden {
+		grad[i] += g * ov[i]
+		ov[i] += g * hidden[i]
+	}
+}
+
+func sigmoid(x float64) float64 {
+	switch {
+	case x > 8:
+		return 1
+	case x < -8:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+func randomVector(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	bound := 1.0 / float64(dim)
+	for i := range v {
+		v[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return v
+}
+
+// buildNegTable fills the unigram^0.75 negative-sampling table.
+func (m *Model) buildNegTable() {
+	const tableSize = 1 << 17
+	m.negTable = make([]int, 0, tableSize)
+	var z float64
+	for _, c := range m.counts {
+		z += math.Pow(float64(c), 0.75)
+	}
+	for id, c := range m.counts {
+		n := int(math.Ceil(math.Pow(float64(c), 0.75) / z * tableSize))
+		for i := 0; i < n; i++ {
+			m.negTable = append(m.negTable, id)
+		}
+	}
+	if len(m.negTable) == 0 {
+		m.negTable = []int{0}
+	}
+}
+
+// ngrams returns the character n-grams of a word wrapped in boundary
+// markers, per the FastText paper.
+func (m *Model) ngrams(w string) []string {
+	wrapped := "<" + w + ">"
+	rs := []rune(wrapped)
+	var out []string
+	for n := m.cfg.MinN; n <= m.cfg.MaxN; n++ {
+		for i := 0; i+n <= len(rs); i++ {
+			g := string(rs[i : i+n])
+			if g == wrapped {
+				continue // the full word is handled by its word id
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (m *Model) bucket(gram string) int {
+	h := fnv.New32a()
+	h.Write([]byte(gram))
+	return len(m.words) + int(h.Sum32())%m.cfg.Buckets
+}
+
+// inputIndices returns the input-matrix rows composing a word's vector:
+// its word id (if in vocabulary) plus its hashed n-gram buckets.
+func (m *Model) inputIndices(w string) []int {
+	var idx []int
+	if id, ok := m.vocab[w]; ok {
+		idx = append(idx, id)
+	}
+	for _, g := range m.ngrams(w) {
+		idx = append(idx, m.bucket(g))
+	}
+	if len(idx) == 0 {
+		idx = append(idx, m.bucket("<"+w+">"))
+	}
+	return idx
+}
+
+// composeInput writes the mean of the input rows into dst.
+func (m *Model) composeInput(indices []int, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, idx := range indices {
+		v := m.in[idx]
+		for i := range dst {
+			dst[i] += v[i]
+		}
+	}
+	scale := 1.0 / float64(len(indices))
+	for i := range dst {
+		dst[i] *= scale
+	}
+}
+
+// WordVector returns the embedding of a word. Out-of-vocabulary words are
+// composed purely from their character n-grams — FastText's signature
+// behaviour.
+func (m *Model) WordVector(w string) []float64 {
+	ws := tokenize.Words(w)
+	word := w
+	if len(ws) == 1 {
+		word = ws[0]
+	}
+	v := make([]float64, m.cfg.Dim)
+	m.composeInput(m.inputIndices(word), v)
+	return v
+}
+
+// sifWeight returns the smooth-inverse-frequency weight of a word: rare,
+// information-bearing tokens (exception names, distinctive counters) weigh
+// near 1, while corpus boilerplate (machine names, table headers) is damped
+// toward 0. Out-of-vocabulary words take full weight.
+func (m *Model) sifWeight(w string) float64 {
+	const a = 1e-3
+	// Pure numbers (counter values, PIDs, timestamps) are semantic noise:
+	// their char-n-gram vectors are arbitrary and they never repeat, so
+	// they would otherwise enter at full out-of-vocabulary weight.
+	if allDigits(w) {
+		return 0.02
+	}
+	id, ok := m.vocab[w]
+	if !ok {
+		return 1
+	}
+	p := float64(m.counts[id]) / float64(m.totalTokens())
+	return a / (a + p)
+}
+
+func allDigits(w string) bool {
+	if w == "" {
+		return false
+	}
+	for _, r := range w {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Model) totalTokens() int {
+	if m.total == 0 {
+		for _, c := range m.counts {
+			m.total += c
+		}
+		if m.total == 0 {
+			m.total = 1
+		}
+	}
+	return m.total
+}
+
+// DocVector embeds a document as the smooth-inverse-frequency weighted mean
+// of its word vectors. SIF weighting keeps the representation
+// length-insensitive (a log excerpt and its longer variant land nearby)
+// while preventing the boilerplate that dominates incident text by volume
+// from drowning the root-cause-bearing vocabulary.
+func (m *Model) DocVector(text string) []float64 {
+	v := make([]float64, m.cfg.Dim)
+	ws := tokenize.Words(text)
+	if len(ws) == 0 {
+		return v
+	}
+	tmp := make([]float64, m.cfg.Dim)
+	var totalW float64
+	for _, w := range ws {
+		weight := m.sifWeight(w)
+		m.composeInput(m.inputIndices(w), tmp)
+		for i := range v {
+			v[i] += tmp[i] * weight
+		}
+		totalW += weight
+	}
+	if totalW > 0 {
+		for i := range v {
+			v[i] /= totalW
+		}
+	}
+	return v
+}
+
+// Similarity returns the cosine similarity of two words' embeddings.
+func (m *Model) Similarity(a, b string) float64 {
+	return Cosine(m.WordVector(a), m.WordVector(b))
+}
+
+// Cosine returns the cosine similarity of two vectors (0 when either is
+// zero).
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Euclidean returns the Euclidean distance between two vectors, the
+// distance the paper's similarity formula is built on.
+func Euclidean(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

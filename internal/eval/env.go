@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/embed/fasttext"
+	"repro/internal/incident"
+)
+
+// Env is one evaluation environment: a generated corpus and its 75/25
+// train/test split (§5.1), with a lazily trained FastText model shared by
+// the methods that need it.
+type Env struct {
+	Seed   int64
+	Corpus *dataset.Corpus
+	Train  []*incident.Incident
+	Test   []*incident.Incident
+
+	ft          *fasttext.Model
+	ftTrainTime time.Duration
+}
+
+// NewEnv generates the corpus for the seed and splits it 75/25.
+func NewEnv(seed int64) (*Env, error) {
+	corpus, err := dataset.Generate(dataset.DefaultSpec(seed))
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{Seed: seed, Corpus: corpus}
+	e.Train, e.Test = corpus.Split(0.75, seed)
+	if len(e.Train) == 0 || len(e.Test) == 0 {
+		return nil, fmt.Errorf("eval: degenerate split %d/%d", len(e.Train), len(e.Test))
+	}
+	return e, nil
+}
+
+// TrainTexts returns the diagnostic documents of the training incidents.
+func (e *Env) TrainTexts() []string {
+	out := make([]string, len(e.Train))
+	for i, in := range e.Train {
+		out[i] = in.DiagnosticText()
+	}
+	return out
+}
+
+// TrainLabels returns the gold labels of the training incidents.
+func (e *Env) TrainLabels() []string {
+	out := make([]string, len(e.Train))
+	for i, in := range e.Train {
+		out[i] = string(in.Category)
+	}
+	return out
+}
+
+// TestGold returns the gold labels of the test incidents.
+func (e *Env) TestGold() []incident.Category {
+	out := make([]incident.Category, len(e.Test))
+	for i, in := range e.Test {
+		out[i] = in.Category
+	}
+	return out
+}
+
+// FastText returns the shared FastText model trained on the training
+// diagnostics, training it on first use and recording the wall-clock
+// training time (RCACopilot's Table-2 "Train" column).
+func (e *Env) FastText() (*fasttext.Model, time.Duration, error) {
+	if e.ft == nil {
+		start := time.Now()
+		m, err := fasttext.TrainSkipgram(e.TrainTexts(), fasttext.Config{Seed: e.Seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		e.ftTrainTime = time.Since(start)
+		e.ft = m
+	}
+	return e.ft, e.ftTrainTime, nil
+}

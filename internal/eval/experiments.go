@@ -1,0 +1,547 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/handler"
+	"repro/internal/incident"
+	"repro/internal/llm/simgpt"
+	"repro/internal/transport"
+)
+
+// ---------------------------------------------------------------- Table 2
+
+// RunTable2 evaluates every method of the paper's Table 2 on one
+// environment.
+func RunTable2(e *Env) ([]MethodResult, error) {
+	var out []MethodResult
+	ft, err := RunFastTextBaseline(e)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ft)
+	xgb, err := RunXGBoostBaseline(e)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, xgb)
+	tune, err := RunFineTuneGPT(e)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tune)
+	zp, err := RunGPTPrompt(e)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, zp)
+	ge, err := RunPipeline(e, PipelineOptions{GPTEmbedding: true})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ge.Result)
+	r35, err := RunPipeline(e, PipelineOptions{Model: simgpt.GPT35})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r35.Result)
+	r4, err := RunPipeline(e, PipelineOptions{Model: simgpt.GPT4})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r4.Result)
+	return out, nil
+}
+
+// FormatTable2 renders Table-2 rows in the paper's layout.
+func FormatTable2(rows []MethodResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %8s %12s %12s\n", "Method", "Micro", "Macro", "Train(s)", "Infer(s)")
+	for _, r := range rows {
+		train := fmt.Sprintf("%.3f", r.Train.Seconds())
+		if r.Train == 0 {
+			train = "-"
+		}
+		if r.ModelledTrain {
+			train += "*"
+		}
+		infer := fmt.Sprintf("%.3f", r.Infer.Seconds())
+		if r.ModelledInfer {
+			infer += "*"
+		}
+		fmt.Fprintf(&b, "%-22s %8.3f %8.3f %12s %12s\n", r.Method, r.Scores.Micro, r.Scores.Macro, train, infer)
+	}
+	b.WriteString("(* = modelled API latency; see EXPERIMENTS.md)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row is one prompt-context ablation configuration.
+type Table3Row struct {
+	Name    string
+	Context core.ContextSources
+	Scores  F1Scores
+}
+
+// Table3Configs returns the seven context configurations of Table 3 in the
+// paper's row order.
+func Table3Configs() []Table3Row {
+	return []Table3Row{
+		{Name: "DiagnosticInfo", Context: core.ContextSources{DiagnosticInfo: true}},
+		{Name: "DiagnosticInfo (sum.)", Context: core.ContextSources{DiagnosticInfo: true, Summarized: true}},
+		{Name: "AlertInfo", Context: core.ContextSources{AlertInfo: true}},
+		{Name: "Alert+Diagnostic", Context: core.ContextSources{AlertInfo: true, DiagnosticInfo: true}},
+		{Name: "Alert+ActionOutput", Context: core.ContextSources{AlertInfo: true, ActionOutput: true}},
+		{Name: "Diagnostic+ActionOutput", Context: core.ContextSources{DiagnosticInfo: true, ActionOutput: true}},
+		{Name: "Alert+Diag+ActionOutput", Context: core.ContextSources{AlertInfo: true, DiagnosticInfo: true, ActionOutput: true}},
+	}
+}
+
+// RunTable3 evaluates the prompt-context ablation.
+func RunTable3(e *Env) ([]Table3Row, error) {
+	rows := Table3Configs()
+	for i := range rows {
+		run, err := RunPipeline(e, PipelineOptions{Context: rows[i].Context})
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", rows[i].Name, err)
+		}
+		rows[i].Scores = run.Result.Scores
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the ablation table.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %8s %8s\n", "Context", "Micro", "Macro")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %8.3f %8.3f\n", r.Name, r.Scores.Micro, r.Scores.Macro)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------- Figure 12
+
+// SweepPoint is one (K, alpha) cell of Figure 12.
+type SweepPoint struct {
+	K      int
+	Alpha  float64
+	Scores F1Scores
+}
+
+// RunFig12 sweeps K × alpha over the full pipeline (Figures 12a and 12b).
+func RunFig12(e *Env, ks []int, alphas []float64) ([]SweepPoint, error) {
+	if len(ks) == 0 {
+		ks = []int{3, 5, 9, 12, 15}
+	}
+	if len(alphas) == 0 {
+		alphas = []float64{0.001, 0.2, 0.4, 0.6, 0.8}
+	}
+	var out []SweepPoint
+	for _, k := range ks {
+		for _, a := range alphas {
+			run, err := RunPipeline(e, PipelineOptions{K: k, Alpha: a})
+			if err != nil {
+				return nil, fmt.Errorf("fig12 K=%d alpha=%.1f: %w", k, a, err)
+			}
+			out = append(out, SweepPoint{K: k, Alpha: a, Scores: run.Result.Scores})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig12 renders the sweep as two grids (micro, macro).
+func FormatFig12(points []SweepPoint) string {
+	ks := uniqueInts(points, func(p SweepPoint) int { return p.K })
+	alphas := uniqueFloats(points, func(p SweepPoint) float64 { return p.Alpha })
+	cell := make(map[[2]int]F1Scores)
+	for _, p := range points {
+		cell[[2]int{p.K, int(p.Alpha * 1000)}] = p.Scores
+	}
+	var b strings.Builder
+	for _, metric := range []string{"F1-micro (Fig 12a)", "F1-macro (Fig 12b)"} {
+		b.WriteString(metric + "\n")
+		fmt.Fprintf(&b, "%8s", "K\\alpha")
+		for _, a := range alphas {
+			fmt.Fprintf(&b, "%8.1f", a)
+		}
+		b.WriteString("\n")
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%8d", k)
+			for _, a := range alphas {
+				s := cell[[2]int{k, int(a * 1000)}]
+				v := s.Micro
+				if strings.Contains(metric, "macro") {
+					v = s.Macro
+				}
+				fmt.Fprintf(&b, "%8.3f", v)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func uniqueInts(ps []SweepPoint, f func(SweepPoint) int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range ps {
+		if !seen[f(p)] {
+			seen[f(p)] = true
+			out = append(out, f(p))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func uniqueFloats(ps []SweepPoint, f func(SweepPoint) float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range ps {
+		if !seen[f(p)] {
+			seen[f(p)] = true
+			out = append(out, f(p))
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// ------------------------------------------------------------- Figures 2/3
+
+// HistBucket is one histogram bar.
+type HistBucket struct {
+	Label string
+	Value float64
+}
+
+// RunFig2 computes the recurring-incident proportion per 10-day interval
+// bucket (Figure 2's series) from corpus recurrence gaps.
+func RunFig2(e *Env) []HistBucket {
+	gaps := e.Corpus.RecurrenceIntervals()
+	const bucketDays, maxDays = 10, 120
+	counts := make([]int, maxDays/bucketDays+1)
+	for _, g := range gaps {
+		b := int(g) / bucketDays
+		if b >= len(counts) {
+			b = len(counts) - 1
+		}
+		counts[b]++
+	}
+	total := float64(len(gaps))
+	var out []HistBucket
+	for i, c := range counts {
+		lo := i * bucketDays
+		out = append(out, HistBucket{
+			Label: fmt.Sprintf("%d-%d", lo, lo+bucketDays),
+			Value: float64(c) / total,
+		})
+	}
+	return out
+}
+
+// RunFig3 computes the category-occurrence histogram (Figure 3): how many
+// categories occur once, twice, ..., >= 10 times.
+func RunFig3(e *Env) []HistBucket {
+	counts := e.Corpus.CategoryCounts()
+	buckets := make([]int, 10) // 1..9 and >=10
+	for _, n := range counts {
+		if n >= 10 {
+			buckets[9]++
+		} else {
+			buckets[n-1]++
+		}
+	}
+	var out []HistBucket
+	for i, c := range buckets {
+		label := fmt.Sprintf("%d", i+1)
+		if i == 9 {
+			label = ">=10"
+		}
+		out = append(out, HistBucket{Label: label, Value: float64(c)})
+	}
+	return out
+}
+
+// FormatHist renders a histogram with ASCII bars.
+func FormatHist(title string, hs []HistBucket, scale float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, h := range hs {
+		bar := strings.Repeat("#", int(h.Value*scale+0.5))
+		fmt.Fprintf(&b, "%8s | %-50s %.4f\n", h.Label, bar, h.Value)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// TeamProfile models one Table-4 team: its handler inventory size and the
+// published average handler execution time the profile is calibrated to.
+type TeamProfile struct {
+	Name            string
+	EnabledHandlers int
+	// TargetExecSeconds is the published Table-4 execution time; the
+	// simulated team's telemetry cost scale is calibrated so the measured
+	// virtual execution time lands near it.
+	TargetExecSeconds float64
+}
+
+// Table4Teams are the paper's top-10 teams by handler count.
+func Table4Teams() []TeamProfile {
+	return []TeamProfile{
+		{"Team 1", 213, 841}, {"Team 2", 204, 378}, {"Team 3", 88, 106},
+		{"Team 4", 42, 449}, {"Team 5", 41, 136}, {"Team 6", 34, 91},
+		{"Team 7", 32, 449}, {"Team 8", 32, 255}, {"Team 9", 31, 323},
+		{"Team 10", 18, 22},
+	}
+}
+
+// Table4Row is one measured Table-4 row.
+type Table4Row struct {
+	Team            string
+	AvgExecSeconds  float64
+	EnabledHandlers int
+	IncidentsRun    int
+}
+
+// RunTable4 simulates the multi-team deployment: each team gets its own
+// fleet (telemetry cost scale calibrated to its published execution time),
+// a handler inventory of the published size built from the builtin suite,
+// and a stream of incidents; the measured virtual execution cost per
+// incident is reported.
+func RunTable4(seed int64, incidentsPerTeam int) ([]Table4Row, error) {
+	if incidentsPerTeam <= 0 {
+		incidentsPerTeam = 20
+	}
+	// Calibration run: mean handler execution cost at scale 1.
+	base, err := meanExecCost(seed, 1.0, 8)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table4Row
+	for i, team := range Table4Teams() {
+		scale := team.TargetExecSeconds / base.Seconds()
+		cost, err := teamRun(seed+int64(i), scale, team, incidentsPerTeam)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", team.Name, err)
+		}
+		rows = append(rows, Table4Row{
+			Team:            team.Name,
+			AvgExecSeconds:  cost.Seconds(),
+			EnabledHandlers: team.EnabledHandlers,
+			IncidentsRun:    incidentsPerTeam,
+		})
+	}
+	return rows, nil
+}
+
+func meanExecCost(seed int64, scale float64, n int) (time.Duration, error) {
+	cfg := transport.DefaultConfig(seed)
+	cfg.QueryCostScale = scale
+	fleet := transport.NewFleet(cfg)
+	runner := handler.NewRunner(fleet)
+	rng := rand.New(rand.NewSource(seed))
+	cats := transport.Table1Categories()
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		cat := cats[rng.Intn(len(cats))]
+		fault, err := fleet.Inject(cat, rng.Intn(len(fleet.Forests)))
+		if err != nil {
+			return 0, err
+		}
+		alert, ok := fleet.FirstAlert()
+		if !ok {
+			return 0, fmt.Errorf("no alert for %s", cat)
+		}
+		inc := core.IncidentAt(alert, incident.Sev2, "team", i, fleet.Clock().Now())
+		h, err := handler.Builtin(alert.Type)
+		if err != nil {
+			return 0, err
+		}
+		report, err := handler.NewRunner(fleet).Run(h, inc)
+		if err != nil {
+			return 0, err
+		}
+		total += report.VirtualCost
+		fault.Repair()
+	}
+	_ = runner
+	return total / time.Duration(n), nil
+}
+
+// teamRun builds the team's handler inventory (EnabledHandlers variants of
+// the builtin suite registered under team-specific alert types) and
+// measures the mean execution cost over an incident stream.
+func teamRun(seed int64, scale float64, team TeamProfile, n int) (time.Duration, error) {
+	cfg := transport.DefaultConfig(seed)
+	cfg.QueryCostScale = scale
+	fleet := transport.NewFleet(cfg)
+	registry := handler.NewRegistry(nil)
+	// Inventory: variants of the builtin suite up to the published count.
+	builtins, err := handler.BuiltinAll()
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < team.EnabledHandlers; i++ {
+		h := builtins[i%len(builtins)].Clone()
+		h.Team = team.Name
+		if i >= len(builtins) {
+			h.Name = fmt.Sprintf("%s-v%d", h.Name, i/len(builtins))
+			h.AlertType = incident.AlertType(fmt.Sprintf("%s#%d", h.AlertType, i/len(builtins)))
+		}
+		if _, err := registry.Save(h); err != nil {
+			return 0, err
+		}
+	}
+	got, err := registry.EnabledCount(team.Name)
+	if err != nil {
+		return 0, err
+	}
+	if got != team.EnabledHandlers {
+		return 0, fmt.Errorf("inventory mismatch: %d != %d", got, team.EnabledHandlers)
+	}
+
+	runner := handler.NewRunner(fleet)
+	rng := rand.New(rand.NewSource(seed))
+	cats := transport.Table1Categories()
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		cat := cats[rng.Intn(len(cats))]
+		fault, err := fleet.Inject(cat, rng.Intn(len(fleet.Forests)))
+		if err != nil {
+			return 0, err
+		}
+		alert, ok := fleet.FirstAlert()
+		if !ok {
+			return 0, fmt.Errorf("no alert for %s", cat)
+		}
+		inc := core.IncidentAt(alert, incident.Sev2, team.Name, i, fleet.Clock().Now())
+		h, err := registry.Match(team.Name, inc)
+		if err != nil {
+			return 0, err
+		}
+		report, err := runner.Run(h, inc)
+		if err != nil {
+			return 0, err
+		}
+		total += report.VirtualCost
+		fault.Repair()
+	}
+	return total / time.Duration(n), nil
+}
+
+// FormatTable4 renders the team table.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %18s %18s\n", "Team", "Avg exec time (s)", "# Enabled handler")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %18.0f %18d\n", r.Team, r.AvgExecSeconds, r.EnabledHandlers)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one exemplar incident per root-cause category.
+type Table1Row struct {
+	No       int
+	Severity incident.Severity
+	Scope    incident.Scope
+	Category incident.Category
+	Occur    int
+	Symptom  string
+	Cause    string
+}
+
+// RunTable1 reconstructs Table 1 from the corpus: one exemplar per
+// category with its occurrence count, plus the injector's symptom/cause
+// narrative.
+func RunTable1(e *Env) ([]Table1Row, error) {
+	counts := e.Corpus.CategoryCounts()
+	scratch := transport.NewFleet(transport.DefaultConfig(e.Seed))
+	var rows []Table1Row
+	for i, cat := range transport.Table1Categories() {
+		fault, err := scratch.Inject(cat, 0)
+		if err != nil {
+			return nil, err
+		}
+		var exemplar *incident.Incident
+		for _, in := range e.Corpus.Incidents {
+			if in.Category == cat {
+				exemplar = in
+				break
+			}
+		}
+		if exemplar == nil {
+			return nil, fmt.Errorf("table1: no corpus incident for %s", cat)
+		}
+		rows = append(rows, Table1Row{
+			No:       i + 1,
+			Severity: exemplar.Severity,
+			Scope:    exemplar.Alert.Scope,
+			Category: cat,
+			Occur:    counts[cat],
+			Symptom:  fault.Symptom,
+			Cause:    fault.Cause,
+		})
+		fault.Repair()
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the exemplar table.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-4s %-8s %-24s %-6s %s\n", "No", "Sev", "Scope", "Category", "Occur", "Symptom / Cause")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-3d %-4s %-8s %-24s %-6d %s\n", r.No, r.Severity, r.Scope, r.Category, r.Occur, r.Symptom)
+		fmt.Fprintf(&b, "%-48s%s\n", "", r.Cause)
+	}
+	return b.String()
+}
+
+// ----------------------------------------------------------- §5.6 stability
+
+// TrustRound is one stability-round result.
+type TrustRound struct {
+	Round  int
+	Seed   int64
+	Scores F1Scores
+}
+
+// RunTrustworthiness repeats the full RCACopilot (GPT-4) evaluation across
+// rounds with different LLM seeds (§5.6: three rounds, micro consistently
+// above 0.70, macro above 0.50).
+func RunTrustworthiness(e *Env, rounds int) ([]TrustRound, error) {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	var out []TrustRound
+	for r := 1; r <= rounds; r++ {
+		seed := e.Seed*1000 + int64(r)
+		run, err := RunPipeline(e, PipelineOptions{LLMSeed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("trust round %d: %w", r, err)
+		}
+		out = append(out, TrustRound{Round: r, Seed: seed, Scores: run.Result.Scores})
+	}
+	return out, nil
+}
+
+// FormatTrust renders the stability rounds.
+func FormatTrust(rounds []TrustRound) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %8s\n", "Round", "Micro", "Macro")
+	for _, r := range rounds {
+		fmt.Fprintf(&b, "%-8d %8.3f %8.3f\n", r.Round, r.Scores.Micro, r.Scores.Macro)
+	}
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/boost"
+	"repro/internal/core"
+	"repro/internal/embed/fasttext"
+	"repro/internal/features"
+	"repro/internal/incident"
+	"repro/internal/llm"
+	"repro/internal/llm/simgpt"
+	"repro/internal/prompt"
+)
+
+// MethodResult is one Table-2 row.
+type MethodResult struct {
+	Method string
+	Scores F1Scores
+	// Train is the training cost: wall clock for local models, modelled
+	// API latency for LLM jobs (flagged by ModelledTrain).
+	Train         time.Duration
+	ModelledTrain bool
+	// Infer is the mean per-incident inference cost; LLM latency is
+	// modelled, local compute is wall clock.
+	Infer         time.Duration
+	ModelledInfer bool
+}
+
+// RunFastTextBaseline trains the supervised FastText classifier directly on
+// raw diagnostic text, the paper's first baseline.
+func RunFastTextBaseline(e *Env) (MethodResult, error) {
+	start := time.Now()
+	clf, err := fasttext.TrainSupervised(e.TrainTexts(), e.TrainLabels(), fasttext.Config{Seed: e.Seed})
+	if err != nil {
+		return MethodResult{}, err
+	}
+	trainTime := time.Since(start)
+
+	inferStart := time.Now()
+	preds := make([]incident.Category, len(e.Test))
+	for i, in := range e.Test {
+		label, _ := clf.Predict(in.DiagnosticText())
+		preds[i] = incident.Category(label)
+	}
+	infer := time.Since(inferStart) / time.Duration(len(e.Test))
+	return MethodResult{
+		Method: "FastText",
+		Scores: Score(NormalizeAll(preds), e.TestGold()),
+		Train:  trainTime,
+		Infer:  infer,
+	}, nil
+}
+
+// RunXGBoostBaseline trains gradient-boosted trees on TF-IDF features, the
+// paper's second baseline.
+func RunXGBoostBaseline(e *Env) (MethodResult, error) {
+	start := time.Now()
+	vec, err := features.FitTFIDF(e.TrainTexts(), 200)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	clf, err := boost.Train(vec.TransformAll(e.TrainTexts()), e.TrainLabels(), boost.Config{
+		Rounds: 15, MaxDepth: 3,
+	})
+	if err != nil {
+		return MethodResult{}, err
+	}
+	trainTime := time.Since(start)
+
+	inferStart := time.Now()
+	preds := make([]incident.Category, len(e.Test))
+	for i, in := range e.Test {
+		label, _ := clf.Predict(vec.Transform(in.DiagnosticText()))
+		preds[i] = incident.Category(label)
+	}
+	infer := time.Since(inferStart) / time.Duration(len(e.Test))
+	return MethodResult{
+		Method: "XGBoost",
+		Scores: Score(NormalizeAll(preds), e.TestGold()),
+		Train:  trainTime,
+		Infer:  infer,
+	}, nil
+}
+
+// RunFineTuneGPT fine-tunes the (simulated) GPT-3.5 on training incidents
+// and classifies test incidents directly from raw diagnostics with
+// temperature 0 — the Ahmed et al. baseline of Table 2.
+func RunFineTuneGPT(e *Env) (MethodResult, error) {
+	base := simgpt.MustNew(simgpt.GPT35, simgpt.Options{Seed: e.Seed})
+	budget := base.ContextWindow() - 512
+	examples := make([]llm.Example, len(e.Train))
+	for i, in := range e.Train {
+		examples[i] = llm.Example{
+			Input: prompt.TrimToTokens(in.DiagnosticText(), budget, base.CountTokens),
+			Label: string(in.Category),
+		}
+	}
+	tuned, trainCost, err := base.FineTune(examples)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	preds := make([]incident.Category, len(e.Test))
+	var latency time.Duration
+	for i, in := range e.Test {
+		text := prompt.TrimToTokens(in.DiagnosticText(), budget, base.CountTokens)
+		resp, err := tuned.Complete(withTemperature(prompt.Classify(text), 0))
+		if err != nil {
+			return MethodResult{}, err
+		}
+		latency += resp.ModelLatency
+		cat, err := prompt.ParseClassification(resp.Content)
+		if err != nil {
+			return MethodResult{}, err
+		}
+		preds[i] = cat
+	}
+	return MethodResult{
+		Method:        "Fine-tune GPT",
+		Scores:        Score(NormalizeAll(preds), e.TestGold()),
+		Train:         trainCost,
+		ModelledTrain: true,
+		Infer:         latency / time.Duration(len(e.Test)),
+		ModelledInfer: true,
+	}, nil
+}
+
+// RunGPTPrompt is the "GPT-4 Prompt" variant: summarize the incident, then
+// ask the model for the category directly with no historical
+// demonstrations in the prompt.
+func RunGPTPrompt(e *Env) (MethodResult, error) {
+	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
+	preds := make([]incident.Category, len(e.Test))
+	var latency time.Duration
+	budget := chat.ContextWindow() - 768
+	for i, in := range e.Test {
+		diag := prompt.TrimToTokens(in.DiagnosticText(), budget, chat.CountTokens)
+		sum, err := chat.Complete(prompt.Summary(diag))
+		if err != nil {
+			return MethodResult{}, err
+		}
+		latency += sum.ModelLatency
+		resp, err := chat.Complete(prompt.Classify(sum.Content))
+		if err != nil {
+			return MethodResult{}, err
+		}
+		latency += resp.ModelLatency
+		cat, err := prompt.ParseClassification(resp.Content)
+		if err != nil {
+			return MethodResult{}, err
+		}
+		preds[i] = cat
+	}
+	return MethodResult{
+		Method:        "GPT-4 Prompt",
+		Scores:        Score(NormalizeAll(preds), e.TestGold()),
+		Infer:         latency / time.Duration(len(e.Test)),
+		ModelledInfer: true,
+	}, nil
+}
+
+// PipelineOptions configure a full RCACopilot pipeline run.
+type PipelineOptions struct {
+	Model   string // simgpt model name
+	K       int
+	Alpha   float64
+	Context core.ContextSources
+	// GPTEmbedding swaps FastText for the LLM embedding (GPT-4 Embed.).
+	GPTEmbedding bool
+	// LLMSeed overrides the chat-model seed (stability rounds); defaults
+	// to the env seed.
+	LLMSeed int64
+}
+
+// PipelineRun holds a full pipeline evaluation.
+type PipelineRun struct {
+	Result MethodResult
+	Preds  []incident.Category
+	// UnseenAnswered counts test incidents answered "Unseen incident".
+	UnseenAnswered int
+}
+
+// RunPipeline evaluates the full RCACopilot pipeline under the options:
+// train (or reuse) the embedder, ingest the training history, then collect
+// summaries and predictions for every test incident.
+func RunPipeline(e *Env, opts PipelineOptions) (*PipelineRun, error) {
+	if opts.Model == "" {
+		opts.Model = simgpt.GPT4
+	}
+	seed := opts.LLMSeed
+	if seed == 0 {
+		seed = e.Seed
+	}
+	chat, err := simgpt.New(opts.Model, simgpt.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{
+		K: opts.K, Alpha: opts.Alpha, Context: opts.Context,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var trainTime time.Duration
+	modelledTrain := false
+	if opts.GPTEmbedding {
+		cop.SetEmbedder(core.LLMEmbedder{Client: chat, EmbedDim: 64})
+		// Model the API cost of embedding the training corpus, which is
+		// what the paper's 1925 s "Train" cell for GPT-4 Embed. measures.
+		for _, in := range e.Train {
+			trainTime += 200*time.Millisecond +
+				time.Duration(chat.CountTokens(in.DiagnosticText()))*1500*time.Microsecond
+		}
+		modelledTrain = true
+	} else {
+		ft, ftTime, err := e.FastText()
+		if err != nil {
+			return nil, err
+		}
+		cop.SetEmbedder(core.FastTextEmbedder{Model: ft})
+		trainTime = ftTime
+	}
+
+	for _, in := range e.Train {
+		if err := cop.Learn(in.Clone()); err != nil {
+			return nil, fmt.Errorf("eval: learn %s: %w", in.ID, err)
+		}
+	}
+
+	preds := make([]incident.Category, len(e.Test))
+	unseen := 0
+	meterBefore := cop.Meter().Total()
+	for i, in := range e.Test {
+		probe := in.Clone()
+		probe.Summary = ""
+		probe.Predicted = ""
+		res, err := cop.Predict(probe)
+		if err != nil {
+			return nil, fmt.Errorf("eval: predict %s: %w", in.ID, err)
+		}
+		preds[i] = res.Category
+		if res.Unseen {
+			unseen++
+		}
+	}
+	infer := (cop.Meter().Total() - meterBefore) / time.Duration(len(e.Test))
+
+	name := fmt.Sprintf("RCACopilot (%s)", modelShort(opts.Model))
+	if opts.GPTEmbedding {
+		name = "GPT-4 Embed."
+	}
+	return &PipelineRun{
+		Result: MethodResult{
+			Method:        name,
+			Scores:        Score(NormalizeAll(preds), e.TestGold()),
+			Train:         trainTime,
+			ModelledTrain: modelledTrain,
+			Infer:         infer,
+			ModelledInfer: true,
+		},
+		Preds:          preds,
+		UnseenAnswered: unseen,
+	}, nil
+}
+
+func modelShort(model string) string {
+	switch model {
+	case simgpt.GPT4:
+		return "GPT-4"
+	case simgpt.GPT35:
+		return "GPT-3.5"
+	default:
+		return model
+	}
+}
+
+func withTemperature(req llm.Request, t float64) llm.Request {
+	req.Temperature = t
+	return req
+}

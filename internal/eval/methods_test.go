@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/llm/simgpt"
+)
+
+func TestXGBoostBaselineRuns(t *testing.T) {
+	e := getSharedEnv(t)
+	res, err := RunXGBoostBaseline(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "XGBoost" || res.Train <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Scores.Micro > 0.5 {
+		t.Fatalf("XGBoost micro = %.3f, expected weak long-tail performance", res.Scores.Micro)
+	}
+}
+
+func TestFineTuneGPTRuns(t *testing.T) {
+	e := getSharedEnv(t)
+	res, err := RunFineTuneGPT(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ModelledTrain || res.Train < 2500*time.Second {
+		t.Fatalf("fine-tune train cost = %v (modelled=%t), want >= 2500s modelled", res.Train, res.ModelledTrain)
+	}
+	if res.Scores.Micro > 0.6 {
+		t.Fatalf("fine-tune micro = %.3f, should trail RCACopilot substantially", res.Scores.Micro)
+	}
+}
+
+func TestGPTPromptCollapsesWithoutTaxonomy(t *testing.T) {
+	e := getSharedEnv(t)
+	res, err := RunGPTPrompt(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the label taxonomy, free-form phrasings almost never match
+	// OCE labels (paper: 0.026 micro).
+	if res.Scores.Micro > 0.1 {
+		t.Fatalf("zero-shot micro = %.3f, want near zero", res.Scores.Micro)
+	}
+	if !res.ModelledInfer || res.Infer <= 0 {
+		t.Fatal("zero-shot must report modelled inference latency")
+	}
+}
+
+func TestGPTEmbedBaselineTrailsFastTextPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full pipeline runs")
+	}
+	e := getSharedEnv(t)
+	embed, err := RunPipeline(e, PipelineOptions{GPTEmbedding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunPipeline(e, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if embed.Result.Method != "GPT-4 Embed." || !embed.Result.ModelledTrain {
+		t.Fatalf("embed result = %+v", embed.Result)
+	}
+	if embed.Result.Scores.Micro >= full.Result.Scores.Micro {
+		t.Fatalf("GPT embedding (%.3f) must trail the domain-trained FastText retriever (%.3f)",
+			embed.Result.Scores.Micro, full.Result.Scores.Micro)
+	}
+}
+
+func TestTrustworthinessRoundsVaryWithSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full pipeline runs")
+	}
+	e := getSharedEnv(t)
+	rounds, err := RunTrustworthiness(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 2 || rounds[0].Seed == rounds[1].Seed {
+		t.Fatalf("rounds = %+v", rounds)
+	}
+	for _, r := range rounds {
+		if r.Scores.Micro < 0.55 {
+			t.Fatalf("round %d micro = %.3f, far below the paper's 0.70 floor", r.Round, r.Scores.Micro)
+		}
+	}
+}
+
+func TestPipelineRejectsUnknownModel(t *testing.T) {
+	e := getSharedEnv(t)
+	if _, err := RunPipeline(e, PipelineOptions{Model: "gpt-9"}); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+}
+
+func TestModelShortNames(t *testing.T) {
+	if modelShort(simgpt.GPT4) != "GPT-4" || modelShort(simgpt.GPT35) != "GPT-3.5" {
+		t.Fatal("model short names wrong")
+	}
+	if modelShort("custom") != "custom" {
+		t.Fatal("unknown models pass through")
+	}
+}
+
+func TestNewEnvRejectsDegenerateSeeds(t *testing.T) {
+	// All seeds produce the full corpus; the split is always valid. This
+	// asserts the invariant NewEnv enforces rather than a failure path.
+	e, err := NewEnv(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Train) == 0 || len(e.Test) == 0 {
+		t.Fatal("split must be non-degenerate")
+	}
+}

@@ -1,0 +1,111 @@
+// Package features provides the TF-IDF vectorizer that feeds the XGBoost
+// baseline (Table 2). The paper applies XGBoost directly to incident text;
+// gradient-boosted trees need a fixed-width numeric representation, and
+// TF-IDF over the training vocabulary is the standard choice.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tokenize"
+)
+
+// TFIDF is a fitted vectorizer. Fit selects the vocabulary from training
+// documents; Transform maps any document onto that fixed feature space.
+type TFIDF struct {
+	vocab map[string]int
+	terms []string
+	idf   []float64
+}
+
+// FitTFIDF learns a vocabulary of at most maxFeatures terms (highest
+// document frequency first, ties lexicographic) and their smoothed IDF
+// weights.
+func FitTFIDF(docs []string, maxFeatures int) (*TFIDF, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("features: no documents to fit")
+	}
+	if maxFeatures <= 0 {
+		maxFeatures = 256
+	}
+	df := make(map[string]int)
+	for _, d := range docs {
+		seen := make(map[string]bool)
+		for _, w := range tokenize.Words(d) {
+			if !seen[w] {
+				seen[w] = true
+				df[w]++
+			}
+		}
+	}
+	type tf struct {
+		term string
+		df   int
+	}
+	all := make([]tf, 0, len(df))
+	for t, c := range df {
+		all = append(all, tf{t, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].df != all[j].df {
+			return all[i].df > all[j].df
+		}
+		return all[i].term < all[j].term
+	})
+	if len(all) > maxFeatures {
+		all = all[:maxFeatures]
+	}
+	v := &TFIDF{vocab: make(map[string]int, len(all))}
+	n := float64(len(docs))
+	for i, t := range all {
+		v.vocab[t.term] = i
+		v.terms = append(v.terms, t.term)
+		v.idf = append(v.idf, math.Log((1+n)/(1+float64(t.df)))+1)
+	}
+	return v, nil
+}
+
+// NumFeatures returns the fitted vocabulary size.
+func (v *TFIDF) NumFeatures() int { return len(v.terms) }
+
+// Terms returns the fitted vocabulary in feature order.
+func (v *TFIDF) Terms() []string { return append([]string(nil), v.terms...) }
+
+// Transform maps a document to its L2-normalized TF-IDF vector.
+func (v *TFIDF) Transform(doc string) []float64 {
+	out := make([]float64, len(v.terms))
+	words := tokenize.Words(doc)
+	if len(words) == 0 {
+		return out
+	}
+	for _, w := range words {
+		if i, ok := v.vocab[w]; ok {
+			out[i]++
+		}
+	}
+	var norm float64
+	for i := range out {
+		if out[i] > 0 {
+			out[i] = (1 + math.Log(out[i])) * v.idf[i]
+			norm += out[i] * out[i]
+		}
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range out {
+			out[i] /= norm
+		}
+	}
+	return out
+}
+
+// TransformAll maps every document.
+func (v *TFIDF) TransformAll(docs []string) [][]float64 {
+	out := make([][]float64, len(docs))
+	for i, d := range docs {
+		out[i] = v.Transform(d)
+	}
+	return out
+}

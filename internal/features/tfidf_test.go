@@ -1,0 +1,125 @@
+package features
+
+import (
+	"math"
+	"testing"
+)
+
+func docs() []string {
+	return []string{
+		"udp socket exhausted on hub port",
+		"udp socket count high on transport",
+		"disk volume full io exception",
+		"disk usage critical volume full",
+		"udp port socket winsock error",
+	}
+}
+
+func TestFitSelectsByDocumentFrequency(t *testing.T) {
+	v, err := FitTFIDF(docs(), 4)
+	if err != nil {
+		t.Fatalf("FitTFIDF: %v", err)
+	}
+	if v.NumFeatures() != 4 {
+		t.Fatalf("NumFeatures = %d, want 4", v.NumFeatures())
+	}
+	terms := v.Terms()
+	// "udp" and "socket" each appear in 3 docs; they must be selected.
+	found := map[string]bool{}
+	for _, term := range terms {
+		found[term] = true
+	}
+	if !found["udp"] || !found["socket"] {
+		t.Fatalf("highest-DF terms missing from vocabulary: %v", terms)
+	}
+}
+
+func TestTransformL2Normalized(t *testing.T) {
+	v, err := FitTFIDF(docs(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := v.Transform("udp socket exhausted volume")
+	var norm float64
+	for _, f := range x {
+		norm += f * f
+	}
+	if math.Abs(math.Sqrt(norm)-1) > 1e-9 {
+		t.Fatalf("L2 norm = %f, want 1", math.Sqrt(norm))
+	}
+}
+
+func TestTransformUnknownWordsZero(t *testing.T) {
+	v, err := FitTFIDF(docs(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := v.Transform("quantum entanglement flux")
+	for i, f := range x {
+		if f != 0 {
+			t.Fatalf("feature %d = %f for fully-OOV doc, want 0", i, f)
+		}
+	}
+	empty := v.Transform("")
+	for _, f := range empty {
+		if f != 0 {
+			t.Fatal("empty doc should map to zero vector")
+		}
+	}
+}
+
+func TestRareTermsGetHigherIDF(t *testing.T) {
+	v, err := FitTFIDF(docs(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "udp" appears in 3 docs, "winsock" in 1: a doc containing only each
+	// should weight the rarer term higher after normalization is removed
+	// (single-term docs have norm 1 either way, so compare raw idf via
+	// two-term doc).
+	x := v.Transform("udp winsock")
+	var udpW, winsockW float64
+	for i, term := range v.Terms() {
+		switch term {
+		case "udp":
+			udpW = x[i]
+		case "winsock":
+			winsockW = x[i]
+		}
+	}
+	if winsockW <= udpW {
+		t.Fatalf("idf ordering wrong: winsock=%f udp=%f", winsockW, udpW)
+	}
+}
+
+func TestTransformAll(t *testing.T) {
+	v, err := FitTFIDF(docs(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := v.TransformAll(docs())
+	if len(xs) != len(docs()) {
+		t.Fatalf("TransformAll returned %d rows", len(xs))
+	}
+	for _, x := range xs {
+		if len(x) != v.NumFeatures() {
+			t.Fatal("row width mismatch")
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitTFIDF(nil, 8); err == nil {
+		t.Fatal("empty corpus should fail")
+	}
+}
+
+func TestFitDefaultMaxFeatures(t *testing.T) {
+	v, err := FitTFIDF(docs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumFeatures() == 0 {
+		t.Fatal("default maxFeatures should keep terms")
+	}
+}

@@ -1,0 +1,257 @@
+// Package feedback implements the OCE feedback loop the paper deploys with
+// RCACopilot (§5.5): every prediction is presented to on-call engineers for
+// review, incident notification emails carry a feedback mechanism, and
+// confirmed labels flow back into the incident history so the system
+// "adapt[s] to new and evolving types of incidents, learning from previous
+// data to improve future predictions" (§1).
+//
+// The loop closes three ways:
+//
+//   - Confirm: the OCE agrees with the predicted category; the incident is
+//     learned into the vector store under that label.
+//   - Correct: the OCE assigns a different (possibly brand-new) category;
+//     the incident is learned under the corrected label — this is how a
+//     coined keyword like "I/O Bottleneck" becomes the canonical "DiskFull"
+//     after post-investigation (§5.3).
+//   - Reject: the prediction is recorded as wrong without a replacement
+//     label (e.g. investigation still open); nothing is learned yet.
+//
+// The store keeps per-category accuracy so teams can watch prediction
+// quality per root cause, mirroring the satisfaction tracking the paper
+// reports from its deployment.
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/incident"
+	"repro/internal/kvstore"
+)
+
+// Verdict is the OCE's judgement on one prediction.
+type Verdict string
+
+// Verdicts.
+const (
+	VerdictConfirm Verdict = "confirm"
+	VerdictCorrect Verdict = "correct"
+	VerdictReject  Verdict = "reject"
+)
+
+// Entry is one recorded piece of feedback.
+type Entry struct {
+	IncidentID string            `json:"incidentId"`
+	Predicted  incident.Category `json:"predicted"`
+	Verdict    Verdict           `json:"verdict"`
+	// Corrected is the OCE-assigned label for VerdictCorrect.
+	Corrected incident.Category `json:"corrected,omitempty"`
+	Reviewer  string            `json:"reviewer"`
+	At        time.Time         `json:"at"`
+	Note      string            `json:"note,omitempty"`
+}
+
+// Learner is the slice of the pipeline the loop feeds back into —
+// *core.Copilot satisfies it.
+type Learner interface {
+	Learn(inc *incident.Incident) error
+}
+
+// Loop records feedback and feeds confirmed/corrected incidents back into
+// the learner. Safe for concurrent use.
+type Loop struct {
+	mu      sync.Mutex
+	store   *kvstore.Store
+	learner Learner
+	clock   func() time.Time
+}
+
+// New returns a Loop persisting entries to the given store (a fresh
+// in-memory store when nil) and feeding the learner (which may be nil for
+// record-only use).
+func New(store *kvstore.Store, learner Learner) *Loop {
+	if store == nil {
+		store = kvstore.New()
+	}
+	return &Loop{store: store, learner: learner, clock: time.Now}
+}
+
+// SetClock overrides the timestamp source (tests, simulations).
+func (l *Loop) SetClock(now func() time.Time) { l.clock = now }
+
+func entryKey(incidentID string) string { return "feedback/" + incidentID }
+
+// Submit records a verdict for a predicted incident and, for confirm and
+// correct verdicts, learns the incident under its final label. The
+// incident must carry a prediction.
+func (l *Loop) Submit(inc *incident.Incident, verdict Verdict, corrected incident.Category, reviewer, note string) (*Entry, error) {
+	if inc == nil || inc.ID == "" {
+		return nil, fmt.Errorf("feedback: incident required")
+	}
+	if inc.Predicted == "" {
+		return nil, fmt.Errorf("feedback: incident %s has no prediction to review", inc.ID)
+	}
+	var final incident.Category
+	switch verdict {
+	case VerdictConfirm:
+		final = inc.Predicted
+	case VerdictCorrect:
+		if corrected == "" {
+			return nil, fmt.Errorf("feedback: correct verdict for %s needs a corrected category", inc.ID)
+		}
+		final = corrected
+	case VerdictReject:
+		if corrected != "" {
+			return nil, fmt.Errorf("feedback: reject verdict for %s must not carry a corrected category", inc.ID)
+		}
+	default:
+		return nil, fmt.Errorf("feedback: unknown verdict %q", verdict)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := &Entry{
+		IncidentID: inc.ID,
+		Predicted:  inc.Predicted,
+		Verdict:    verdict,
+		Corrected:  corrected,
+		Reviewer:   reviewer,
+		At:         l.clock(),
+		Note:       note,
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: encode: %w", err)
+	}
+	l.store.Put(entryKey(inc.ID), data)
+
+	if final != "" && l.learner != nil {
+		learned := inc.Clone()
+		learned.Category = final
+		if err := l.learner.Learn(learned); err != nil {
+			return nil, fmt.Errorf("feedback: learn %s: %w", inc.ID, err)
+		}
+	}
+	return e, nil
+}
+
+// Get returns the latest feedback for an incident.
+func (l *Loop) Get(incidentID string) (*Entry, bool) {
+	data, ok := l.store.Get(entryKey(incidentID))
+	if !ok {
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+// History returns every feedback revision for an incident, oldest first
+// (an incident may be re-reviewed after post-mortem).
+func (l *Loop) History(incidentID string) []Entry {
+	var out []Entry
+	for _, v := range l.store.History(entryKey(incidentID)) {
+		var e Entry
+		if err := json.Unmarshal(v.Value, &e); err == nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stats aggregates prediction quality from the recorded feedback.
+type Stats struct {
+	Total     int
+	Confirmed int
+	Corrected int
+	Rejected  int
+	// ByPredicted counts verdicts per predicted category.
+	ByPredicted map[incident.Category]CategoryStats
+}
+
+// CategoryStats is the per-category breakdown.
+type CategoryStats struct {
+	Confirmed int
+	Corrected int
+	Rejected  int
+}
+
+// Accuracy is the confirmed share of reviewed predictions.
+func (s Stats) Accuracy() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Confirmed) / float64(s.Total)
+}
+
+// ComputeStats scans all feedback (latest verdict per incident).
+func (l *Loop) ComputeStats() Stats {
+	s := Stats{ByPredicted: make(map[incident.Category]CategoryStats)}
+	for _, key := range l.store.Keys("feedback/") {
+		data, ok := l.store.Get(key)
+		if !ok {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			continue
+		}
+		s.Total++
+		cs := s.ByPredicted[e.Predicted]
+		switch e.Verdict {
+		case VerdictConfirm:
+			s.Confirmed++
+			cs.Confirmed++
+		case VerdictCorrect:
+			s.Corrected++
+			cs.Corrected++
+		case VerdictReject:
+			s.Rejected++
+			cs.Rejected++
+		}
+		s.ByPredicted[e.Predicted] = cs
+	}
+	return s
+}
+
+// CorrectionTable returns the observed coined-keyword → canonical-label
+// corrections, most frequent first — the data from which a synonym table
+// like EXPERIMENTS.md's scoring protocol is curated.
+func (l *Loop) CorrectionTable() []Correction {
+	counts := make(map[Correction]int)
+	for _, key := range l.store.Keys("feedback/") {
+		data, ok := l.store.Get(key)
+		if !ok {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil || e.Verdict != VerdictCorrect {
+			continue
+		}
+		counts[Correction{From: e.Predicted, To: e.Corrected}]++
+	}
+	out := make([]Correction, 0, len(counts))
+	for c := range counts {
+		c.Count = counts[c]
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].From < out[j].From
+	})
+	return out
+}
+
+// Correction is one observed predicted→canonical mapping.
+type Correction struct {
+	From  incident.Category
+	To    incident.Category
+	Count int
+}

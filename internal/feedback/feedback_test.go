@@ -1,0 +1,186 @@
+package feedback
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/incident"
+)
+
+// fakeLearner records what flows back into the history.
+type fakeLearner struct {
+	learned []*incident.Incident
+	fail    bool
+}
+
+func (f *fakeLearner) Learn(inc *incident.Incident) error {
+	if f.fail {
+		return errFail
+	}
+	f.learned = append(f.learned, inc)
+	return nil
+}
+
+var errFail = &learnErr{}
+
+type learnErr struct{}
+
+func (*learnErr) Error() string { return "learn failed" }
+
+func predicted(id string, cat incident.Category) *incident.Incident {
+	return &incident.Incident{
+		ID: id, Title: "t", Severity: incident.Sev2,
+		Alert:     incident.Alert{Type: "A", Scope: incident.ScopeForest},
+		CreatedAt: time.Unix(1000, 0),
+		Predicted: cat,
+	}
+}
+
+func fixedLoop(l *fakeLearner) *Loop {
+	lp := New(nil, l)
+	t0 := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	lp.SetClock(func() time.Time { n++; return t0.Add(time.Duration(n) * time.Minute) })
+	return lp
+}
+
+func TestConfirmLearnsPredictedLabel(t *testing.T) {
+	learner := &fakeLearner{}
+	lp := fixedLoop(learner)
+	inc := predicted("INC-1", "HubPortExhaustion")
+	e, err := lp.Submit(inc, VerdictConfirm, "", "oce-alice", "looks right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Verdict != VerdictConfirm || e.Reviewer != "oce-alice" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if len(learner.learned) != 1 || learner.learned[0].Category != "HubPortExhaustion" {
+		t.Fatalf("learned = %+v", learner.learned)
+	}
+	if inc.Category != "" {
+		t.Fatal("Submit must not mutate the caller's incident")
+	}
+}
+
+func TestCorrectLearnsCanonicalLabel(t *testing.T) {
+	learner := &fakeLearner{}
+	lp := fixedLoop(learner)
+	inc := predicted("INC-2", "I/O Bottleneck")
+	if _, err := lp.Submit(inc, VerdictCorrect, "DiskFull", "oce-bob", "post-investigation"); err != nil {
+		t.Fatal(err)
+	}
+	if len(learner.learned) != 1 || learner.learned[0].Category != "DiskFull" {
+		t.Fatalf("learned = %+v", learner.learned)
+	}
+}
+
+func TestRejectLearnsNothing(t *testing.T) {
+	learner := &fakeLearner{}
+	lp := fixedLoop(learner)
+	if _, err := lp.Submit(predicted("INC-3", "X"), VerdictReject, "", "oce", ""); err != nil {
+		t.Fatal(err)
+	}
+	if len(learner.learned) != 0 {
+		t.Fatal("reject must not learn")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	lp := fixedLoop(&fakeLearner{})
+	if _, err := lp.Submit(nil, VerdictConfirm, "", "r", ""); err == nil {
+		t.Fatal("nil incident should fail")
+	}
+	unpredicted := predicted("INC-4", "")
+	if _, err := lp.Submit(unpredicted, VerdictConfirm, "", "r", ""); err == nil {
+		t.Fatal("incident without prediction should fail")
+	}
+	if _, err := lp.Submit(predicted("INC-5", "X"), VerdictCorrect, "", "r", ""); err == nil {
+		t.Fatal("correct without category should fail")
+	}
+	if _, err := lp.Submit(predicted("INC-6", "X"), VerdictReject, "Y", "r", ""); err == nil {
+		t.Fatal("reject with category should fail")
+	}
+	if _, err := lp.Submit(predicted("INC-7", "X"), "maybe", "", "r", ""); err == nil {
+		t.Fatal("unknown verdict should fail")
+	}
+}
+
+func TestLearnerErrorPropagates(t *testing.T) {
+	lp := fixedLoop(&fakeLearner{fail: true})
+	if _, err := lp.Submit(predicted("INC-8", "X"), VerdictConfirm, "", "r", ""); err == nil {
+		t.Fatal("learner failure must surface")
+	}
+}
+
+func TestGetAndHistory(t *testing.T) {
+	lp := fixedLoop(&fakeLearner{})
+	inc := predicted("INC-9", "X")
+	if _, err := lp.Submit(inc, VerdictReject, "", "oce-1", "investigating"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reviewed after post-mortem.
+	if _, err := lp.Submit(inc, VerdictCorrect, "DiskFull", "oce-2", "post-mortem"); err != nil {
+		t.Fatal(err)
+	}
+	latest, ok := lp.Get("INC-9")
+	if !ok || latest.Verdict != VerdictCorrect || latest.Corrected != "DiskFull" {
+		t.Fatalf("latest = %+v", latest)
+	}
+	hist := lp.History("INC-9")
+	if len(hist) != 2 || hist[0].Verdict != VerdictReject {
+		t.Fatalf("history = %+v", hist)
+	}
+	if _, ok := lp.Get("nope"); ok {
+		t.Fatal("missing feedback should miss")
+	}
+}
+
+func TestStatsAndAccuracy(t *testing.T) {
+	lp := fixedLoop(&fakeLearner{})
+	mustSubmit := func(id string, cat incident.Category, v Verdict, corrected incident.Category) {
+		t.Helper()
+		if _, err := lp.Submit(predicted(id, cat), v, corrected, "r", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSubmit("I1", "A", VerdictConfirm, "")
+	mustSubmit("I2", "A", VerdictConfirm, "")
+	mustSubmit("I3", "A", VerdictCorrect, "B")
+	mustSubmit("I4", "B", VerdictReject, "")
+
+	s := lp.ComputeStats()
+	if s.Total != 4 || s.Confirmed != 2 || s.Corrected != 1 || s.Rejected != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Accuracy() != 0.5 {
+		t.Fatalf("accuracy = %f, want 0.5", s.Accuracy())
+	}
+	if cs := s.ByPredicted["A"]; cs.Confirmed != 2 || cs.Corrected != 1 {
+		t.Fatalf("per-category A = %+v", cs)
+	}
+	if (Stats{}).Accuracy() != 0 {
+		t.Fatal("empty stats accuracy should be 0")
+	}
+}
+
+func TestCorrectionTableOrdering(t *testing.T) {
+	lp := fixedLoop(&fakeLearner{})
+	for i, pair := range []struct{ from, to incident.Category }{
+		{"I/O Bottleneck", "DiskFull"},
+		{"I/O Bottleneck", "DiskFull"},
+		{"UDP Port Exhaustion", "HubPortExhaustion"},
+	} {
+		id := string(rune('a' + i))
+		if _, err := lp.Submit(predicted("INC-C"+id, pair.from), VerdictCorrect, pair.to, "r", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	table := lp.CorrectionTable()
+	if len(table) != 2 {
+		t.Fatalf("table = %+v", table)
+	}
+	if table[0].From != "I/O Bottleneck" || table[0].Count != 2 || table[0].To != "DiskFull" {
+		t.Fatalf("top correction = %+v", table[0])
+	}
+}

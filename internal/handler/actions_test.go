@@ -1,0 +1,145 @@
+package handler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/incident"
+	"repro/internal/kvstore"
+	"repro/internal/transport"
+)
+
+func actionCtx(t *testing.T) (*transport.Fleet, *Context) {
+	t.Helper()
+	fleet := transport.NewFleet(transport.DefaultConfig(21))
+	return fleet, &Context{
+		Fleet: fleet,
+		Incident: &incident.Incident{
+			ID: "I", Title: "t", Severity: incident.Sev2,
+			Alert: incident.Alert{Type: "A", Scope: incident.ScopeForest,
+				Target: fleet.Forests[0].Name, Forest: fleet.Forests[0].Name},
+		},
+		Scope:       incident.ScopeForest,
+		Target:      fleet.Forests[0].Name,
+		Forest:      fleet.Forests[0].Name,
+		KnownIssues: kvstore.New(),
+	}
+}
+
+func TestSelectMachineStrategies(t *testing.T) {
+	fleet, _ := actionCtx(t)
+	fo := fleet.Forests[0]
+	// Make one machine distinctly busiest per dimension.
+	fo.Machines[2].Queues["Delivery"] = 99999
+	fo.Machines[4].Queues["Submission"] = 99999
+	fo.Machines[5].DiskUsedPct["C:"] = 99.9
+
+	cases := map[string]string{
+		"busiest-delivery":   fo.Machines[2].Name,
+		"busiest-submission": fo.Machines[4].Name,
+		"fullest-disk":       fo.Machines[5].Name,
+		"first":              fo.Machines[0].Name,
+		"":                   fo.Machines[0].Name,
+	}
+	for strategy, want := range cases {
+		got, err := selectMachine(fo, strategy)
+		if err != nil {
+			t.Fatalf("selectMachine(%q): %v", strategy, err)
+		}
+		if got != want {
+			t.Errorf("selectMachine(%q) = %s, want %s", strategy, got, want)
+		}
+	}
+	fd, err := selectMachine(fo, "front-door")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := fleet.Machine(fd)
+	if m.Role != transport.RoleFrontDoor {
+		t.Errorf("front-door strategy picked role %s", m.Role)
+	}
+	if _, err := selectMachine(fo, "psychic"); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestMachineTargetUsesCurrentMachineScope(t *testing.T) {
+	fleet, ctx := actionCtx(t)
+	want := fleet.Forests[0].Machines[3].Name
+	ctx.Scope = incident.ScopeMachine
+	ctx.Target = want
+	got, err := machineTarget(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("machineTarget = %s, want current target %s", got, want)
+	}
+}
+
+func TestMachineTargetUnknownForest(t *testing.T) {
+	_, ctx := actionCtx(t)
+	ctx.Forest = "ghost"
+	if _, err := machineTarget(ctx, nil); err == nil {
+		t.Fatal("unknown forest should fail")
+	}
+}
+
+func TestScopeSwitchWiden(t *testing.T) {
+	_, ctx := actionCtx(t)
+	ctx.Scope = incident.ScopeMachine
+	ctx.Target = "some-machine"
+	res, err := runScopeSwitch(ctx, map[string]string{"to": "Forest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Scope != incident.ScopeForest || ctx.Target != ctx.Forest {
+		t.Fatalf("widen failed: scope=%s target=%s", ctx.Scope, ctx.Target)
+	}
+	if !strings.Contains(res.Output, "Widened") {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestScopeSwitchUnknownScope(t *testing.T) {
+	_, ctx := actionCtx(t)
+	if _, err := runScopeSwitch(ctx, map[string]string{"to": "Galaxy"}); err == nil {
+		t.Fatal("unknown scope should fail")
+	}
+}
+
+func TestMitigationDefaultAction(t *testing.T) {
+	_, ctx := actionCtx(t)
+	res, err := runMitigation(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KV["mitigation"] == "" {
+		t.Fatal("default mitigation text missing")
+	}
+}
+
+func TestTopErrorNoCrashes(t *testing.T) {
+	_, ctx := actionCtx(t)
+	res, err := ops["top-error"](ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != "None" || res.KV["top-error"] != "none" {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestTopErrorPicksDominantException(t *testing.T) {
+	fleet, ctx := actionCtx(t)
+	if _, err := fleet.Inject("FullDisk", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ops["top-error"](ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != "System.IO.IOException" {
+		t.Fatalf("top error = %s, want System.IO.IOException", res.Outcome)
+	}
+}

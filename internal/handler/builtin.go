@@ -1,0 +1,212 @@
+package handler
+
+import (
+	"fmt"
+
+	"repro/internal/incident"
+	"repro/internal/transport"
+)
+
+// Builtin returns the pre-built Transport-team handler for an alert type.
+// These encode the OCE expertise of §4.1: each walks from a known-issue
+// check through multi-source queries, ending in mitigation where the
+// decision tree is confident and in plain diagnostics where it is not.
+// The MessagesStuckInDeliveryQueue handler mirrors Figure 5.
+func Builtin(alertType incident.AlertType) (*Handler, error) {
+	switch alertType {
+	case transport.AlertMessagesStuckInDelivery:
+		// Figure 5: known issue? -> mitigation | determine issue type ->
+		// busy hub: switch scope + analyze busy server; others: thread
+		// grouping -> top error -> engage/report; then delivery health ->
+		// restart if not restarted recently.
+		return NewBuilder("delivery-queue-stuck", alertType, "Transport").
+			Node("known", "Known Issue?", ActionSpec{Kind: KindQuery, Op: "known-issue"}).
+			Node("mitigate-known", "Mitigation Actions", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "apply recorded mitigation for known issue"}}).
+			Node("queues", "Determine Issue Type", ActionSpec{Kind: KindQuery, Op: "queue-metrics"}).
+			Node("scope", "Switch Scope to Single Server", ActionSpec{Kind: KindScopeSwitch,
+				Params: map[string]string{"to": "Machine", "select": "busiest-delivery"}}).
+			Node("threads", "Get-ThreadStackGrouping", ActionSpec{Kind: KindQuery, Op: "thread-stack-grouping",
+				Params: map[string]string{"process": "Transport.exe"}}).
+			Node("toperr", "Get top Error Msg", ActionSpec{Kind: KindQuery, Op: "top-error"}).
+			Node("config", "Check Config Service", ActionSpec{Kind: KindQuery, Op: "config-dump"}).
+			Node("health", "Check Delivery Health", ActionSpec{Kind: KindQuery, Op: "delivery-health"}).
+			Node("restart", "Restart Service", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "restart the mailbox delivery service"}}).
+			Node("logs", "Collect Diagnose Logs", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "collect diagnostic logs and engage the delivery team"}}).
+			Edge("known", OutcomeTrue, "mitigate-known").
+			Edge("known", OutcomeFalse, "queues").
+			Edge("queues", OutcomeDefault, "scope").
+			Edge("scope", OutcomeDefault, "threads").
+			Edge("threads", OutcomeDefault, "toperr").
+			Edge("toperr", OutcomeDefault, "config").
+			Edge("config", OutcomeDefault, "health").
+			Edge("health", OutcomeFalse, "restart").
+			Edge("health", OutcomeTrue, "logs").
+			Build()
+
+	case transport.AlertFrontDoorConnectionFailure:
+		return NewBuilder("front-door-connect-failures", alertType, "Transport").
+			Node("known", "Known Issue?", ActionSpec{Kind: KindQuery, Op: "known-issue"}).
+			Node("mitigate-known", "Mitigation Actions", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "apply recorded mitigation for known issue"}}).
+			Node("probes", "Check Probe Log", ActionSpec{Kind: KindQuery, Op: "probe-log"}).
+			Node("dns", "Check DNS Resolution", ActionSpec{Kind: KindQuery, Op: "dns-check"}).
+			Node("sockets", "Check UDP Sockets", ActionSpec{Kind: KindQuery, Op: "socket-metrics"}).
+			Node("stacks", "Collect Exception Stacks", ActionSpec{Kind: KindQuery, Op: "exception-stacks"}).
+			Node("engage", "Engage Other Teams", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "engage the networking team with socket and probe data"}}).
+			Edge("known", OutcomeTrue, "mitigate-known").
+			Edge("known", OutcomeFalse, "probes").
+			Edge("probes", OutcomeDefault, "dns").
+			Edge("dns", OutcomeDefault, "sockets").
+			Edge("sockets", OutcomeDefault, "stacks").
+			Edge("stacks", OutcomeDefault, "engage").
+			Build()
+
+	case transport.AlertMessagesStuckInSubmission:
+		return NewBuilder("submission-queue-stuck", alertType, "Transport").
+			Node("known", "Known Issue?", ActionSpec{Kind: KindQuery, Op: "known-issue"}).
+			Node("mitigate-known", "Mitigation Actions", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "apply recorded mitigation for known issue"}}).
+			Node("queues", "Check Queue Depths", ActionSpec{Kind: KindQuery, Op: "queue-metrics"}).
+			Node("avail", "Check Auth Availability", ActionSpec{Kind: KindQuery, Op: "component-availability"}).
+			Node("tenants", "Check Tenant Configs", ActionSpec{Kind: KindQuery, Op: "tenant-connectors"}).
+			Node("crashes", "Check Crash Events", ActionSpec{Kind: KindQuery, Op: "crash-events"}).
+			Node("toperr", "Get top Error Msg", ActionSpec{Kind: KindQuery, Op: "top-error"}).
+			Node("report", "Report to a Specific Team", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "report findings to the submission pipeline team"}}).
+			Edge("known", OutcomeTrue, "mitigate-known").
+			Edge("known", OutcomeFalse, "queues").
+			Edge("queues", OutcomeDefault, "avail").
+			Edge("avail", OutcomeDefault, "tenants").
+			Edge("tenants", OutcomeDefault, "crashes").
+			Edge("crashes", OutcomeDefault, "toperr").
+			Edge("toperr", OutcomeDefault, "report").
+			Build()
+
+	case transport.AlertProcessCrashSpike:
+		return NewBuilder("process-crash-spike", alertType, "Transport").
+			Node("known", "Known Issue?", ActionSpec{Kind: KindQuery, Op: "known-issue"}).
+			Node("mitigate-known", "Mitigation Actions", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "apply recorded mitigation for known issue"}}).
+			Node("crashes", "Check Crash Events", ActionSpec{Kind: KindQuery, Op: "crash-events"}).
+			Node("toperr", "Get top Error Msg", ActionSpec{Kind: KindQuery, Op: "top-error"}).
+			Node("scope", "Switch Scope to Fullest Disk", ActionSpec{Kind: KindScopeSwitch,
+				Params: map[string]string{"to": "Machine", "select": "fullest-disk"}}).
+			Node("disk", "Common Disk Check", ActionSpec{Kind: KindQuery, Op: "disk-usage"}).
+			Node("stacks", "Collect Exception Stacks", ActionSpec{Kind: KindQuery, Op: "exception-stacks"}).
+			Node("prov", "Check Provisioning", ActionSpec{Kind: KindQuery, Op: "provisioning-status"}).
+			Node("engage", "Engage Other Teams", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "engage security and storage teams with crash data"}}).
+			Edge("known", OutcomeTrue, "mitigate-known").
+			Edge("known", OutcomeFalse, "crashes").
+			Edge("crashes", OutcomeDefault, "toperr").
+			Edge("toperr", OutcomeDefault, "scope").
+			Edge("scope", OutcomeDefault, "disk").
+			Edge("disk", OutcomeDefault, "stacks").
+			Edge("stacks", OutcomeDefault, "prov").
+			Edge("prov", OutcomeDefault, "engage").
+			Build()
+
+	case transport.AlertTokenCreationFailure:
+		return NewBuilder("token-creation-failure", alertType, "Transport").
+			Node("known", "Known Issue?", ActionSpec{Kind: KindQuery, Op: "known-issue"}).
+			Node("mitigate-known", "Mitigation Actions", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "apply recorded mitigation for known issue"}}).
+			Node("avail", "Check Token Service", ActionSpec{Kind: KindQuery, Op: "component-availability"}).
+			Node("certs", "Check Certificates", ActionSpec{Kind: KindQuery, Op: "cert-inventory"}).
+			Node("config", "Check Config Service", ActionSpec{Kind: KindQuery, Op: "config-dump"}).
+			Node("crashes", "Check Crash Events", ActionSpec{Kind: KindQuery, Op: "crash-events"}).
+			Node("rotate", "Rotate Certificate", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "roll back to the last known-good auth certificate"}}).
+			Node("engage", "Engage Other Teams", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "engage the identity team"}}).
+			Edge("known", OutcomeTrue, "mitigate-known").
+			Edge("known", OutcomeFalse, "avail").
+			Edge("avail", OutcomeDefault, "certs").
+			Edge("certs", OutcomeTrue, "rotate").
+			Edge("certs", OutcomeFalse, "config").
+			Edge("config", OutcomeDefault, "crashes").
+			Edge("crashes", OutcomeDefault, "engage").
+			Build()
+
+	case transport.AlertComponentAvailabilityDrop:
+		return NewBuilder("component-availability-drop", alertType, "Transport").
+			Node("known", "Known Issue?", ActionSpec{Kind: KindQuery, Op: "known-issue"}).
+			Node("mitigate-known", "Mitigation Actions", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "apply recorded mitigation for known issue"}}).
+			Node("avail", "Check Availability", ActionSpec{Kind: KindQuery, Op: "component-availability"}).
+			Node("crashes", "Check Crash Events", ActionSpec{Kind: KindQuery, Op: "crash-events"}).
+			Node("toperr", "Get top Error Msg", ActionSpec{Kind: KindQuery, Op: "top-error"}).
+			Node("prov", "Check Deployed Build", ActionSpec{Kind: KindQuery, Op: "provisioning-status"}).
+			Node("trace", "Sample Request Trace", ActionSpec{Kind: KindQuery, Op: "trace-sample"}).
+			Node("report", "Report to a Specific Team", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "report regression evidence to the component owners"}}).
+			Edge("known", OutcomeTrue, "mitigate-known").
+			Edge("known", OutcomeFalse, "avail").
+			Edge("avail", OutcomeDefault, "crashes").
+			Edge("crashes", OutcomeDefault, "toperr").
+			Edge("toperr", OutcomeDefault, "prov").
+			Edge("prov", OutcomeDefault, "trace").
+			Edge("trace", OutcomeDefault, "report").
+			Build()
+
+	case transport.AlertTooManyServerConnections:
+		return NewBuilder("too-many-connections", alertType, "Transport").
+			Node("known", "Known Issue?", ActionSpec{Kind: KindQuery, Op: "known-issue"}).
+			Node("mitigate-known", "Mitigation Actions", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "apply recorded mitigation for known issue"}}).
+			Node("tenants", "Check Tenant Connectors", ActionSpec{Kind: KindQuery, Op: "tenant-connectors"}).
+			Node("trace", "Sample Request Trace", ActionSpec{Kind: KindQuery, Op: "trace-sample"}).
+			Node("crashes", "Check Crash Events", ActionSpec{Kind: KindQuery, Op: "crash-events"}).
+			Node("toperr", "Get top Error Msg", ActionSpec{Kind: KindQuery, Op: "top-error"}).
+			Node("certs", "Check Certificates", ActionSpec{Kind: KindQuery, Op: "cert-inventory"}).
+			Node("block", "Block Abusive Tenants", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "throttle and review flagged tenants"}}).
+			Node("engage", "Engage Other Teams", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "engage the anti-abuse team"}}).
+			Edge("known", OutcomeTrue, "mitigate-known").
+			Edge("known", OutcomeFalse, "tenants").
+			Edge("tenants", OutcomeTrue, "block").
+			Edge("tenants", OutcomeFalse, "trace").
+			Edge("trace", OutcomeDefault, "crashes").
+			Edge("crashes", OutcomeDefault, "toperr").
+			Edge("toperr", OutcomeDefault, "certs").
+			Edge("certs", OutcomeDefault, "engage").
+			Build()
+
+	case transport.AlertDiskSpaceLow:
+		return NewBuilder("disk-space-low", alertType, "Transport").
+			Node("known", "Known Issue?", ActionSpec{Kind: KindQuery, Op: "known-issue"}).
+			Node("mitigate-known", "Mitigation Actions", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "apply recorded mitigation for known issue"}}).
+			Node("disk", "Check Disk Usage", ActionSpec{Kind: KindQuery, Op: "disk-usage"}).
+			Node("crashes", "Check Crash Events", ActionSpec{Kind: KindQuery, Op: "crash-events"}).
+			Node("clean", "Clean Old Logs", ActionSpec{Kind: KindMitigation,
+				Params: map[string]string{"action": "purge rotated diagnostic logs from the full volume"}}).
+			Edge("known", OutcomeTrue, "mitigate-known").
+			Edge("known", OutcomeFalse, "disk").
+			Edge("disk", OutcomeDefault, "crashes").
+			Edge("crashes", OutcomeDefault, "clean").
+			Build()
+
+	default:
+		return nil, fmt.Errorf("handler: no builtin handler for alert type %q", alertType)
+	}
+}
+
+// BuiltinAll returns the builtin handlers for every alert type the
+// transport monitors can raise.
+func BuiltinAll() ([]*Handler, error) {
+	var out []*Handler
+	for _, at := range transport.AllAlertTypes() {
+		h, err := Builtin(at)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}

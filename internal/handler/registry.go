@@ -1,0 +1,123 @@
+package handler
+
+import (
+	"fmt"
+
+	"repro/internal/incident"
+	"repro/internal/kvstore"
+)
+
+// Registry stores handlers in the versioned kvstore, keyed by alert type,
+// and matches incoming incidents to the right handler — the "Handler
+// Matching" box of the paper's architecture (Figure 4). Saving an edited
+// handler appends a new version; old versions stay addressable, matching
+// the paper's handler version tracking.
+type Registry struct {
+	store *kvstore.Store
+}
+
+// NewRegistry returns a registry backed by the given store.
+func NewRegistry(store *kvstore.Store) *Registry {
+	if store == nil {
+		store = kvstore.New()
+	}
+	return &Registry{store: store}
+}
+
+func handlerKey(team string, alertType incident.AlertType) string {
+	return fmt.Sprintf("handler/%s/%s", team, alertType)
+}
+
+// Save validates the handler and appends it as a new version, returning the
+// assigned version number.
+func (r *Registry) Save(h *Handler) (int, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	cp := h.Clone()
+	cp.Version = r.store.Versions(handlerKey(cp.Team, cp.AlertType)) + 1
+	data, err := cp.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	return r.store.Put(handlerKey(cp.Team, cp.AlertType), data), nil
+}
+
+// Match returns the latest handler version for the incident's alert type
+// within the given team — the paper's 100%-accurate handler activation.
+func (r *Registry) Match(team string, inc *incident.Incident) (*Handler, error) {
+	return r.Latest(team, inc.Alert.Type)
+}
+
+// Latest returns the newest stored version for the team/alert type.
+func (r *Registry) Latest(team string, alertType incident.AlertType) (*Handler, error) {
+	data, ok := r.store.Get(handlerKey(team, alertType))
+	if !ok {
+		return nil, fmt.Errorf("handler: no handler registered for team %s alert type %q", team, alertType)
+	}
+	return Unmarshal(data)
+}
+
+// Version returns a specific stored version.
+func (r *Registry) Version(team string, alertType incident.AlertType, version int) (*Handler, error) {
+	data, ok := r.store.GetVersion(handlerKey(team, alertType), version)
+	if !ok {
+		return nil, fmt.Errorf("handler: team %s alert type %q has no version %d", team, alertType, version)
+	}
+	return Unmarshal(data)
+}
+
+// Versions reports how many versions exist for the team/alert type.
+func (r *Registry) Versions(team string, alertType incident.AlertType) int {
+	return r.store.Versions(handlerKey(team, alertType))
+}
+
+// List returns the latest version of every handler registered for the team.
+func (r *Registry) List(team string) ([]*Handler, error) {
+	keys := r.store.Keys("handler/" + team + "/")
+	out := make([]*Handler, 0, len(keys))
+	for _, k := range keys {
+		data, ok := r.store.Get(k)
+		if !ok {
+			continue
+		}
+		h, err := Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// EnabledCount returns how many of the team's handlers are enabled in
+// production (Table 4's "# Enabled handler" column).
+func (r *Registry) EnabledCount(team string) (int, error) {
+	hs, err := r.List(team)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, h := range hs {
+		if h.Enabled {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// InstallBuiltins saves the builtin handler suite for the team and returns
+// how many were installed.
+func (r *Registry) InstallBuiltins(team string) (int, error) {
+	hs, err := BuiltinAll()
+	if err != nil {
+		return 0, err
+	}
+	for _, h := range hs {
+		h.Team = team
+		if _, err := r.Save(h); err != nil {
+			return 0, err
+		}
+	}
+	return len(hs), nil
+}

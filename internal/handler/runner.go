@@ -1,0 +1,129 @@
+package handler
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/incident"
+	"repro/internal/kvstore"
+	"repro/internal/transport"
+)
+
+// Step records one executed node for the run report.
+type Step struct {
+	NodeID  string
+	Label   string
+	Kind    Kind
+	Outcome Outcome
+}
+
+// RunReport summarizes one handler execution.
+type RunReport struct {
+	Handler     string
+	Steps       []Step
+	Mitigations []string
+	// VirtualCost is the modelled telemetry latency the run charged, the
+	// unit Table 4's "avg exec time" column reports.
+	VirtualCost time.Duration
+}
+
+// Runner executes handlers against a fleet, enriching incidents with the
+// evidence and action outputs the prediction stage consumes.
+type Runner struct {
+	Fleet       *transport.Fleet
+	KnownIssues *kvstore.Store
+	// MaxSteps bounds execution as defense in depth beyond the DAG check.
+	MaxSteps int
+}
+
+// NewRunner returns a Runner with an empty known-issue store.
+func NewRunner(fleet *transport.Fleet) *Runner {
+	return &Runner{Fleet: fleet, KnownIssues: kvstore.New(), MaxSteps: 64}
+}
+
+// Run executes h for the incident, walking the decision tree from the root:
+// each node's action runs, its output is appended to the incident's
+// evidence, its key-value table merges into the incident's action outputs,
+// and its outcome selects the next edge (falling back to Default). The walk
+// stops at a node with no matching edge.
+func (r *Runner) Run(h *Handler, inc *incident.Incident) (*RunReport, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if h.AlertType != inc.Alert.Type {
+		return nil, fmt.Errorf("handler %s handles %q, incident %s has alert type %q",
+			h.Name, h.AlertType, inc.ID, inc.Alert.Type)
+	}
+	ctx := &Context{
+		Fleet:       r.Fleet,
+		Incident:    inc,
+		Scope:       inc.Alert.Scope,
+		Target:      inc.Alert.Target,
+		Forest:      inc.Alert.Forest,
+		KnownIssues: r.KnownIssues,
+	}
+	if ctx.Forest == "" && ctx.Scope == incident.ScopeForest {
+		ctx.Forest = ctx.Target
+	}
+	report := &RunReport{Handler: h.Name}
+	maxSteps := r.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 64
+	}
+	costBefore := r.Fleet.Meter().Total()
+
+	cur := h.Root
+	for steps := 0; cur != ""; steps++ {
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("handler %s: exceeded %d steps", h.Name, maxSteps)
+		}
+		node := h.Nodes[cur]
+		res, err := r.execute(ctx, node)
+		if err != nil {
+			return nil, fmt.Errorf("handler %s: node %s: %w", h.Name, node.ID, err)
+		}
+		report.Steps = append(report.Steps, Step{
+			NodeID: node.ID, Label: node.Label, Kind: node.Action.Kind, Outcome: res.Outcome,
+		})
+		if res.Output != "" {
+			source := node.Action.Op
+			if source == "" {
+				source = string(node.Action.Kind)
+			}
+			inc.AddEvidence(source, res.Kind, res.Output, r.Fleet.Clock().Now())
+		}
+		for k, v := range res.KV {
+			inc.SetActionOutput(k, v)
+			if k == "mitigation" {
+				report.Mitigations = append(report.Mitigations, v)
+			}
+		}
+		next, ok := node.Next[res.Outcome]
+		if !ok {
+			next, ok = node.Next[OutcomeDefault]
+		}
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	report.VirtualCost = r.Fleet.Meter().Total() - costBefore
+	return report, nil
+}
+
+func (r *Runner) execute(ctx *Context, node *Node) (Result, error) {
+	switch node.Action.Kind {
+	case KindQuery:
+		fn, ok := ops[node.Action.Op]
+		if !ok {
+			return Result{}, fmt.Errorf("unregistered op %q", node.Action.Op)
+		}
+		return fn(ctx, node.Action.Params)
+	case KindScopeSwitch:
+		return runScopeSwitch(ctx, node.Action.Params)
+	case KindMitigation:
+		return runMitigation(ctx, node.Action.Params)
+	default:
+		return Result{}, fmt.Errorf("unknown action kind %q", node.Action.Kind)
+	}
+}

@@ -1,0 +1,73 @@
+// Package llm defines the provider-agnostic large-language-model interface
+// RCACopilot's prediction stage is written against.
+//
+// The paper drives OpenAI's GPT-3.5-turbo and GPT-4 through three
+// operations: chat completion (summarization and chain-of-thought category
+// selection), text embedding (the GPT-4 Embed. baseline), and fine-tuning
+// (the Ahmed et al. baseline). The pipeline treats all three as black boxes
+// — prompt in, text out — so any implementation of these interfaces plugs
+// in; internal/llm/simgpt provides the offline simulacrum used here.
+package llm
+
+import (
+	"time"
+)
+
+// Role values for chat messages.
+const (
+	RoleSystem    = "system"
+	RoleUser      = "user"
+	RoleAssistant = "assistant"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    string
+	Content string
+}
+
+// Request is a chat-completion request.
+type Request struct {
+	Messages    []Message
+	Temperature float64 // 0 = deterministic
+	MaxTokens   int     // completion budget; 0 = model default
+}
+
+// Response is a chat-completion result.
+type Response struct {
+	Content          string
+	PromptTokens     int
+	CompletionTokens int
+	// ModelLatency is the modelled API round-trip this call would have
+	// cost against the real service (tokens × per-token latency + base).
+	// Callers charge it to a virtual clock; no real sleeping happens.
+	ModelLatency time.Duration
+}
+
+// Client is a chat+embedding model endpoint.
+type Client interface {
+	// Name returns the model identifier (e.g. "gpt-4").
+	Name() string
+	// ContextWindow returns the maximum prompt+completion tokens.
+	ContextWindow() int
+	// CountTokens counts text against this model's tokenizer.
+	CountTokens(text string) int
+	// Complete runs a chat completion.
+	Complete(req Request) (Response, error)
+	// Embed maps text into the model's embedding space.
+	Embed(text string) ([]float64, error)
+}
+
+// Example is one supervised fine-tuning pair.
+type Example struct {
+	Input string
+	Label string
+}
+
+// FineTuner is implemented by models that support supervised fine-tuning
+// (GPT-3.5 in the paper; "GPT-4 is currently not available for fine-tuning").
+type FineTuner interface {
+	// FineTune trains on the examples and returns the tuned client plus the
+	// modelled training cost.
+	FineTune(examples []Example) (Client, time.Duration, error)
+}

@@ -1,0 +1,47 @@
+package simgpt
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/tokenize"
+)
+
+// Embed implements llm.Client: a signed hashed bag-of-words projection into
+// the model's embedding dimensionality.
+//
+// This deliberately models why the paper's GPT-4 Embed. baseline trails the
+// domain-trained FastText retriever (Table 2: 0.257 vs 0.766 micro-F1): a
+// generic embedding weighs every token equally, so machine names, GUIDs and
+// timestamps — which dominate incident text by volume — drown the few
+// root-cause-bearing signals, whereas FastText trained on the incident
+// corpus has learned which vocabulary co-occurs with which context.
+func (c *Client) Embed(text string) ([]float64, error) {
+	dim := c.cap.embedDim
+	v := make([]float64, dim)
+	for _, w := range tokenize.Words(text) {
+		h := fnv.New32a()
+		h.Write([]byte(w))
+		sum := h.Sum32()
+		idx := int(sum) % dim
+		if idx < 0 {
+			idx += dim
+		}
+		sign := 1.0
+		if sum&0x80000000 != 0 {
+			sign = -1.0
+		}
+		v[idx] += sign
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	return v, nil
+}

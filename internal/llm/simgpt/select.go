@@ -1,0 +1,267 @@
+package simgpt
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/tokenize"
+)
+
+// option is one parsed lettered demonstration from a Figure 9 prompt.
+type option struct {
+	letter   string
+	body     string
+	category string
+}
+
+var optionLineRe = regexp.MustCompile(`^([A-Z]): (.*)$`)
+
+// parsePredictionPrompt extracts the Input section and the lettered options
+// from a Figure 9 prompt.
+func parsePredictionPrompt(prompt string) (input string, opts []option) {
+	lines := strings.Split(prompt, "\n")
+	var inOptions bool
+	var cur *option
+	var inputLines []string
+	var inInput bool
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "Input:"):
+			inInput = true
+			inOptions = false
+			inputLines = append(inputLines, strings.TrimPrefix(line, "Input:"))
+			continue
+		case strings.HasPrefix(line, "Options:"):
+			inOptions = true
+			inInput = false
+			continue
+		case strings.HasPrefix(line, "Context:"):
+			inInput = false
+			inOptions = false
+			continue
+		}
+		if inOptions {
+			if m := optionLineRe.FindStringSubmatch(line); m != nil {
+				opts = append(opts, option{letter: m[1], body: m[2]})
+				cur = &opts[len(opts)-1]
+			} else if cur != nil {
+				cur.body += " " + strings.TrimSpace(line)
+			}
+		} else if inInput {
+			inputLines = append(inputLines, line)
+		}
+	}
+	for i := range opts {
+		if _, tail, ok := strings.Cut(opts[i].body, "category: "); ok {
+			opts[i].category = strings.TrimSuffix(strings.TrimSpace(tail), ".")
+		}
+	}
+	return strings.TrimSpace(strings.Join(inputLines, "\n")), opts
+}
+
+// selectOption implements the Figure 9 chain-of-thought behaviour: score
+// every demonstration against the input with the model's internal text
+// representation, pick the most likely same-root-cause incident, and
+// explain; when no demonstration is convincing, answer option A ("Unseen
+// incident") and coin a new category keyword, as the paper's Figure 11
+// shows for the FullDisk incident.
+func (c *Client) selectOption(prompt string, temperature float64) string {
+	input, opts := parsePredictionPrompt(prompt)
+	if len(opts) == 0 {
+		return "Answer: A\nCategory: Unknown\nExplanation: no options were provided."
+	}
+	rng := c.rngFor(prompt)
+	// Longer option lists dilute attention: scoring noise grows with the
+	// number of demonstrations, which is why "more samples in the CoT
+	// reasoning do not always incur an improvement" (§5.4 / Figure 12).
+	noise := c.cap.noise * (0.4 + temperature) * (0.6 + 0.12*float64(len(opts)))
+
+	scores := scoreOptions(input, opts)
+	best, bestScore := -1, -1.0
+	var unseenIdx int
+	for i, o := range opts {
+		if strings.HasPrefix(o.body, "Unseen incident") {
+			unseenIdx = i
+			continue
+		}
+		score := scores[i] + rng.NormFloat64()*noise
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 || bestScore < c.opts.UnseenThreshold {
+		// Unseen: coin a category keyword from the input's own signals.
+		keyword := SynthesizeCategory(input)
+		return fmt.Sprintf("Answer: %s\nCategory: %s\nExplanation: %s",
+			opts[unseenIdx].letter, keyword, c.explainUnseen(input, keyword))
+	}
+	chosen := opts[best]
+	return fmt.Sprintf("Answer: %s\nCategory: %s\nExplanation: %s",
+		chosen.letter, chosen.category, c.explainMatch(input, chosen))
+}
+
+// scoreOptions is the model's discriminative reading of a Figure 9 prompt:
+// a weighted-cosine match between the input and every option where a
+// token's weight combines its length (exception names and component
+// identifiers are long) with its prompt-local rarity — vocabulary shared by
+// every option (telemetry boilerplate) cannot discriminate between them and
+// so carries almost no weight, mirroring how attention contrasts options.
+func scoreOptions(input string, opts []option) []float64 {
+	docs := make([]map[string]bool, 0, len(opts)+1)
+	inputSet := tokenSet(input)
+	docs = append(docs, inputSet)
+	optSets := make([]map[string]bool, len(opts))
+	for i, o := range opts {
+		if strings.HasPrefix(o.body, "Unseen incident") {
+			continue
+		}
+		optSets[i] = tokenSet(o.body)
+		docs = append(docs, optSets[i])
+	}
+	df := make(map[string]int)
+	for _, d := range docs {
+		for tok := range d {
+			df[tok]++
+		}
+	}
+	n := float64(len(docs))
+	weight := func(tok string) float64 {
+		idf := math.Log(1 + n/float64(df[tok]))
+		w := math.Sqrt(float64(len(tok))) * idf * idf
+		// Instance details — counters, PIDs, machine names — are unique to
+		// every incident but carry no root-cause signal; a competent reader
+		// discounts them rather than treating them as rare evidence.
+		if hasDigit(tok) {
+			w *= 0.15
+		}
+		return w
+	}
+	norm := func(set map[string]bool) float64 {
+		var s float64
+		for tok := range set {
+			w := weight(tok)
+			s += w * w
+		}
+		return math.Sqrt(s)
+	}
+	inNorm := norm(inputSet)
+	scores := make([]float64, len(opts))
+	for i, set := range optSets {
+		if set == nil {
+			continue
+		}
+		var dot float64
+		for tok := range set {
+			if inputSet[tok] {
+				w := weight(tok)
+				dot += w * w
+			}
+		}
+		d := inNorm * norm(set)
+		if d > 0 {
+			scores[i] = dot / d
+		}
+	}
+	return scores
+}
+
+func tokenSet(text string) map[string]bool {
+	set := make(map[string]bool)
+	for _, w := range tokenize.Words(text) {
+		if len(w) >= 3 {
+			set[w] = true
+		}
+	}
+	return set
+}
+
+// explainMatch names the shared distinctive vocabulary that drove the
+// selection — the reasoning chain the CoT prompt elicits.
+func (c *Client) explainMatch(input string, chosen option) string {
+	shared := sharedSignals(input, chosen.body, 4)
+	if len(shared) == 0 {
+		return fmt.Sprintf("the overall diagnostic pattern most closely matches the historical incident labelled %s.", chosen.category)
+	}
+	return fmt.Sprintf("both incidents exhibit %s, which points to the same underlying root cause category %s.",
+		joinNaturally(shared), chosen.category)
+}
+
+// explainUnseen produces Figure-11-style reasoning for a coined category.
+func (c *Client) explainUnseen(input, keyword string) string {
+	signals := topSignals(input, 3)
+	if len(signals) == 0 {
+		return fmt.Sprintf("none of the historical incidents share this diagnostic pattern, suggesting a new category %q.", keyword)
+	}
+	return fmt.Sprintf("the prediction of %q was made based on the occurrence of %s, which no historical incident in the options exhibits; these signals point to a previously unseen root cause.",
+		keyword, joinNaturally(signals))
+}
+
+// sharedSignals returns up to n distinctive tokens appearing in both texts.
+func sharedSignals(a, b string, n int) []string {
+	inB := make(map[string]bool)
+	for _, w := range tokenize.Words(b) {
+		inB[w] = true
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, w := range tokenize.Words(a) {
+		if seen[w] || !inB[w] {
+			continue
+		}
+		if len(w) >= 8 || signalWords[w] || hasDigit(w) && len(w) >= 4 {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// topSignals returns the n most distinctive tokens of a text.
+func topSignals(text string, n int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, w := range tokenize.Words(text) {
+		if seen[w] {
+			continue
+		}
+		if len(w) >= 10 || signalWords[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func joinNaturally(words []string) string {
+	switch len(words) {
+	case 0:
+		return ""
+	case 1:
+		return words[0]
+	case 2:
+		return words[0] + " and " + words[1]
+	default:
+		return strings.Join(words[:len(words)-1], ", ") + ", and " + words[len(words)-1]
+	}
+}

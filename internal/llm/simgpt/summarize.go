@@ -1,0 +1,158 @@
+package simgpt
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/tokenize"
+)
+
+// Summary word budget from the Figure 7 prompt: "should be about 120 words,
+// no more than 140 words".
+const (
+	summaryTargetWords = 120
+	summaryMaxWords    = 140
+)
+
+// signalWords are the markers that make a diagnostic sentence salient.
+var signalWords = map[string]bool{
+	"error": true, "errors": true, "failed": true, "failure": true,
+	"failures": true, "fail": true, "warning": true, "alert": true,
+	"invalid": true, "suspicious": true, "crash": true, "crashed": true,
+	"crashes": true, "full": true, "exceeded": true, "unreachable": true,
+	"unable": true, "blocked": true, "hang": true, "hanging": true,
+	"exhausted": true, "dropped": true, "stuck": true, "bogus": true,
+	"malicious": true, "poisoned": true, "exploit": true,
+}
+
+// summarize implements the Figure 7 behaviour: compress the diagnostic text
+// above the instruction into 120-140 words, keeping the most informative
+// sentences, "without outputting any unrelated information".
+func (c *Client) summarize(prompt string, temperature float64) string {
+	body, _, found := strings.Cut(prompt, "Please summarize the above input")
+	if !found {
+		body = prompt
+	}
+	type scored struct {
+		idx   int
+		text  string
+		words int
+		score float64
+	}
+	var sentences []scored
+	seen := make(map[string]bool)
+	shapeCount := make(map[string]int)
+	for i, s := range tokenize.Sentences(body) {
+		ws := tokenize.Words(s)
+		if len(ws) == 0 {
+			continue
+		}
+		// Deduplicate repeated table rows / probe lines by token signature.
+		sig := strings.Join(ws, " ")
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		// Near-duplicate rows (same shape, different numbers/machines) add
+		// nothing after the second instance: a human summarizer writes
+		// "crashes across many machines", not thirteen crash rows.
+		shape := sentenceShape(ws)
+		shapeCount[shape]++
+		if shapeCount[shape] > 2 {
+			continue
+		}
+		var sc float64
+		for _, w := range ws {
+			switch {
+			case signalWords[w]:
+				sc += 3
+			case hasDigit(w):
+				sc += 1.5
+			case len(w) >= 10: // exception names, component identifiers
+				sc += 2
+			case len(w) >= 6:
+				sc += 0.5
+			}
+		}
+		// Table separators, evidence headers, and healthy-probe chatter
+		// carry nothing a root-cause summary needs.
+		if strings.Contains(s, "---") || strings.HasPrefix(s, "Id Level") ||
+			strings.HasPrefix(s, "[") {
+			sc = 0
+		}
+		if strings.Contains(s, "success") && sc < 12 {
+			sc *= 0.1
+		}
+		// Per-machine stat rows are inventory, not diagnosis; the WARNING
+		// lines the telemetry emits alongside them carry the signal.
+		if (strings.Contains(s, "Submission=") || strings.Contains(s, "Delivery=")) &&
+			!strings.Contains(s, "WARNING") {
+			sc *= 0.05
+		}
+		sentences = append(sentences, scored{idx: i, text: s, words: len(ws), score: sc / float64(len(ws))})
+	}
+	if len(sentences) == 0 {
+		return "No diagnostic information was provided."
+	}
+	// Rank by salience density, then restore document order among picks.
+	sort.SliceStable(sentences, func(i, j int) bool { return sentences[i].score > sentences[j].score })
+
+	rng := c.rngFor(prompt)
+	dropP := (1 - c.cap.summaryFidelity) * (1 + temperature)
+	var picks []scored
+	words := 0
+	for _, s := range sentences {
+		if words >= summaryTargetWords {
+			break
+		}
+		if words+s.words > summaryMaxWords {
+			continue
+		}
+		// An imperfect model occasionally skips a salient sentence.
+		if rng.Float64() < dropP {
+			continue
+		}
+		picks = append(picks, s)
+		words += s.words
+	}
+	if len(picks) == 0 {
+		picks = sentences[:1]
+	}
+	sort.Slice(picks, func(i, j int) bool { return picks[i].idx < picks[j].idx })
+
+	var b strings.Builder
+	for i, s := range picks {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		t := strings.TrimSpace(s.text)
+		b.WriteString(t)
+		if !strings.HasSuffix(t, ".") && !strings.HasSuffix(t, "!") && !strings.HasSuffix(t, "?") {
+			b.WriteString(".")
+		}
+	}
+	return b.String()
+}
+
+func hasDigit(w string) bool {
+	for _, r := range w {
+		if r >= '0' && r <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// sentenceShape is a sentence's token signature with numeric tokens
+// wildcarded, so "08:10 MB09 crashed" and "09:12 HB04 crashed" collide.
+func sentenceShape(ws []string) string {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		if hasDigit(w) {
+			parts[i] = "#"
+		} else {
+			parts[i] = w
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,140 @@
+// Package prompt constructs the two prompts of RCACopilot's prediction
+// stage — the diagnostic-information summarization prompt (Figure 7) and
+// the chain-of-thought category prediction prompt (Figure 9) — and parses
+// the model's replies. The exact wording follows the paper's figures.
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/incident"
+	"repro/internal/llm"
+)
+
+// SummaryInstruction is the Figure 7 prompt text.
+const SummaryInstruction = "Please summarize the above input. Please note that the above input is incident diagnostic information. The summary results should be about 120 words, no more than 140 words, and should cover important information as much as possible. Just return the summary without any additional output."
+
+// PredictionContext is the Figure 9 context preamble.
+const PredictionContext = `Context: The following description shows the error log information of an incident. Please select the incident information that is most likely to have the same root cause and give your explanation (just give one answer). If not, please select the first item "Unseen incident".`
+
+// ClassifyInstruction heads the direct-classification prompt used by the
+// fine-tuned GPT baseline, which "directly predicts the category with the
+// original diagnosis information" (§5.2).
+const ClassifyInstruction = "Classify the root cause category of the following incident:"
+
+// Summary builds the Figure 7 summarization request for diagnostic text.
+func Summary(diagnosticText string) llm.Request {
+	return llm.Request{
+		Messages: []llm.Message{
+			{Role: llm.RoleUser, Content: diagnosticText},
+			{Role: llm.RoleUser, Content: SummaryInstruction},
+		},
+	}
+}
+
+// Demo is one retrieved historical incident shown as a lettered option.
+type Demo struct {
+	Summary  string
+	Category incident.Category
+}
+
+// Prediction builds the Figure 9 request: the current incident's context
+// text as Input, option A fixed to "Unseen incident", and one lettered
+// option per demonstration carrying its summary and category.
+func Prediction(input string, demos []Demo) llm.Request {
+	var b strings.Builder
+	b.WriteString(PredictionContext)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Input: %s\n", strings.ReplaceAll(strings.TrimSpace(input), "\n", " "))
+	b.WriteString("Options:\n")
+	b.WriteString("A: Unseen incident.\n")
+	for i, d := range demos {
+		letter := rune('B' + i)
+		body := strings.ReplaceAll(strings.TrimSpace(d.Summary), "\n", " ")
+		fmt.Fprintf(&b, "%c: %s category: %s.\n", letter, ensureTrailingDot(body), d.Category)
+	}
+	return llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: b.String()}}}
+}
+
+func ensureTrailingDot(s string) string {
+	if s == "" || strings.HasSuffix(s, ".") {
+		return s
+	}
+	return s + "."
+}
+
+// Classify builds the direct-classification request for the fine-tune and
+// zero-shot baselines.
+func Classify(text string) llm.Request {
+	return llm.Request{Messages: []llm.Message{{
+		Role:    llm.RoleUser,
+		Content: ClassifyInstruction + "\n" + text,
+	}}}
+}
+
+// Result is a parsed prediction reply.
+type Result struct {
+	// Option is the chosen letter ("A".."Z").
+	Option string
+	// Unseen reports whether option A ("Unseen incident") was chosen.
+	Unseen bool
+	// Category is the predicted root-cause category: the chosen
+	// demonstration's label, or the model's coined keyword when Unseen.
+	Category incident.Category
+	// Explanation is the model's reasoning narrative.
+	Explanation string
+}
+
+// ParsePrediction parses the model's Answer/Category/Explanation reply.
+func ParsePrediction(content string) (Result, error) {
+	var r Result
+	for _, line := range strings.Split(content, "\n") {
+		switch {
+		case strings.HasPrefix(line, "Answer: "):
+			r.Option = strings.TrimSpace(strings.TrimPrefix(line, "Answer: "))
+		case strings.HasPrefix(line, "Category: "):
+			r.Category = incident.Category(strings.TrimSpace(strings.TrimPrefix(line, "Category: ")))
+		case strings.HasPrefix(line, "Explanation: "):
+			r.Explanation = strings.TrimSpace(strings.TrimPrefix(line, "Explanation: "))
+		}
+	}
+	if r.Option == "" {
+		return Result{}, fmt.Errorf("prompt: reply has no Answer line: %q", content)
+	}
+	if r.Category == "" {
+		return Result{}, fmt.Errorf("prompt: reply has no Category line: %q", content)
+	}
+	r.Unseen = r.Option == "A"
+	return r, nil
+}
+
+// ParseClassification parses a "Category: X" classification reply.
+func ParseClassification(content string) (incident.Category, error) {
+	for _, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(line, "Category: ") {
+			return incident.Category(strings.TrimSpace(strings.TrimPrefix(line, "Category: "))), nil
+		}
+	}
+	return "", fmt.Errorf("prompt: reply has no Category line: %q", content)
+}
+
+// TrimToTokens truncates text so count(text) <= budget, cutting at word
+// boundaries from the end. It keeps the head: diagnostic documents lead
+// with the probe/error content and trail with bulk tables.
+func TrimToTokens(text string, budget int, count func(string) int) string {
+	if count(text) <= budget {
+		return text
+	}
+	words := strings.Fields(text)
+	lo, hi := 0, len(words)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if count(strings.Join(words[:mid], " ")) <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return strings.Join(words[:lo], " ")
+}

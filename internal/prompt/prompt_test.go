@@ -1,0 +1,129 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tokenize"
+)
+
+func TestSummaryPromptShape(t *testing.T) {
+	req := Summary("diagnostic body text")
+	if len(req.Messages) != 2 {
+		t.Fatalf("messages = %d, want 2", len(req.Messages))
+	}
+	if req.Messages[0].Content != "diagnostic body text" {
+		t.Fatal("first message must carry the diagnostic text")
+	}
+	if !strings.Contains(req.Messages[1].Content, "120 words, no more than 140 words") {
+		t.Fatal("instruction must carry the Figure 7 word budget")
+	}
+}
+
+func TestPredictionPromptShape(t *testing.T) {
+	req := Prediction("current incident summary", []Demo{
+		{Summary: "probe failures with winsock 11001", Category: "HubPortExhaustion"},
+		{Summary: "delivery queue blocked threads", Category: "DeliveryHang"},
+	})
+	content := req.Messages[0].Content
+	for _, want := range []string{
+		`select the first item "Unseen incident"`,
+		"Input: current incident summary",
+		"A: Unseen incident.",
+		"B: probe failures with winsock 11001. category: HubPortExhaustion.",
+		"C: delivery queue blocked threads. category: DeliveryHang.",
+	} {
+		if !strings.Contains(content, want) {
+			t.Errorf("prompt missing %q:\n%s", want, content)
+		}
+	}
+}
+
+func TestPredictionPromptFlattensNewlines(t *testing.T) {
+	req := Prediction("line1\nline2", []Demo{{Summary: "a\nb", Category: "X"}})
+	content := req.Messages[0].Content
+	if !strings.Contains(content, "Input: line1 line2") {
+		t.Fatalf("input newlines should flatten:\n%s", content)
+	}
+	if !strings.Contains(content, "B: a b.") {
+		t.Fatalf("demo newlines should flatten:\n%s", content)
+	}
+}
+
+func TestClassifyPromptShape(t *testing.T) {
+	req := Classify("incident text")
+	if !strings.Contains(req.Messages[0].Content, ClassifyInstruction) ||
+		!strings.Contains(req.Messages[0].Content, "incident text") {
+		t.Fatal("classify prompt malformed")
+	}
+}
+
+func TestParsePrediction(t *testing.T) {
+	r, err := ParsePrediction("Answer: B\nCategory: HubPortExhaustion\nExplanation: shared winsock signature.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Option != "B" || r.Unseen || r.Category != "HubPortExhaustion" ||
+		!strings.Contains(r.Explanation, "winsock") {
+		t.Fatalf("parsed = %+v", r)
+	}
+}
+
+func TestParsePredictionUnseen(t *testing.T) {
+	r, err := ParsePrediction("Answer: A\nCategory: I/O Bottleneck\nExplanation: novel IO pattern.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Unseen || r.Category != "I/O Bottleneck" {
+		t.Fatalf("parsed = %+v", r)
+	}
+}
+
+func TestParsePredictionErrors(t *testing.T) {
+	if _, err := ParsePrediction("Category: X"); err == nil {
+		t.Fatal("missing Answer should fail")
+	}
+	if _, err := ParsePrediction("Answer: B"); err == nil {
+		t.Fatal("missing Category should fail")
+	}
+}
+
+func TestParseClassification(t *testing.T) {
+	cat, err := ParseClassification("Category: FullDisk")
+	if err != nil || cat != "FullDisk" {
+		t.Fatalf("got %q, %v", cat, err)
+	}
+	if _, err := ParseClassification("no category here"); err == nil {
+		t.Fatal("missing Category line should fail")
+	}
+}
+
+func TestTrimToTokensKeepsHead(t *testing.T) {
+	count := func(s string) int { return tokenize.WordCount(s) }
+	text := "one two three four five six seven eight"
+	got := TrimToTokens(text, 3, count)
+	if got != "one two three" {
+		t.Fatalf("TrimToTokens = %q", got)
+	}
+	if TrimToTokens(text, 100, count) != text {
+		t.Fatal("under-budget text must pass through unchanged")
+	}
+}
+
+// Property: TrimToTokens always respects the budget and returns a prefix.
+func TestQuickTrimToTokens(t *testing.T) {
+	count := func(s string) int { return tokenize.WordCount(s) }
+	f := func(raw string, budget uint8) bool {
+		b := int(budget%50) + 1
+		out := TrimToTokens(raw, b, count)
+		if count(out) > b {
+			return false
+		}
+		return strings.HasPrefix(strings.Join(strings.Fields(raw), " "),
+			strings.Join(strings.Fields(out), " "))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

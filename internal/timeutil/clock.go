@@ -1,0 +1,131 @@
+// Package timeutil provides a virtual clock and a simulated-cost meter.
+//
+// The paper reports wall-clock execution times measured against production
+// telemetry backends and the OpenAI API (e.g. Table 4's per-team handler
+// execution times, Table 2's inference latency). Our substrates answer in
+// microseconds, so reproducing the *reported* time columns requires modelled
+// costs: every simulated backend charges a deterministic virtual duration to
+// the clock, and experiments read elapsed virtual time instead of wall time.
+package timeutil
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the simulation. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Sleep advances past d. A virtual clock advances instantly.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a deterministic Clock whose time only moves when Advance or
+// Sleep is called. The zero value is not ready; use NewVirtual.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a Virtual clock starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep implements Clock by advancing the virtual time by d without
+// blocking.
+func (v *Virtual) Sleep(d time.Duration) { v.Advance(d) }
+
+// Advance moves the virtual clock forward by d (negative d is ignored).
+func (v *Virtual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	v.mu.Unlock()
+}
+
+// Set jumps the virtual clock to t if t is not before the current time.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.now = t
+	}
+	v.mu.Unlock()
+}
+
+// CostMeter accumulates virtual execution cost by named charge site. It is
+// how simulated backends report "this query would have taken 1.8s against
+// the real telemetry store".
+type CostMeter struct {
+	mu    sync.Mutex
+	total time.Duration
+	byKey map[string]time.Duration
+}
+
+// NewCostMeter returns an empty meter.
+func NewCostMeter() *CostMeter {
+	return &CostMeter{byKey: make(map[string]time.Duration)}
+}
+
+// Charge adds d to the meter under the given key.
+func (m *CostMeter) Charge(key string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	m.mu.Lock()
+	m.total += d
+	m.byKey[key] += d
+	m.mu.Unlock()
+}
+
+// Total returns the accumulated virtual cost.
+func (m *CostMeter) Total() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// ByKey returns a copy of the per-key breakdown.
+func (m *CostMeter) ByKey() map[string]time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]time.Duration, len(m.byKey))
+	for k, v := range m.byKey {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears the meter.
+func (m *CostMeter) Reset() {
+	m.mu.Lock()
+	m.total = 0
+	m.byKey = make(map[string]time.Duration)
+	m.mu.Unlock()
+}
+
+// String summarizes the meter for logs.
+func (m *CostMeter) String() string {
+	return fmt.Sprintf("virtual cost %s over %d sites", m.Total(), len(m.ByKey()))
+}

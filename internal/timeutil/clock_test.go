@@ -1,0 +1,111 @@
+package timeutil
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvance(t *testing.T) {
+	start := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), start)
+	}
+	v.Advance(90 * time.Second)
+	if want := start.Add(90 * time.Second); !v.Now().Equal(want) {
+		t.Fatalf("after Advance, Now() = %v, want %v", v.Now(), want)
+	}
+	v.Advance(-time.Hour) // ignored
+	if want := start.Add(90 * time.Second); !v.Now().Equal(want) {
+		t.Fatalf("negative Advance must be ignored, Now() = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualSleepDoesNotBlock(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(24 * time.Hour)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("virtual Sleep blocked")
+	}
+	if got := v.Now(); !got.Equal(time.Unix(0, 0).Add(24 * time.Hour)) {
+		t.Fatalf("Sleep should advance time, got %v", got)
+	}
+}
+
+func TestVirtualSetOnlyMovesForward(t *testing.T) {
+	start := time.Unix(1000, 0)
+	v := NewVirtual(start)
+	v.Set(time.Unix(500, 0))
+	if !v.Now().Equal(start) {
+		t.Fatal("Set must not move time backwards")
+	}
+	v.Set(time.Unix(2000, 0))
+	if !v.Now().Equal(time.Unix(2000, 0)) {
+		t.Fatal("Set should move time forwards")
+	}
+}
+
+func TestRealClockMonotoneEnough(t *testing.T) {
+	var r Real
+	a := r.Now()
+	r.Sleep(time.Millisecond)
+	if b := r.Now(); b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestCostMeterAccumulates(t *testing.T) {
+	m := NewCostMeter()
+	m.Charge("query", 2*time.Second)
+	m.Charge("query", 3*time.Second)
+	m.Charge("llm", time.Second)
+	m.Charge("negative", -time.Second) // ignored
+	if got := m.Total(); got != 6*time.Second {
+		t.Fatalf("Total() = %v, want 6s", got)
+	}
+	by := m.ByKey()
+	if by["query"] != 5*time.Second || by["llm"] != time.Second {
+		t.Fatalf("ByKey() = %v", by)
+	}
+	if _, ok := by["negative"]; ok {
+		t.Fatal("negative charges must be ignored")
+	}
+	m.Reset()
+	if m.Total() != 0 || len(m.ByKey()) != 0 {
+		t.Fatal("Reset should clear the meter")
+	}
+}
+
+func TestCostMeterConcurrent(t *testing.T) {
+	m := NewCostMeter()
+	var wg sync.WaitGroup
+	const workers, per = 16, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Charge("site", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := m.Total(), workers*per*time.Millisecond; got != want {
+		t.Fatalf("Total() = %v, want %v", got, want)
+	}
+}
+
+func TestCostMeterString(t *testing.T) {
+	m := NewCostMeter()
+	m.Charge("a", time.Second)
+	if s := m.String(); s == "" {
+		t.Fatal("String() should describe the meter")
+	}
+}

@@ -1,0 +1,396 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/incident"
+)
+
+// Mode classifies how a fault manifests in fleet state. Generic (long-tail)
+// faults pick a mode; the mode determines which monitor will fire.
+type Mode string
+
+// Fault manifestation modes.
+const (
+	ModeCrash             Mode = "crash"              // forest-wide process crashes
+	ModeSubmissionBacklog Mode = "submission-backlog" // hub submission queues grow
+	ModeDeliveryBacklog   Mode = "delivery-backlog"   // mailbox delivery queues grow
+	ModeProbeFailure      Mode = "probe-failure"      // machine probe failures
+	ModeDiskPressure      Mode = "disk-pressure"      // volume fills up
+	ModeAvailabilityDrop  Mode = "availability-drop"  // component availability drops
+	ModeConnectionFlood   Mode = "connection-flood"   // proxy connections exceed cap
+	ModeTokenFailure      Mode = "token-failure"      // auth token creation fails
+)
+
+// GenericFault parameterizes a long-tail fault: a component and exception
+// name that become the distinctive tokens in the diagnostic text, and a
+// manifestation mode that selects the state mutation and thus the alert.
+type GenericFault struct {
+	Category  incident.Category
+	Component string // e.g. "StoreWorker"
+	Exception string // e.g. "StoreWorkerHeapCorruptionException"
+	Mode      Mode
+	Severity  incident.Severity
+}
+
+// ActiveFault is an injected fault that can be repaired to restore the
+// fleet to its pre-fault state.
+type ActiveFault struct {
+	Category incident.Category
+	Mode     Mode
+	Forest   string
+	Machine  string // set for machine-scoped faults
+	Symptom  string
+	Cause    string
+	undo     []func()
+}
+
+// Repair undoes the fault's state mutations (newest first).
+func (af *ActiveFault) Repair() {
+	for i := len(af.undo) - 1; i >= 0; i-- {
+		af.undo[i]()
+	}
+	af.undo = nil
+}
+
+func (af *ActiveFault) onUndo(fn func()) { af.undo = append(af.undo, fn) }
+
+// Table1Categories lists the ten root-cause categories of the paper's
+// Table 1, each with a dedicated injector.
+func Table1Categories() []incident.Category {
+	return []incident.Category{
+		"AuthCertIssue", "HubPortExhaustion", "DeliveryHang", "CodeRegression",
+		"CertForBogusTenants", "MaliciousAttack", "UseRouteResolution",
+		"FullDisk", "InvalidJournaling", "DispatcherTaskCancelled",
+	}
+}
+
+// Inject applies the named Table-1 fault to the forest at index forestIdx
+// and returns a handle for repairing it. Categories outside Table 1 must
+// use InjectGeneric.
+func (f *Fleet) Inject(cat incident.Category, forestIdx int) (*ActiveFault, error) {
+	if forestIdx < 0 || forestIdx >= len(f.Forests) {
+		return nil, fmt.Errorf("transport: forest index %d out of range", forestIdx)
+	}
+	fo := f.Forests[forestIdx]
+	af := &ActiveFault{Category: cat, Forest: fo.Name}
+	switch cat {
+	case "AuthCertIssue":
+		af.Mode = ModeTokenFailure
+		af.Symptom = "Tokens for requesting services were not able to be created; several services reported users experiencing outages"
+		af.Cause = "a previous invalid certificate overrode the existing one due to misconfiguration"
+		cert := fo.Certs[0]
+		oldValid, oldHealthy := cert.Valid, fo.TokenServiceHealthy
+		cert.Valid = false
+		fo.TokenServiceHealthy = false
+		af.onUndo(func() { cert.Valid = oldValid; fo.TokenServiceHealthy = oldHealthy })
+
+	case "HubPortExhaustion":
+		m := f.pickMachine(fo, RoleFrontDoor)
+		af.Machine = m.Name
+		af.Mode = ModeProbeFailure
+		af.Symptom = "a single server failed to do DNS resolution for the incoming packages"
+		af.Cause = "the UDP hub ports on the machine had been run out"
+		key := ""
+		for _, p := range m.Procs {
+			if p.Name == "Transport.exe" {
+				key = sockKey(p)
+			}
+		}
+		oldSock, oldDNS := m.UDPSockets[key], m.DNSHealthy
+		m.UDPSockets[key] = 14000 + f.rng.Intn(2000)
+		m.DNSHealthy = false
+		n := f.addFailedProbes(m, "DatacenterHubOutboundProxyProbe",
+			"Failed probe error: Name: No such host is known. A WinSock error: 11001 encountered when connecting to host: smtp-relay.prod.outlook.example", 2)
+		af.onUndo(func() {
+			m.UDPSockets[key] = oldSock
+			m.DNSHealthy = oldDNS
+			m.Probes = m.Probes[:len(m.Probes)-n]
+		})
+
+	case "DeliveryHang":
+		m := f.pickMachine(fo, RoleMailbox)
+		af.Mode = ModeDeliveryBacklog
+		af.Symptom = "mailbox delivery service hang for a long time"
+		af.Cause = "number of messages queued for mailbox delivery exceeded the limit"
+		old := m.Queues["Delivery"]
+		m.Queues["Delivery"] = f.cfg.Limits.MaxDeliveryQueue*2 + f.rng.Intn(3000)
+		blocked := f.blockThreads(m, "Transport.exe", []string{
+			"System.Threading.Monitor.Enter()",
+			"Microsoft.Exchange.Transport.Delivery.MailboxDeliverAgent.Deliver()",
+			"Transport.exe!DeliveryLoop()",
+		})
+		af.onUndo(func() { m.Queues["Delivery"] = old; blocked() })
+
+	case "CodeRegression":
+		af.Mode = ModeAvailabilityDrop
+		af.Symptom = "an SMTP authentication component's availability dropped"
+		af.Cause = "bug in the code introduced by a recent deployment"
+		old := fo.AuthAvailability
+		fo.AuthAvailability = 0.80 + f.rng.Float64()*0.1
+		n := f.addCrashes(fo, 4, "NullReferenceException", "SmtpAuthAgent")
+		af.onUndo(func() { fo.AuthAvailability = old; fo.Crashes = fo.Crashes[:len(fo.Crashes)-n] })
+
+	case "CertForBogusTenants":
+		af.Mode = ModeConnectionFlood
+		af.Symptom = "the number of concurrent server connections exceeded a limit"
+		af.Cause = "spammers abused the system by creating a lot of bogus tenants with connectors using a certificate domain"
+		added := 20 + f.rng.Intn(15)
+		for i := 0; i < added; i++ {
+			fo.Tenants = append(fo.Tenants, &Tenant{
+				Name:        fmt.Sprintf("bogus-%s-%04d", fo.Name, i),
+				Connectors:  10 + f.rng.Intn(10),
+				Bogus:       true,
+				ConfigValid: true,
+			})
+		}
+		m := f.pickMachine(fo, RoleFrontDoor)
+		oldConns := m.OutboundProxyConns
+		m.OutboundProxyConns = f.cfg.Limits.MaxProxyConns*2 + f.rng.Intn(500)
+		af.onUndo(func() {
+			fo.Tenants = fo.Tenants[:len(fo.Tenants)-added]
+			m.OutboundProxyConns = oldConns
+		})
+
+	case "MaliciousAttack":
+		af.Mode = ModeCrash
+		af.Symptom = "forest-wide processes crashed over threshold"
+		af.Cause = "active exploit was launched in remote PowerShell by serializing malicious binary blob"
+		n := f.addCrashes(fo, f.cfg.Limits.MaxCrashes+5, "MaliciousBlobSerializationException", "RemotePowerShellHost")
+		af.onUndo(func() { fo.Crashes = fo.Crashes[:len(fo.Crashes)-n] })
+
+	case "UseRouteResolution":
+		af.Mode = ModeDeliveryBacklog
+		af.Symptom = "poisoned messages sent to the forest made the system unhealthy"
+		af.Cause = "a configuration service was unable to update the settings leading to the crash"
+		oldHealthy := fo.ConfigServiceHealthy
+		fo.ConfigServiceHealthy = false
+		m := f.pickMachine(fo, RoleMailbox)
+		oldQ := m.Queues["Delivery"]
+		m.Queues["Delivery"] = f.cfg.Limits.MaxDeliveryQueue + 1500 + f.rng.Intn(2000)
+		n := f.addCrashes(fo, 3, "PoisonMessageException", "RouteResolutionAgent")
+		af.onUndo(func() {
+			fo.ConfigServiceHealthy = oldHealthy
+			m.Queues["Delivery"] = oldQ
+			fo.Crashes = fo.Crashes[:len(fo.Crashes)-n]
+		})
+
+	case "FullDisk":
+		m := f.pickMachine(fo, RoleMailbox)
+		af.Machine = m.Name
+		af.Mode = ModeCrash
+		af.Symptom = "many processes crashed and threw IO exceptions"
+		af.Cause = "a specific disk was full"
+		old := m.DiskUsedPct["D:"]
+		m.DiskUsedPct["D:"] = 100
+		n := f.addCrashes(fo, f.cfg.Limits.MaxCrashes+2, "System.IO.IOException", "DiagnosticsLog")
+		af.onUndo(func() { m.DiskUsedPct["D:"] = old; fo.Crashes = fo.Crashes[:len(fo.Crashes)-n] })
+
+	case "InvalidJournaling":
+		af.Mode = ModeSubmissionBacklog
+		af.Symptom = "messages stuck in submission queue for a long time"
+		af.Cause = "the customer set an invalid value for the Transport config and caused TenantSettingsNotFoundException"
+		t := fo.Tenants[f.rng.Intn(len(fo.Tenants))]
+		oldValid := t.ConfigValid
+		t.ConfigValid = false
+		m := f.pickMachine(fo, RoleHub)
+		oldQ := m.Queues["Submission"]
+		m.Queues["Submission"] = f.cfg.Limits.MaxSubmissionQueue + 2000 + f.rng.Intn(4000)
+		n := f.addCrashes(fo, 2, "TenantSettingsNotFoundException", "JournalingAgent")
+		af.onUndo(func() {
+			t.ConfigValid = oldValid
+			m.Queues["Submission"] = oldQ
+			fo.Crashes = fo.Crashes[:len(fo.Crashes)-n]
+		})
+
+	case "DispatcherTaskCancelled":
+		af.Mode = ModeSubmissionBacklog
+		af.Symptom = "normal priority messages across a forest had been queued in submission queues for a long time"
+		af.Cause = "network problem caused the authentication service to be unreachable"
+		oldReach := fo.AuthReachable
+		fo.AuthReachable = false
+		m := f.pickMachine(fo, RoleHub)
+		oldQ := m.Queues["Submission"]
+		m.Queues["Submission"] = f.cfg.Limits.MaxSubmissionQueue + 1000 + f.rng.Intn(3000)
+		n := f.addCrashes(fo, 2, "TaskCanceledException", "DispatcherAgent")
+		af.onUndo(func() {
+			fo.AuthReachable = oldReach
+			m.Queues["Submission"] = oldQ
+			fo.Crashes = fo.Crashes[:len(fo.Crashes)-n]
+		})
+
+	default:
+		return nil, fmt.Errorf("transport: no dedicated injector for category %q (use InjectGeneric)", cat)
+	}
+	f.active = append(f.active, af)
+	return af, nil
+}
+
+// InjectGeneric applies a parameterized long-tail fault. The component and
+// exception names flow into crash records, probe messages and log lines, so
+// the diagnostic text carries category-distinctive tokens the same way
+// Table-1 faults do.
+func (f *Fleet) InjectGeneric(gf GenericFault, forestIdx int) (*ActiveFault, error) {
+	if forestIdx < 0 || forestIdx >= len(f.Forests) {
+		return nil, fmt.Errorf("transport: forest index %d out of range", forestIdx)
+	}
+	if gf.Category == "" || gf.Component == "" || gf.Exception == "" {
+		return nil, fmt.Errorf("transport: generic fault requires category, component and exception")
+	}
+	fo := f.Forests[forestIdx]
+	af := &ActiveFault{
+		Category: gf.Category,
+		Mode:     gf.Mode,
+		Forest:   fo.Name,
+		Symptom:  fmt.Sprintf("%s misbehaved raising %s", gf.Component, gf.Exception),
+		Cause:    fmt.Sprintf("defect in %s surfaced as %s", gf.Component, gf.Exception),
+	}
+	switch gf.Mode {
+	case ModeCrash:
+		n := f.addCrashes(fo, f.cfg.Limits.MaxCrashes+3, gf.Exception, gf.Component)
+		af.onUndo(func() { fo.Crashes = fo.Crashes[:len(fo.Crashes)-n] })
+
+	case ModeSubmissionBacklog:
+		m := f.pickMachine(fo, RoleHub)
+		oldQ := m.Queues["Submission"]
+		m.Queues["Submission"] = f.cfg.Limits.MaxSubmissionQueue + 500 + f.rng.Intn(5000)
+		n := f.addCrashes(fo, 2, gf.Exception, gf.Component)
+		af.onUndo(func() {
+			m.Queues["Submission"] = oldQ
+			fo.Crashes = fo.Crashes[:len(fo.Crashes)-n]
+		})
+
+	case ModeDeliveryBacklog:
+		m := f.pickMachine(fo, RoleMailbox)
+		oldQ := m.Queues["Delivery"]
+		m.Queues["Delivery"] = f.cfg.Limits.MaxDeliveryQueue + 500 + f.rng.Intn(5000)
+		n := f.addCrashes(fo, 2, gf.Exception, gf.Component)
+		af.onUndo(func() {
+			m.Queues["Delivery"] = oldQ
+			fo.Crashes = fo.Crashes[:len(fo.Crashes)-n]
+		})
+
+	case ModeProbeFailure:
+		m := f.pickMachine(fo, RoleFrontDoor)
+		af.Machine = m.Name
+		n := f.addFailedProbes(m, gf.Component+"Probe",
+			fmt.Sprintf("Failed probe error: %s raised by %s", gf.Exception, gf.Component), 3)
+		af.onUndo(func() { m.Probes = m.Probes[:len(m.Probes)-n] })
+
+	case ModeDiskPressure:
+		m := f.pickMachine(fo, RoleMailbox)
+		af.Machine = m.Name
+		old := m.DiskUsedPct["C:"]
+		m.DiskUsedPct["C:"] = f.cfg.Limits.MaxDiskUsedPct + 3
+		n := f.addCrashes(fo, f.cfg.Limits.MaxCrashes+1, gf.Exception, gf.Component)
+		af.onUndo(func() { m.DiskUsedPct["C:"] = old; fo.Crashes = fo.Crashes[:len(fo.Crashes)-n] })
+
+	case ModeAvailabilityDrop:
+		old := fo.AuthAvailability
+		fo.AuthAvailability = 0.85 + f.rng.Float64()*0.1
+		n := f.addCrashes(fo, 3, gf.Exception, gf.Component)
+		af.onUndo(func() { fo.AuthAvailability = old; fo.Crashes = fo.Crashes[:len(fo.Crashes)-n] })
+
+	case ModeConnectionFlood:
+		m := f.pickMachine(fo, RoleFrontDoor)
+		old := m.OutboundProxyConns
+		m.OutboundProxyConns = f.cfg.Limits.MaxProxyConns + 300 + f.rng.Intn(800)
+		n := f.addCrashes(fo, 2, gf.Exception, gf.Component)
+		af.onUndo(func() {
+			m.OutboundProxyConns = old
+			fo.Crashes = fo.Crashes[:len(fo.Crashes)-n]
+		})
+
+	case ModeTokenFailure:
+		old := fo.TokenServiceHealthy
+		fo.TokenServiceHealthy = false
+		n := f.addCrashes(fo, 2, gf.Exception, gf.Component)
+		af.onUndo(func() {
+			fo.TokenServiceHealthy = old
+			fo.Crashes = fo.Crashes[:len(fo.Crashes)-n]
+		})
+
+	default:
+		return nil, fmt.Errorf("transport: unknown fault mode %q", gf.Mode)
+	}
+	f.active = append(f.active, af)
+	return af, nil
+}
+
+// ActiveFaults returns the currently injected, unrepaired faults.
+func (f *Fleet) ActiveFaults() []*ActiveFault {
+	live := f.active[:0]
+	for _, af := range f.active {
+		if len(af.undo) > 0 {
+			live = append(live, af)
+		}
+	}
+	f.active = append([]*ActiveFault(nil), live...)
+	return f.active
+}
+
+func (f *Fleet) pickMachine(fo *Forest, role Role) *Machine {
+	ms := fo.MachinesByRole(role)
+	if len(ms) == 0 {
+		ms = fo.Machines
+	}
+	return ms[f.rng.Intn(len(ms))]
+}
+
+// addFailedProbes appends count error-level probe results to the machine
+// and returns how many were added.
+func (f *Fleet) addFailedProbes(m *Machine, probe, msg string, count int) int {
+	for i := 0; i < count; i++ {
+		m.Probes = append(m.Probes, ProbeResult{
+			Probe:   probe,
+			Level:   "Error",
+			At:      f.clock.Now().Add(-time.Duration(15*(count-i)) * time.Minute),
+			Message: msg,
+		})
+	}
+	return count
+}
+
+// addCrashes appends count crash events spread across the forest's machines
+// and returns how many were added.
+func (f *Fleet) addCrashes(fo *Forest, count int, exception, module string) int {
+	for i := 0; i < count; i++ {
+		m := fo.Machines[f.rng.Intn(len(fo.Machines))]
+		p := m.Procs[f.rng.Intn(len(m.Procs))]
+		fo.Crashes = append(fo.Crashes, CrashEvent{
+			Machine:   m.Name,
+			Process:   p.Name,
+			Exception: exception,
+			Module:    module,
+			At:        f.clock.Now().Add(-time.Duration(f.rng.Intn(120)) * time.Minute),
+		})
+	}
+	return count
+}
+
+// blockThreads rewrites most threads of the named process to an identical
+// blocked stack (how DeliveryHang shows up in thread grouping) and returns
+// an undo function.
+func (f *Fleet) blockThreads(m *Machine, process string, frames []string) func() {
+	var proc *Process
+	for _, p := range m.Procs {
+		if p.Name == process {
+			proc = p
+			break
+		}
+	}
+	if proc == nil {
+		return func() {}
+	}
+	saved := make([]ThreadStack, len(proc.Threads))
+	copy(saved, proc.Threads)
+	for i := range proc.Threads {
+		if i%5 == 0 {
+			continue // leave a few healthy threads
+		}
+		proc.Threads[i].State = "Blocked"
+		proc.Threads[i].Frames = frames
+	}
+	return func() { copy(proc.Threads, saved) }
+}

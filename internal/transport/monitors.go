@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/incident"
+)
+
+// Alert types raised by the fleet's monitors. Several root-cause categories
+// share an alert type — the paper's premise that "incidents sharing the same
+// alert type exhibit similar symptoms, though they may stem from different
+// root causes" (§4.1).
+const (
+	AlertTokenCreationFailure       incident.AlertType = "TokenCreationFailure"
+	AlertProcessCrashSpike          incident.AlertType = "ProcessCrashSpike"
+	AlertComponentAvailabilityDrop  incident.AlertType = "ComponentAvailabilityDrop"
+	AlertTooManyServerConnections   incident.AlertType = "TooManyServerConnections"
+	AlertMessagesStuckInDelivery    incident.AlertType = "MessagesStuckInDeliveryQueue"
+	AlertMessagesStuckInSubmission  incident.AlertType = "MessagesStuckInSubmissionQueue"
+	AlertFrontDoorConnectionFailure incident.AlertType = "FrontDoorConnectionFailures"
+	AlertDiskSpaceLow               incident.AlertType = "DiskSpaceLow"
+)
+
+// AllAlertTypes lists every alert type a monitor can raise, in priority
+// order (highest first).
+func AllAlertTypes() []incident.AlertType {
+	return []incident.AlertType{
+		AlertTokenCreationFailure,
+		AlertProcessCrashSpike,
+		AlertComponentAvailabilityDrop,
+		AlertTooManyServerConnections,
+		AlertMessagesStuckInDelivery,
+		AlertMessagesStuckInSubmission,
+		AlertFrontDoorConnectionFailure,
+		AlertDiskSpaceLow,
+	}
+}
+
+// RunMonitors scans the whole fleet against its limits and returns every
+// alert that would fire, ordered by monitor priority. Healthy fleets return
+// nothing.
+func (f *Fleet) RunMonitors() []incident.Alert {
+	var out []incident.Alert
+	lim := f.cfg.Limits
+	now := f.clock.Now()
+
+	forestAlert := func(fo *Forest, t incident.AlertType, monitor, msg string) {
+		out = append(out, incident.Alert{
+			Type: t, Scope: incident.ScopeForest, Monitor: monitor,
+			Target: fo.Name, Forest: fo.Name, Message: msg, RaisedAt: now,
+		})
+	}
+	machineAlert := func(m *Machine, t incident.AlertType, monitor, msg string) {
+		out = append(out, incident.Alert{
+			Type: t, Scope: incident.ScopeMachine, Monitor: monitor,
+			Target: m.Name, Forest: m.Forest, Message: msg, RaisedAt: now,
+		})
+	}
+
+	// Priority 1: token-service failures (outage-level).
+	for _, fo := range f.Forests {
+		if !fo.TokenServiceHealthy {
+			forestAlert(fo, AlertTokenCreationFailure, "TokenServiceWatchdog",
+				fmt.Sprintf("tokens for requesting services cannot be created in forest %s; dependent services report outages", fo.Name))
+		}
+	}
+	// Priority 2: crash spikes.
+	for _, fo := range f.Forests {
+		if len(fo.Crashes) > lim.MaxCrashes {
+			forestAlert(fo, AlertProcessCrashSpike, "CrashBucketMonitor",
+				fmt.Sprintf("forest-wide processes crashed over threshold: %d crashes in %s within 24h", len(fo.Crashes), fo.Name))
+		}
+	}
+	// Priority 3: component availability.
+	for _, fo := range f.Forests {
+		if fo.AuthAvailability < lim.MinAuthAvailability {
+			forestAlert(fo, AlertComponentAvailabilityDrop, "AvailabilityMonitor",
+				fmt.Sprintf("SMTP authentication component availability dropped to %.4f in forest %s", fo.AuthAvailability, fo.Name))
+		}
+	}
+	// Priority 4: connection floods.
+	for _, fo := range f.Forests {
+		for _, m := range fo.MachinesByRole(RoleFrontDoor) {
+			if m.OutboundProxyConns > lim.MaxProxyConns {
+				forestAlert(fo, AlertTooManyServerConnections, "ConnectionCountMonitor",
+					fmt.Sprintf("number of concurrent server connections on %s exceeded the limit %d", m.Name, lim.MaxProxyConns))
+				break
+			}
+		}
+	}
+	// Priority 5: delivery backlog.
+	for _, fo := range f.Forests {
+		for _, m := range fo.Machines {
+			if m.Queues["Delivery"] > lim.MaxDeliveryQueue {
+				forestAlert(fo, AlertMessagesStuckInDelivery, "DeliveryQueueMonitor",
+					fmt.Sprintf("too many messages stuck in the delivery queue on %s (depth %d)", m.Name, m.Queues["Delivery"]))
+				break
+			}
+		}
+	}
+	// Priority 6: submission backlog.
+	for _, fo := range f.Forests {
+		for _, m := range fo.Machines {
+			if m.Queues["Submission"] > lim.MaxSubmissionQueue {
+				forestAlert(fo, AlertMessagesStuckInSubmission, "SubmissionQueueMonitor",
+					fmt.Sprintf("normal priority messages queued in submission queues on %s for a long time (depth %d)", m.Name, m.Queues["Submission"]))
+				break
+			}
+		}
+	}
+	// Priority 7: probe failures (machine scope).
+	for _, fo := range f.Forests {
+		for _, m := range fo.Machines {
+			failed := 0
+			for _, p := range m.Probes {
+				if p.Level == "Error" {
+					failed++
+				}
+			}
+			if failed >= lim.ProbeFailureAlertMin {
+				machineAlert(m, AlertFrontDoorConnectionFailure, "ProbeResultMonitor",
+					fmt.Sprintf("detected %d failures when connecting to the front door server %s", failed, m.Name))
+			}
+		}
+	}
+	// Priority 8: disk space.
+	for _, fo := range f.Forests {
+		for _, m := range fo.Machines {
+			for vol, pct := range m.DiskUsedPct {
+				if pct >= lim.MaxDiskUsedPct {
+					machineAlert(m, AlertDiskSpaceLow, "DiskSpaceMonitor",
+						fmt.Sprintf("volume %s on %s is %.0f%% full", vol, m.Name, pct))
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FirstAlert runs the monitors and returns the highest-priority alert, which
+// is the one that opens the incident (the paper activates exactly one
+// handler per incident, matched by alert type with 100%% accuracy, §6).
+func (f *Fleet) FirstAlert() (incident.Alert, bool) {
+	alerts := f.RunMonitors()
+	if len(alerts) == 0 {
+		return incident.Alert{}, false
+	}
+	return alerts[0], true
+}

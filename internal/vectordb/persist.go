@@ -1,0 +1,67 @@
+package vectordb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/incident"
+)
+
+// snapshot is the gob wire format.
+type snapshot struct {
+	Dim     int
+	Entries []Entry
+}
+
+// Save serializes the store to w, so a trained incident history survives
+// restarts of the on-call service.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshot{Dim: db.dim, Entries: make([]Entry, len(db.entries))}
+	copy(snap.Entries, db.entries)
+	db.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("vectordb: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store contents with a snapshot written by Save. The
+// snapshot's dimensionality must match the store's.
+func (db *DB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("vectordb: load: %w", err)
+	}
+	if snap.Dim != db.dim {
+		return fmt.Errorf("vectordb: snapshot dim %d != store dim %d", snap.Dim, db.dim)
+	}
+	byID := make(map[string]int, len(snap.Entries))
+	for i, e := range snap.Entries {
+		if len(e.Vector) != snap.Dim {
+			return fmt.Errorf("vectordb: snapshot entry %s has dim %d", e.ID, len(e.Vector))
+		}
+		if _, dup := byID[e.ID]; dup {
+			return fmt.Errorf("vectordb: snapshot has duplicate ID %s", e.ID)
+		}
+		byID[e.ID] = i
+	}
+	db.mu.Lock()
+	db.entries = snap.Entries
+	db.byID = byID
+	db.mu.Unlock()
+	return nil
+}
+
+// CountByCategory returns how many stored incidents each category has —
+// the inventory view an on-call dashboard shows.
+func (db *DB) CountByCategory() map[incident.Category]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[incident.Category]int)
+	for _, e := range db.entries {
+		out[e.Category]++
+	}
+	return out
+}

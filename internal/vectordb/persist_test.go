@@ -1,0 +1,72 @@
+package vectordb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New(3)
+	must(t, db.Add(entry("a", "X", []float64{1, 0, 0}, 1)))
+	must(t, db.Add(entry("b", "Y", []float64{0, 1, 0}, 5)))
+	must(t, db.Add(entry("c", "X", []float64{0, 0, 1}, 9)))
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New(3)
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 3 {
+		t.Fatalf("loaded len = %d", db2.Len())
+	}
+	got, ok := db2.Get("b")
+	if !ok || got.Category != "Y" || got.Vector[1] != 1 {
+		t.Fatalf("loaded entry = %+v/%v", got, ok)
+	}
+	// Queries work identically after reload.
+	hits, err := db2.TopKDiverse([]float64{1, 0, 0}, t0, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].Entry.ID != "a" {
+		t.Fatalf("post-load retrieval broken: %+v", hits)
+	}
+	// Loaded store still rejects duplicates against loaded IDs.
+	if err := db2.Add(entry("a", "Z", []float64{1, 1, 1}, 0)); err == nil {
+		t.Fatal("duplicate ID after load should fail")
+	}
+}
+
+func TestLoadRejectsDimMismatch(t *testing.T) {
+	db := New(2)
+	must(t, db.Add(entry("a", "X", []float64{1, 0}, 1)))
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := New(5)
+	if err := other.Load(&buf); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := New(2)
+	if err := db.Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestCountByCategory(t *testing.T) {
+	db := New(1)
+	must(t, db.Add(entry("a", "X", []float64{1}, 0)))
+	must(t, db.Add(entry("b", "X", []float64{2}, 0)))
+	must(t, db.Add(entry("c", "Y", []float64{3}, 0)))
+	counts := db.CountByCategory()
+	if counts["X"] != 2 || counts["Y"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

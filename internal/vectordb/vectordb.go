@@ -1,0 +1,199 @@
+// Package vectordb is the embedding vector store of the prediction stage
+// (the "Embedding vector DB" of Figure 4). It stores one entry per
+// historical incident — embedding vector, root-cause category, occurrence
+// time, and the summarized diagnostic text used as a prompt demonstration —
+// and answers nearest-neighbour queries under the paper's temporal-decay
+// similarity (§4.2.2):
+//
+//	Distance(a,b)   = ||a − b||₂
+//	Similarity(a,b) = 1/(1 + Distance(a,b)) · e^(−α·|T(a) − T(b)|)
+//
+// where T is the incident date in days. The decay encodes Insight 2:
+// recurring incidents cluster within ~20 days, so a recent incident is a
+// far better demonstration than an old one at equal embedding distance.
+package vectordb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/incident"
+)
+
+// Entry is one stored historical incident.
+type Entry struct {
+	ID       string
+	Vector   []float64
+	Category incident.Category
+	Time     time.Time
+	// Summary is the summarized diagnostic text shown as the demonstration
+	// body in the Figure 9 prompt.
+	Summary string
+}
+
+// Scored is a retrieval result.
+type Scored struct {
+	Entry      Entry
+	Distance   float64
+	Similarity float64
+}
+
+// DB is a concurrency-safe exact-search vector store.
+type DB struct {
+	mu      sync.RWMutex
+	dim     int
+	entries []Entry
+	byID    map[string]int
+}
+
+// New returns an empty store for vectors of the given dimensionality.
+func New(dim int) *DB {
+	return &DB{dim: dim, byID: make(map[string]int)}
+}
+
+// Dim returns the vector dimensionality.
+func (db *DB) Dim() int { return db.dim }
+
+// Len returns the number of stored entries.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Add stores an entry, rejecting dimension mismatches and duplicate IDs.
+func (db *DB) Add(e Entry) error {
+	if len(e.Vector) != db.dim {
+		return fmt.Errorf("vectordb: entry %s has dim %d, store has %d", e.ID, len(e.Vector), db.dim)
+	}
+	if e.ID == "" {
+		return fmt.Errorf("vectordb: entry has empty ID")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.byID[e.ID]; dup {
+		return fmt.Errorf("vectordb: duplicate entry ID %s", e.ID)
+	}
+	e.Vector = append([]float64(nil), e.Vector...)
+	db.byID[e.ID] = len(db.entries)
+	db.entries = append(db.entries, e)
+	return nil
+}
+
+// Get returns the entry with the given ID.
+func (db *DB) Get(id string) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	i, ok := db.byID[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return db.entries[i], true
+}
+
+// Categories returns the set of distinct categories stored.
+func (db *DB) Categories() []incident.Category {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	seen := make(map[incident.Category]bool)
+	var out []incident.Category
+	for _, e := range db.entries {
+		if !seen[e.Category] {
+			seen[e.Category] = true
+			out = append(out, e.Category)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Distance is the Euclidean distance of the paper's similarity formula.
+func Distance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Similarity evaluates the paper's formula for a query (vector, time)
+// against an entry, with temporal-decay coefficient alpha per day.
+func Similarity(query []float64, qt time.Time, e Entry, alpha float64) (dist, sim float64) {
+	dist = Distance(query, e.Vector)
+	days := math.Abs(qt.Sub(e.Time).Hours()) / 24
+	sim = 1 / (1 + dist) * math.Exp(-alpha*days)
+	return dist, sim
+}
+
+// TopKDiverse returns the k most similar entries under the constraint that
+// each root-cause category appears at most once — the paper "select[s] the
+// top K incidents from different categories as demonstrations ... a diverse
+// and representative set" (§4.2.2). Results are ordered by similarity
+// descending; ties break by older-first ID for determinism.
+func (db *DB) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	if len(query) != db.dim {
+		return nil, fmt.Errorf("vectordb: query dim %d, store dim %d", len(query), db.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("vectordb: k must be positive, got %d", k)
+	}
+	db.mu.RLock()
+	scored := make([]Scored, 0, len(db.entries))
+	for _, e := range db.entries {
+		d, s := Similarity(query, qt, e, alpha)
+		scored = append(scored, Scored{Entry: e, Distance: d, Similarity: s})
+	}
+	db.mu.RUnlock()
+
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Similarity != scored[j].Similarity {
+			return scored[i].Similarity > scored[j].Similarity
+		}
+		return scored[i].Entry.ID < scored[j].Entry.ID
+	})
+	seen := make(map[incident.Category]bool)
+	out := make([]Scored, 0, k)
+	for _, s := range scored {
+		if seen[s.Entry.Category] {
+			continue
+		}
+		seen[s.Entry.Category] = true
+		out = append(out, s)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// TopK returns the k most similar entries without the category-diversity
+// constraint (used by ablations).
+func (db *DB) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	if len(query) != db.dim {
+		return nil, fmt.Errorf("vectordb: query dim %d, store dim %d", len(query), db.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("vectordb: k must be positive, got %d", k)
+	}
+	db.mu.RLock()
+	scored := make([]Scored, 0, len(db.entries))
+	for _, e := range db.entries {
+		d, s := Similarity(query, qt, e, alpha)
+		scored = append(scored, Scored{Entry: e, Distance: d, Similarity: s})
+	}
+	db.mu.RUnlock()
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Similarity != scored[j].Similarity {
+			return scored[i].Similarity > scored[j].Similarity
+		}
+		return scored[i].Entry.ID < scored[j].Entry.ID
+	})
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored, nil
+}

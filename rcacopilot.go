@@ -1,0 +1,288 @@
+// Package rcacopilot is a from-scratch Go reproduction of RCACopilot —
+// "Automatic Root Cause Analysis via Large Language Models for Cloud
+// Incidents" (Chen et al., EuroSys 2024) — an on-call system that automates
+// cloud-incident root cause analysis in two stages:
+//
+//  1. Diagnostic information collection: the incoming incident is matched
+//     by alert type to an OCE-authored incident handler — a decision tree
+//     of reusable scope-switching / query / mitigation actions — which
+//     gathers multi-source diagnostics (logs, metrics, traces, stacks).
+//  2. Root cause prediction: the diagnostics are summarized by an LLM,
+//     embedded with a FastText model trained on historical incidents,
+//     matched against the incident history under a temporal-decay
+//     nearest-neighbour similarity, and a chain-of-thought prompt asks the
+//     LLM to pick the historical incident sharing the root cause — or to
+//     declare the incident unseen and coin a new category — together with
+//     an explanatory narrative.
+//
+// The paper's closed substrates (Microsoft's Transport service, its
+// incident corpus, and the OpenAI API) are replaced by faithful simulations
+// (see DESIGN.md); the public API below is what a production deployment
+// would target, with the simulated fleet standing in for real telemetry
+// backends.
+//
+// Quick start:
+//
+//	fleet := rcacopilot.NewFleet(1)
+//	sys, _ := rcacopilot.NewSystem(fleet, rcacopilot.Config{Model: "gpt-4", Seed: 1})
+//	corpus, _ := rcacopilot.GenerateCorpus(1)         // or load your own history
+//	sys.TrainEmbedding(corpus.Incidents)              // FastText over history
+//	sys.AddHistory(corpus.Incidents)                  // fill the vector DB
+//	outcome, _ := sys.HandleIncident(inc)             // collect → summarize → predict
+//	fmt.Println(inc.Predicted, inc.Explanation)
+package rcacopilot
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed/fasttext"
+	"repro/internal/feedback"
+	"repro/internal/handler"
+	"repro/internal/incident"
+	"repro/internal/llm"
+	"repro/internal/llm/simgpt"
+	"repro/internal/prompt"
+	"repro/internal/report"
+	"repro/internal/transport"
+)
+
+// Re-exported core types, so library users work entirely through this
+// package.
+type (
+	// Incident is a cloud incident moving through the pipeline.
+	Incident = incident.Incident
+	// Alert is the monitor signal that opens an incident.
+	Alert = incident.Alert
+	// Category is a root-cause category label.
+	Category = incident.Category
+	// Evidence is one piece of collected diagnostic information.
+	Evidence = incident.Evidence
+	// Severity is the incident severity level (Sev1 most severe).
+	Severity = incident.Severity
+	// Fleet is the simulated Transport email service under diagnosis.
+	Fleet = transport.Fleet
+	// FleetConfig parameterizes fleet construction.
+	FleetConfig = transport.Config
+	// Handler is an OCE-authored incident handler (decision tree).
+	Handler = handler.Handler
+	// RunReport summarizes one handler execution.
+	RunReport = handler.RunReport
+	// Prediction is a parsed root-cause prediction.
+	Prediction = prompt.Result
+	// ContextSources selects the prompt context (Table 3 ablation axes).
+	ContextSources = core.ContextSources
+	// Corpus is a generated historical incident dataset.
+	Corpus = dataset.Corpus
+	// CorpusSpec parameterizes corpus generation.
+	CorpusSpec = dataset.Spec
+	// EmbeddingConfig parameterizes FastText training.
+	EmbeddingConfig = fasttext.Config
+	// FeedbackLoop records OCE verdicts and feeds confirmed labels back
+	// into the incident history (§5.5).
+	FeedbackLoop = feedback.Loop
+	// FeedbackEntry is one recorded OCE verdict.
+	FeedbackEntry = feedback.Entry
+	// Verdict is an OCE judgement on a prediction.
+	Verdict = feedback.Verdict
+	// ReportOptions tune incident-notification rendering.
+	ReportOptions = report.Options
+)
+
+// Feedback verdicts.
+const (
+	VerdictConfirm = feedback.VerdictConfirm
+	VerdictCorrect = feedback.VerdictCorrect
+	VerdictReject  = feedback.VerdictReject
+)
+
+// Severity levels.
+const (
+	Sev1 = incident.Sev1
+	Sev2 = incident.Sev2
+	Sev3 = incident.Sev3
+	Sev4 = incident.Sev4
+)
+
+// Supported chat models (simulated GPT endpoints).
+const (
+	ModelGPT4  = simgpt.GPT4
+	ModelGPT35 = simgpt.GPT35
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Model selects the chat model: ModelGPT4 (default) or ModelGPT35.
+	Model string
+	// Seed drives all stochastic behaviour.
+	Seed int64
+	// K is the number of retrieved demonstrations (default 5).
+	K int
+	// Alpha is the temporal-decay coefficient per day (default 0.3).
+	Alpha float64
+	// Team owns the handlers (default "Transport").
+	Team string
+	// Context selects the prompt context sources (default: summarized
+	// diagnostic information, the paper's best Table-3 row).
+	Context ContextSources
+	// Embedding overrides FastText training parameters.
+	Embedding EmbeddingConfig
+	// Chat overrides the chat model entirely (ignores Model/Seed); use it
+	// to plug a real LLM endpoint into the pipeline.
+	Chat llm.Client
+}
+
+// System is an assembled RCACopilot deployment over a fleet.
+type System struct {
+	fleet   *Fleet
+	copilot *core.Copilot
+	cfg     Config
+	loop    *feedback.Loop
+}
+
+// NewFleet builds a default simulated Transport fleet.
+func NewFleet(seed int64) *Fleet {
+	return transport.NewFleet(transport.DefaultConfig(seed))
+}
+
+// NewSystem assembles RCACopilot over the fleet.
+func NewSystem(fleet *Fleet, cfg Config) (*System, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("rcacopilot: fleet is required")
+	}
+	chat := cfg.Chat
+	if chat == nil {
+		model := cfg.Model
+		if model == "" {
+			model = ModelGPT4
+		}
+		var err error
+		chat, err = simgpt.New(model, simgpt.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+	}
+	cop, err := core.New(fleet, chat, core.Config{
+		Team:    cfg.Team,
+		K:       cfg.K,
+		Alpha:   cfg.Alpha,
+		Context: cfg.Context,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{fleet: fleet, copilot: cop, cfg: cfg}, nil
+}
+
+// Fleet returns the fleet under diagnosis.
+func (s *System) Fleet() *Fleet { return s.fleet }
+
+// Copilot exposes the underlying pipeline for advanced use (ablations,
+// custom embedders, handler administration).
+func (s *System) Copilot() *core.Copilot { return s.copilot }
+
+// TrainEmbedding trains the FastText retrieval embedding on the diagnostic
+// text of historical incidents (§4.2.1: "we opt to train a FastText model
+// on our historical incidents") and attaches it, resetting the vector DB.
+func (s *System) TrainEmbedding(history []*Incident) error {
+	if len(history) == 0 {
+		return fmt.Errorf("rcacopilot: no history to train the embedding on")
+	}
+	texts := make([]string, 0, len(history))
+	for _, in := range history {
+		texts = append(texts, in.DiagnosticText())
+	}
+	cfg := s.cfg.Embedding
+	if cfg.Seed == 0 {
+		cfg.Seed = s.cfg.Seed
+	}
+	model, err := fasttext.TrainSkipgram(texts, cfg)
+	if err != nil {
+		return err
+	}
+	s.copilot.SetEmbedder(core.FastTextEmbedder{Model: model})
+	return nil
+}
+
+// UseGPTEmbedding swaps the retriever to the chat model's embedding
+// endpoint — the paper's "GPT-4 Embed." baseline variant.
+func (s *System) UseGPTEmbedding(dim int) {
+	if dim <= 0 {
+		dim = 64
+	}
+	s.copilot.SetEmbedder(core.LLMEmbedder{Client: s.copilot.Chat(), EmbedDim: dim})
+}
+
+// AddHistory inserts labelled historical incidents into the vector DB,
+// summarizing any that lack summaries. Incidents are cloned; callers'
+// copies are not mutated.
+func (s *System) AddHistory(history []*Incident) error {
+	for _, in := range history {
+		if err := s.copilot.Learn(in.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Outcome is the result of handling one incident end to end.
+type Outcome struct {
+	// Report describes the collection-stage handler execution.
+	Report *RunReport
+	// Prediction is the parsed root-cause prediction.
+	Prediction Prediction
+	// Summary is the LLM-generated diagnostic summary.
+	Summary string
+}
+
+// HandleIncident runs the full pipeline: collect, summarize, predict. The
+// incident is enriched in place (Evidence, ActionOutput, Summary,
+// Predicted, Explanation).
+func (s *System) HandleIncident(inc *Incident) (*Outcome, error) {
+	report, res, err := s.copilot.HandleIncident(inc)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Report: report, Prediction: res, Summary: inc.Summary}, nil
+}
+
+// Collect runs only the collection stage.
+func (s *System) Collect(inc *Incident) (*RunReport, error) { return s.copilot.Collect(inc) }
+
+// Summarize runs only the summarization step.
+func (s *System) Summarize(inc *Incident) error { return s.copilot.Summarize(inc) }
+
+// Predict runs only the prediction stage (the incident must already carry
+// diagnostics).
+func (s *System) Predict(inc *Incident) (Prediction, error) { return s.copilot.Predict(inc) }
+
+// Learn adds one labelled incident to the history.
+func (s *System) Learn(inc *Incident) error { return s.copilot.Learn(inc.Clone()) }
+
+// Feedback returns the system's OCE feedback loop: confirmed and corrected
+// predictions are learned back into the incident history, so the system
+// improves from review (§5.5's notification-email feedback mechanism).
+func (s *System) Feedback() *FeedbackLoop {
+	if s.loop == nil {
+		s.loop = feedback.New(nil, s.copilot)
+	}
+	return s.loop
+}
+
+// RenderReport produces the plain-text incident notification for a handled
+// incident: alert, collection trail, summary, prediction, mitigations and
+// feedback instructions.
+func (s *System) RenderReport(inc *Incident, rep *RunReport, opts ReportOptions) string {
+	return report.Render(inc, rep, opts)
+}
+
+// GenerateCorpus builds the paper-faithful 653-incident synthetic year
+// (Table 1 categories at their published occurrence counts, 163 categories,
+// 93.8% of recurrences within 20 days).
+func GenerateCorpus(seed int64) (*Corpus, error) {
+	return dataset.Generate(dataset.DefaultSpec(seed))
+}
+
+// GenerateCorpusSpec builds a corpus from a custom specification.
+func GenerateCorpusSpec(spec CorpusSpec) (*Corpus, error) { return dataset.Generate(spec) }

@@ -1,0 +1,227 @@
+package rcacopilot
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	corpusOnce sync.Once
+	testCorpus *Corpus
+	corpusErr  error
+)
+
+func sharedCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	corpusOnce.Do(func() { testCorpus, corpusErr = GenerateCorpus(2) })
+	if corpusErr != nil {
+		t.Fatal(corpusErr)
+	}
+	return testCorpus
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, Config{}); err == nil {
+		t.Fatal("nil fleet should fail")
+	}
+	if _, err := NewSystem(NewFleet(1), Config{Model: "gpt-9"}); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+}
+
+func TestTrainEmbeddingRequiresHistory(t *testing.T) {
+	sys, err := NewSystem(NewFleet(1), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainEmbedding(nil); err == nil {
+		t.Fatal("empty history should fail")
+	}
+}
+
+func TestGenerateCorpusShape(t *testing.T) {
+	c := sharedCorpus(t)
+	stats := c.ComputeStats()
+	if stats.NumIncidents != 653 || stats.NumCategories != 163 {
+		t.Fatalf("corpus stats = %+v", stats)
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := c.Incidents[:250]
+	if err := sys.TrainEmbedding(history); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHistory(history); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Copilot().DB().Len() != 250 {
+		t.Fatalf("db len = %d", sys.Copilot().DB().Len())
+	}
+
+	fleet := sys.Fleet()
+	fault, err := fleet.Inject("HubPortExhaustion", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Repair()
+	alert, ok := fleet.FirstAlert()
+	if !ok {
+		t.Fatal("no alert")
+	}
+	inc := &Incident{
+		ID: "INC-E2E", Title: alert.Message, OwningTeam: "Transport",
+		Severity: Sev2, Alert: alert, CreatedAt: fleet.Clock().Now(),
+	}
+	outcome, err := sys.HandleIncident(inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Evidence) == 0 || outcome.Summary == "" || inc.Predicted == "" {
+		t.Fatalf("pipeline incomplete: evidence=%d summary=%q predicted=%q",
+			len(inc.Evidence), outcome.Summary, inc.Predicted)
+	}
+	if inc.Explanation == "" {
+		t.Fatal("missing explanation")
+	}
+}
+
+func TestAddHistoryDoesNotMutateCaller(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainEmbedding(c.Incidents[:50]); err != nil {
+		t.Fatal(err)
+	}
+	in := c.Incidents[0].Clone()
+	in.Summary = ""
+	if err := sys.AddHistory([]*Incident{in}); err != nil {
+		t.Fatal(err)
+	}
+	if in.Summary != "" {
+		t.Fatal("AddHistory mutated the caller's incident")
+	}
+}
+
+func TestUseGPTEmbedding(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.UseGPTEmbedding(0)
+	if err := sys.Learn(c.Incidents[0]); err != nil {
+		t.Fatalf("learn with GPT embedding: %v", err)
+	}
+	if sys.Copilot().DB().Dim() != 64 {
+		t.Fatalf("default GPT embedding dim = %d, want 64", sys.Copilot().DB().Dim())
+	}
+}
+
+func TestCustomCorpusSpec(t *testing.T) {
+	spec := CorpusSpec{
+		Seed:               9,
+		Start:              time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC),
+		Days:               365,
+		RecurrenceWithin20: 0.9,
+		Team:               "Transport",
+	}
+	c, err := GenerateCorpusSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Incidents) != 653 {
+		t.Fatalf("incidents = %d", len(c.Incidents))
+	}
+	if c.Incidents[0].CreatedAt.Year() != 2023 {
+		t.Fatalf("custom start year ignored: %v", c.Incidents[0].CreatedAt)
+	}
+}
+
+func TestFeedbackLoopLearnsConfirmedPrediction(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainEmbedding(c.Incidents[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHistory(c.Incidents[:100]); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Copilot().DB().Len()
+
+	// A reviewed prediction flows back into the history.
+	inc := c.Incidents[150].Clone()
+	inc.ID = "INC-FB-1"
+	inc.Predicted = inc.Category
+	entry, err := sys.Feedback().Submit(inc, VerdictConfirm, "", "oce", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Verdict != VerdictConfirm {
+		t.Fatalf("entry = %+v", entry)
+	}
+	if sys.Copilot().DB().Len() != before+1 {
+		t.Fatal("confirmed incident was not learned into the history")
+	}
+	if got, ok := sys.Feedback().Get("INC-FB-1"); !ok || got.Predicted != inc.Predicted {
+		t.Fatalf("feedback record = %+v/%v", got, ok)
+	}
+}
+
+func TestRenderReportFromOutcome(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainEmbedding(c.Incidents[:80]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHistory(c.Incidents[:80]); err != nil {
+		t.Fatal(err)
+	}
+	fleet := sys.Fleet()
+	fault, err := fleet.Inject("FullDisk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Repair()
+	alert, _ := fleet.FirstAlert()
+	inc := &Incident{
+		ID: "INC-RPT", Title: alert.Message, OwningTeam: "Transport",
+		Severity: Sev2, Alert: alert, CreatedAt: fleet.Clock().Now(),
+	}
+	outcome, err := sys.HandleIncident(inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sys.RenderReport(inc, outcome.Report, ReportOptions{})
+	for _, want := range []string{"INCIDENT INC-RPT", "ROOT CAUSE PREDICTION", "confirm INC-RPT"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestSeverityAliasesUsable(t *testing.T) {
+	for _, s := range []Severity{Sev1, Sev2, Sev3, Sev4} {
+		if !s.Valid() {
+			t.Fatalf("severity alias %v invalid", s)
+		}
+	}
+	if !strings.HasPrefix(Sev1.String(), "Sev") {
+		t.Fatal("severity String broken through alias")
+	}
+}
