@@ -7,6 +7,7 @@ package rcacopilot
 // so `go test -bench=. -benchmem` doubles as a reproduction smoke test.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -120,7 +121,7 @@ func BenchmarkFig12KAlphaSweep(b *testing.B) {
 // diagnostic-collection simulation.
 func BenchmarkTable4TeamCollection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.RunTable4(1, 10)
+		rows, err := eval.RunTable4(1, 10, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,6 +161,119 @@ func BenchmarkDesignAblation(b *testing.B) {
 		}
 	}
 }
+
+// ---- parallel-vs-sequential engine benchmarks ----
+//
+// The same workload at Workers=1 (sequential reference) and Workers=0 (one
+// worker per CPU): the ratio is the engine's wall-clock speedup on this
+// machine. On a single-CPU runner the pool degrades to the sequential path
+// and the ratio is 1×; on a 4+-core box the experiment suite drops by the
+// core count (minus the sequential corpus/FastText setup, per Amdahl).
+
+// benchWithWorkers runs fn with the shared env pinned to the given worker
+// count, restoring it afterwards. The shared FastText model is trained
+// before the timer starts so whichever variant runs first doesn't absorb
+// the one-time setup.
+func benchWithWorkers(b *testing.B, workers int, fn func(e *eval.Env)) {
+	e := sharedBenchEnv(b)
+	if _, _, err := e.FastText(); err != nil {
+		b.Fatal(err)
+	}
+	prev := e.Workers
+	e.Workers = workers
+	defer func() { e.Workers = prev }()
+	b.ResetTimer()
+	fn(e)
+}
+
+// BenchmarkTable2Sequential regenerates Table 2 on the sequential path.
+func BenchmarkTable2Sequential(b *testing.B) {
+	benchWithWorkers(b, 1, func(e *eval.Env) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.RunTable2(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable2Parallel regenerates Table 2 on the worker pool.
+func BenchmarkTable2Parallel(b *testing.B) {
+	benchWithWorkers(b, 0, func(e *eval.Env) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.RunTable2(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig12Sequential sweeps the reduced Fig 12 grid sequentially.
+func BenchmarkFig12Sequential(b *testing.B) {
+	benchWithWorkers(b, 1, func(e *eval.Env) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.RunFig12(e, []int{3, 5}, []float64{0.2, 0.6}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig12Parallel sweeps the reduced Fig 12 grid on the pool.
+func BenchmarkFig12Parallel(b *testing.B) {
+	benchWithWorkers(b, 0, func(e *eval.Env) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.RunFig12(e, []int{3, 5}, []float64{0.2, 0.6}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchBatch measures System-level batch handling at a worker count.
+func benchBatch(b *testing.B, workers int) {
+	env := sharedBenchEnv(b)
+	sys, err := NewSystem(env.Corpus.Fleet, Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.TrainEmbedding(env.Train[:200]); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.AddHistory(env.Train[:200]); err != nil {
+		b.Fatal(err)
+	}
+	fault, err := sys.Fleet().Inject("HubPortExhaustion", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fault.Repair()
+	alert, ok := sys.Fleet().FirstAlert()
+	if !ok {
+		b.Fatal("no alert")
+	}
+	at := sys.Fleet().Clock().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		incs := make([]*incident.Incident, 16)
+		for j := range incs {
+			incs[j] = &incident.Incident{
+				ID: fmt.Sprintf("INC-BENCH-%d-%03d", i, j), Title: alert.Message,
+				OwningTeam: "Transport", Severity: incident.Sev2, Alert: alert,
+				CreatedAt: at,
+			}
+		}
+		if _, err := sys.HandleIncidents(incs, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchHandleSequential handles a 16-incident batch one at a time.
+func BenchmarkBatchHandleSequential(b *testing.B) { benchBatch(b, 1) }
+
+// BenchmarkBatchHandleParallel handles a 16-incident batch on the pool.
+func BenchmarkBatchHandleParallel(b *testing.B) { benchBatch(b, 0) }
 
 // ---- component micro-benchmarks ----
 

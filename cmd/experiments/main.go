@@ -5,6 +5,14 @@
 //	experiments -run table2         # one experiment
 //	experiments -run table2,fig12   # a subset
 //	experiments -seed 7             # different corpus/LLM seed
+//	experiments -workers 1          # sequential reference run
+//
+// The experiments fan out on a bounded worker pool (one worker per CPU by
+// default); because the simulated models are order-independent, every
+// worker count produces identical scores and modelled (*-marked) latency
+// columns — -workers only changes wall time, which is also what the
+// measured (unstarred) Train/Infer cells report, so only those cells vary
+// between runs.
 //
 // Outputs are printed in the same row/series layout the paper reports, so
 // shapes can be compared side by side (see EXPERIMENTS.md).
@@ -14,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +33,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,fig2,fig3,fig12,trust,ablation")
 	seed := flag.Int64("seed", 1, "corpus and model seed")
 	teamsN := flag.Int("team-incidents", 20, "incidents per team for table4")
+	workers := flag.Int("workers", 0, "worker-pool size; 0 = one per CPU, 1 = sequential")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -41,6 +51,14 @@ func main() {
 		env, err = eval.NewEnv(*seed)
 		if err != nil {
 			fatal(err)
+		}
+		env.Workers = *workers
+		if *workers != 1 {
+			n := *workers
+			if n <= 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			fmt.Printf("worker pool: %d workers over %d CPUs\n", n, runtime.NumCPU())
 		}
 		stats := env.Corpus.ComputeStats()
 		fmt.Printf("corpus: %d incidents, %d categories, new-category fraction %.4f, recurrence<=20d %.3f (generated in %v)\n\n",
@@ -91,7 +109,7 @@ func main() {
 	}
 	if all || want["table4"] {
 		section("Table 4: teams using RCACopilot diagnostic collection")
-		rows, err := eval.RunTable4(*seed, *teamsN)
+		rows, err := eval.RunTable4(*seed, *teamsN, *workers)
 		if err != nil {
 			fatal(err)
 		}

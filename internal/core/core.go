@@ -3,17 +3,32 @@
 // matching, multi-source collection) and the root-cause prediction stage
 // (LLM summarization, embedding, temporal nearest-neighbour retrieval,
 // chain-of-thought category prediction with explanation).
+//
+// # Concurrency
+//
+// A Copilot is safe for concurrent use: HandleIncident, Predict, Summarize,
+// Learn and LearnBatch may be called from many goroutines at once, each on
+// its own incident. The prediction stage is embarrassingly parallel — the
+// chat client, embedder and vector store are either stateless or internally
+// locked — while the collection stage is serialized internally: handler
+// execution advances the fleet's shared virtual clock and attributes
+// telemetry cost by metering deltas, both of which would interleave across
+// runs. SetEmbedder may race with in-flight calls only in the trivial sense
+// that each call atomically sees either the old or the new retriever;
+// callers are expected to attach the embedder before serving traffic.
 package core
 
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/embed/fasttext"
 	"repro/internal/handler"
 	"repro/internal/incident"
 	"repro/internal/llm"
+	"repro/internal/parallel"
 	"repro/internal/prompt"
 	"repro/internal/timeutil"
 	"repro/internal/transport"
@@ -140,9 +155,18 @@ type Copilot struct {
 	registry *handler.Registry
 	runner   *handler.Runner
 	chat     llm.Client
+	meter    *timeutil.CostMeter
+
+	// mu guards the retriever pair (embedder, db), which SetEmbedder swaps
+	// together; everything else is immutable after New or internally locked.
+	mu       sync.RWMutex
 	embedder Embedder
 	db       *vectordb.DB
-	meter    *timeutil.CostMeter
+
+	// collectMu serializes the collection stage: handler runs advance the
+	// fleet's shared virtual clock and attribute telemetry cost by metering
+	// deltas, so interleaved runs would corrupt both.
+	collectMu sync.Mutex
 }
 
 // New assembles a Copilot over a fleet and a chat model. The embedder (and
@@ -185,16 +209,31 @@ func (c *Copilot) Config() Config { return c.cfg }
 // SetEmbedder attaches the retrieval embedder and resets the vector store
 // to its dimensionality.
 func (c *Copilot) SetEmbedder(e Embedder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.embedder = e
 	c.db = vectordb.New(e.Dim())
 }
 
+// retriever snapshots the (embedder, db) pair so one call works against a
+// consistent retriever even if SetEmbedder swaps it mid-flight.
+func (c *Copilot) retriever() (Embedder, *vectordb.DB) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.embedder, c.db
+}
+
 // DB returns the vector store (nil until SetEmbedder).
-func (c *Copilot) DB() *vectordb.DB { return c.db }
+func (c *Copilot) DB() *vectordb.DB {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.db
+}
 
 // Collect runs the collection stage: match the incident's alert type to the
 // team's handler and execute it, enriching the incident with multi-source
-// evidence and action outputs.
+// evidence and action outputs. Collection is serialized across goroutines
+// (see the package comment); the surrounding pipeline stages are not.
 func (c *Copilot) Collect(inc *incident.Incident) (*handler.RunReport, error) {
 	if err := inc.Validate(); err != nil {
 		return nil, err
@@ -203,6 +242,8 @@ func (c *Copilot) Collect(inc *incident.Incident) (*handler.RunReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.collectMu.Lock()
+	defer c.collectMu.Unlock()
 	return c.runner.Run(h, inc)
 }
 
@@ -266,32 +307,69 @@ func (c *Copilot) embedText(inc *incident.Incident) string {
 // incident must carry its ground-truth category; a missing summary is
 // generated on the fly.
 func (c *Copilot) Learn(inc *incident.Incident) error {
-	if c.embedder == nil {
+	embedder, db := c.retriever()
+	if embedder == nil {
 		return fmt.Errorf("core: no embedder attached (call SetEmbedder)")
 	}
+	entry, err := c.prepareEntry(embedder, inc)
+	if err != nil {
+		return err
+	}
+	return db.Add(entry)
+}
+
+// prepareEntry does the expensive half of Learn — summarization and
+// embedding — without touching the store, so a batch ingest can run it on
+// many incidents concurrently and commit the entries in order afterwards.
+func (c *Copilot) prepareEntry(embedder Embedder, inc *incident.Incident) (vectordb.Entry, error) {
 	if inc.Category == "" {
-		return fmt.Errorf("core: incident %s has no root-cause label", inc.ID)
+		return vectordb.Entry{}, fmt.Errorf("core: incident %s has no root-cause label", inc.ID)
 	}
 	if inc.Summary == "" && c.cfg.Context.Summarized {
 		if err := c.Summarize(inc); err != nil {
-			return err
+			return vectordb.Entry{}, err
 		}
 	}
-	vec, err := c.embedder.Embed(c.embedText(inc))
+	vec, err := embedder.Embed(c.embedText(inc))
 	if err != nil {
-		return fmt.Errorf("core: embed %s: %w", inc.ID, err)
+		return vectordb.Entry{}, fmt.Errorf("core: embed %s: %w", inc.ID, err)
 	}
 	demo := inc.Summary
 	if demo == "" {
 		demo = prompt.TrimToTokens(c.embedText(inc), 200, c.chat.CountTokens)
 	}
-	return c.db.Add(vectordb.Entry{
+	return vectordb.Entry{
 		ID:       inc.ID,
 		Vector:   vec,
 		Category: inc.Category,
 		Time:     inc.CreatedAt,
 		Summary:  demo,
+	}, nil
+}
+
+// LearnBatch ingests many labelled incidents at once: summaries and
+// embeddings are computed on the shared worker pool (workers <= 0 means
+// GOMAXPROCS, 1 is sequential), then the entries are committed to the
+// vector store in input order, so the resulting store is identical to a
+// sequential Learn loop. Incidents are mutated like Learn mutates them
+// (a missing Summary is filled in).
+func (c *Copilot) LearnBatch(incs []*incident.Incident, workers int) error {
+	embedder, db := c.retriever()
+	if embedder == nil {
+		return fmt.Errorf("core: no embedder attached (call SetEmbedder)")
+	}
+	entries, err := parallel.Map(len(incs), workers, func(i int) (vectordb.Entry, error) {
+		return c.prepareEntry(embedder, incs[i])
 	})
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := db.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Predict runs the prediction stage for a collected incident: embed the
@@ -299,7 +377,8 @@ func (c *Copilot) Learn(inc *incident.Incident) error {
 // under temporal-decay similarity, build the Figure 9 chain-of-thought
 // prompt, and parse the model's category + explanation onto the incident.
 func (c *Copilot) Predict(inc *incident.Incident) (prompt.Result, error) {
-	if c.embedder == nil {
+	embedder, db := c.retriever()
+	if embedder == nil {
 		return prompt.Result{}, fmt.Errorf("core: no embedder attached (call SetEmbedder)")
 	}
 	if c.cfg.Context.Summarized && c.cfg.Context.DiagnosticInfo && inc.Summary == "" {
@@ -307,13 +386,13 @@ func (c *Copilot) Predict(inc *incident.Incident) (prompt.Result, error) {
 			return prompt.Result{}, err
 		}
 	}
-	query, err := c.embedder.Embed(c.embedText(inc))
+	query, err := embedder.Embed(c.embedText(inc))
 	if err != nil {
 		return prompt.Result{}, fmt.Errorf("core: embed query %s: %w", inc.ID, err)
 	}
 	var demos []prompt.Demo
-	if c.db.Len() > 0 {
-		hits, err := c.db.TopKDiverse(query, inc.CreatedAt, c.cfg.K, c.cfg.Alpha)
+	if db.Len() > 0 {
+		hits, err := db.TopKDiverse(query, inc.CreatedAt, c.cfg.K, c.cfg.Alpha)
 		if err != nil {
 			return prompt.Result{}, err
 		}
@@ -345,7 +424,9 @@ func (c *Copilot) Predict(inc *incident.Incident) (prompt.Result, error) {
 
 // HandleIncident runs the full pipeline on a fresh incident: collection,
 // summarization, prediction. It returns the collection report and the
-// parsed prediction.
+// parsed prediction. It is safe to call from many goroutines, each on its
+// own incident: the collection stage serializes internally while the LLM
+// stages run concurrently.
 func (c *Copilot) HandleIncident(inc *incident.Incident) (*handler.RunReport, prompt.Result, error) {
 	report, err := c.Collect(inc)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/tokenize"
 )
@@ -76,7 +77,12 @@ type Model struct {
 	vocab  map[string]int // word -> index
 	words  []string       // index -> word
 	counts []int          // index -> corpus frequency
-	total  int            // sum of counts, lazily computed
+	// total is the sum of counts, computed once on first use. The sync.Once
+	// (rather than a plain lazy assignment) keeps a trained Model safe for
+	// concurrent DocVector calls from the batch pipeline and the parallel
+	// eval harness.
+	total     int
+	totalOnce sync.Once
 
 	// in holds input vectors: words first, then n-gram buckets.
 	in [][]float64
@@ -362,14 +368,14 @@ func allDigits(w string) bool {
 }
 
 func (m *Model) totalTokens() int {
-	if m.total == 0 {
+	m.totalOnce.Do(func() {
 		for _, c := range m.counts {
 			m.total += c
 		}
 		if m.total == 0 {
 			m.total = 1
 		}
-	}
+	})
 	return m.total
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incident"
 	"repro/internal/llm/simgpt"
+	"repro/internal/parallel"
 	"repro/internal/prompt"
 	"repro/internal/vectordb"
 )
@@ -83,53 +84,66 @@ func runNoDiversity(e *Env) (F1Scores, error) {
 	}
 	emb := core.FastTextEmbedder{Model: ft}
 	cop.SetEmbedder(emb)
-	for _, in := range e.Train {
-		if err := cop.Learn(in.Clone()); err != nil {
-			return F1Scores{}, err
-		}
+	if err := learnHistory(e, cop); err != nil {
+		return F1Scores{}, err
 	}
 	// Drive prediction manually with non-diverse retrieval.
-	preds := make([]string, 0, len(e.Test))
-	for _, in := range e.Test {
-		probe := in.Clone()
+	preds := make([]string, len(e.Test))
+	err = parallel.ForEach(len(e.Test), e.Workers, func(i int) error {
+		probe := e.Test[i].Clone()
 		probe.Summary = ""
 		if err := cop.Summarize(probe); err != nil {
-			return F1Scores{}, err
+			return err
 		}
 		query, err := emb.Embed(probe.DiagnosticText())
 		if err != nil {
-			return F1Scores{}, err
+			return err
 		}
 		hits, err := cop.DB().TopK(query, probe.CreatedAt, cop.Config().K, cop.Config().Alpha)
 		if err != nil {
-			return F1Scores{}, err
+			return err
 		}
 		pred, err := predictWithDemos(cop, probe.Summary, hits)
 		if err != nil {
-			return F1Scores{}, err
+			return err
 		}
-		preds = append(preds, pred)
+		preds[i] = pred
+		return nil
+	})
+	if err != nil {
+		return F1Scores{}, err
 	}
 	return scoreStrings(preds, e), nil
 }
 
-// scoreCopilot learns the training history and scores the test set via the
-// standard Predict path.
-func scoreCopilot(e *Env, cop *core.Copilot) (F1Scores, error) {
-	for _, in := range e.Train {
-		if err := cop.Learn(in.Clone()); err != nil {
-			return F1Scores{}, err
-		}
+// learnHistory ingests the training split on the shared worker pool.
+func learnHistory(e *Env, cop *core.Copilot) error {
+	clones := make([]*incident.Incident, len(e.Train))
+	for i, in := range e.Train {
+		clones[i] = in.Clone()
 	}
-	preds := make([]string, 0, len(e.Test))
-	for _, in := range e.Test {
-		probe := in.Clone()
+	return cop.LearnBatch(clones, e.Workers)
+}
+
+// scoreCopilot learns the training history and scores the test set via the
+// standard Predict path, fanning out on the shared worker pool.
+func scoreCopilot(e *Env, cop *core.Copilot) (F1Scores, error) {
+	if err := learnHistory(e, cop); err != nil {
+		return F1Scores{}, err
+	}
+	preds := make([]string, len(e.Test))
+	err := parallel.ForEach(len(e.Test), e.Workers, func(i int) error {
+		probe := e.Test[i].Clone()
 		probe.Summary = ""
 		res, err := cop.Predict(probe)
 		if err != nil {
-			return F1Scores{}, err
+			return err
 		}
-		preds = append(preds, string(res.Category))
+		preds[i] = string(res.Category)
+		return nil
+	})
+	if err != nil {
+		return F1Scores{}, err
 	}
 	return scoreStrings(preds, e), nil
 }

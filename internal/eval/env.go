@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
@@ -11,25 +12,44 @@ import (
 
 // Env is one evaluation environment: a generated corpus and its 75/25
 // train/test split (§5.1), with a lazily trained FastText model shared by
-// the methods that need it.
+// the methods that need it. An Env is safe for concurrent use by the
+// parallel harness: the split slices are read-only after NewEnv and the
+// shared FastText model trains exactly once.
 type Env struct {
 	Seed   int64
 	Corpus *dataset.Corpus
 	Train  []*incident.Incident
 	Test   []*incident.Incident
 
+	// Workers bounds the harness's fan-out: 0 means one worker per CPU
+	// (the default), 1 forces the sequential reference path. Because every
+	// experiment's outputs are order-independent (see the rcacopilot
+	// package's determinism contract), any worker count produces identical
+	// scores and predictions — only wall-clock time changes.
+	Workers int
+
+	ftOnce      sync.Once
 	ft          *fasttext.Model
+	ftErr       error
 	ftTrainTime time.Duration
 }
 
-// NewEnv generates the corpus for the seed and splits it 75/25.
+// NewEnv generates the paper-faithful corpus for the seed and splits it
+// 75/25.
 func NewEnv(seed int64) (*Env, error) {
-	corpus, err := dataset.Generate(dataset.DefaultSpec(seed))
+	return NewEnvFromSpec(dataset.DefaultSpec(seed))
+}
+
+// NewEnvFromSpec builds an environment over a custom corpus specification
+// (smaller spans make cheap environments for equivalence tests and
+// demos).
+func NewEnvFromSpec(spec dataset.Spec) (*Env, error) {
+	corpus, err := dataset.Generate(spec)
 	if err != nil {
 		return nil, err
 	}
-	e := &Env{Seed: seed, Corpus: corpus}
-	e.Train, e.Test = corpus.Split(0.75, seed)
+	e := &Env{Seed: spec.Seed, Corpus: corpus}
+	e.Train, e.Test = corpus.Split(0.75, spec.Seed)
 	if len(e.Train) == 0 || len(e.Test) == 0 {
 		return nil, fmt.Errorf("eval: degenerate split %d/%d", len(e.Train), len(e.Test))
 	}
@@ -65,16 +85,13 @@ func (e *Env) TestGold() []incident.Category {
 
 // FastText returns the shared FastText model trained on the training
 // diagnostics, training it on first use and recording the wall-clock
-// training time (RCACopilot's Table-2 "Train" column).
+// training time (RCACopilot's Table-2 "Train" column). Concurrent callers
+// share one training run.
 func (e *Env) FastText() (*fasttext.Model, time.Duration, error) {
-	if e.ft == nil {
+	e.ftOnce.Do(func() {
 		start := time.Now()
-		m, err := fasttext.TrainSkipgram(e.TrainTexts(), fasttext.Config{Seed: e.Seed})
-		if err != nil {
-			return nil, 0, err
-		}
+		e.ft, e.ftErr = fasttext.TrainSkipgram(e.TrainTexts(), fasttext.Config{Seed: e.Seed})
 		e.ftTrainTime = time.Since(start)
-		e.ft = m
-	}
-	return e.ft, e.ftTrainTime, nil
+	})
+	return e.ft, e.ftTrainTime, e.ftErr
 }

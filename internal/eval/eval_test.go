@@ -171,7 +171,7 @@ func TestTable1RowsComplete(t *testing.T) {
 }
 
 func TestTable4ShapeAndCalibration(t *testing.T) {
-	rows, err := RunTable4(3, 6)
+	rows, err := RunTable4(3, 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,51 +11,39 @@ import (
 	"repro/internal/handler"
 	"repro/internal/incident"
 	"repro/internal/llm/simgpt"
+	"repro/internal/parallel"
 	"repro/internal/transport"
 )
 
 // ---------------------------------------------------------------- Table 2
 
 // RunTable2 evaluates every method of the paper's Table 2 on one
-// environment.
+// environment. The seven methods run concurrently on the shared worker pool
+// (and each method's per-incident loop fans out beneath them, all drawing
+// from the same bounded budget); results keep the paper's row order and are
+// identical to a sequential run.
 func RunTable2(e *Env) ([]MethodResult, error) {
-	var out []MethodResult
-	ft, err := RunFastTextBaseline(e)
-	if err != nil {
-		return nil, err
+	pipeline := func(opts PipelineOptions) func() (MethodResult, error) {
+		return func() (MethodResult, error) {
+			run, err := RunPipeline(e, opts)
+			if err != nil {
+				return MethodResult{}, err
+			}
+			return run.Result, nil
+		}
 	}
-	out = append(out, ft)
-	xgb, err := RunXGBoostBaseline(e)
-	if err != nil {
-		return nil, err
+	methods := []func() (MethodResult, error){
+		func() (MethodResult, error) { return RunFastTextBaseline(e) },
+		func() (MethodResult, error) { return RunXGBoostBaseline(e) },
+		func() (MethodResult, error) { return RunFineTuneGPT(e) },
+		func() (MethodResult, error) { return RunGPTPrompt(e) },
+		pipeline(PipelineOptions{GPTEmbedding: true}),
+		pipeline(PipelineOptions{Model: simgpt.GPT35}),
+		pipeline(PipelineOptions{Model: simgpt.GPT4}),
 	}
-	out = append(out, xgb)
-	tune, err := RunFineTuneGPT(e)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, tune)
-	zp, err := RunGPTPrompt(e)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, zp)
-	ge, err := RunPipeline(e, PipelineOptions{GPTEmbedding: true})
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, ge.Result)
-	r35, err := RunPipeline(e, PipelineOptions{Model: simgpt.GPT35})
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, r35.Result)
-	r4, err := RunPipeline(e, PipelineOptions{Model: simgpt.GPT4})
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, r4.Result)
-	return out, nil
+	return parallel.Map(len(methods), e.Workers, func(i int) (MethodResult, error) {
+		return methods[i]()
+	})
 }
 
 // FormatTable2 renders Table-2 rows in the paper's layout.
@@ -103,15 +91,20 @@ func Table3Configs() []Table3Row {
 	}
 }
 
-// RunTable3 evaluates the prompt-context ablation.
+// RunTable3 evaluates the prompt-context ablation, one pipeline run per row
+// on the shared worker pool.
 func RunTable3(e *Env) ([]Table3Row, error) {
 	rows := Table3Configs()
-	for i := range rows {
+	err := parallel.ForEach(len(rows), e.Workers, func(i int) error {
 		run, err := RunPipeline(e, PipelineOptions{Context: rows[i].Context})
 		if err != nil {
-			return nil, fmt.Errorf("table3 %s: %w", rows[i].Name, err)
+			return fmt.Errorf("table3 %s: %w", rows[i].Name, err)
 		}
 		rows[i].Scores = run.Result.Scores
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -136,6 +129,8 @@ type SweepPoint struct {
 }
 
 // RunFig12 sweeps K × alpha over the full pipeline (Figures 12a and 12b).
+// The grid cells are independent full pipeline runs, so they fan out on the
+// shared worker pool; output order stays row-major over (K, alpha).
 func RunFig12(e *Env, ks []int, alphas []float64) ([]SweepPoint, error) {
 	if len(ks) == 0 {
 		ks = []int{3, 5, 9, 12, 15}
@@ -143,17 +138,24 @@ func RunFig12(e *Env, ks []int, alphas []float64) ([]SweepPoint, error) {
 	if len(alphas) == 0 {
 		alphas = []float64{0.001, 0.2, 0.4, 0.6, 0.8}
 	}
-	var out []SweepPoint
+	cells := make([]SweepPoint, 0, len(ks)*len(alphas))
 	for _, k := range ks {
 		for _, a := range alphas {
-			run, err := RunPipeline(e, PipelineOptions{K: k, Alpha: a})
-			if err != nil {
-				return nil, fmt.Errorf("fig12 K=%d alpha=%.1f: %w", k, a, err)
-			}
-			out = append(out, SweepPoint{K: k, Alpha: a, Scores: run.Result.Scores})
+			cells = append(cells, SweepPoint{K: k, Alpha: a})
 		}
 	}
-	return out, nil
+	err := parallel.ForEach(len(cells), e.Workers, func(i int) error {
+		run, err := RunPipeline(e, PipelineOptions{K: cells[i].K, Alpha: cells[i].Alpha})
+		if err != nil {
+			return fmt.Errorf("fig12 K=%d alpha=%.1f: %w", cells[i].K, cells[i].Alpha, err)
+		}
+		cells[i].Scores = run.Result.Scores
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
 }
 
 // FormatFig12 renders the sweep as two grids (micro, macro).
@@ -316,8 +318,9 @@ type Table4Row struct {
 // fleet (telemetry cost scale calibrated to its published execution time),
 // a handler inventory of the published size built from the builtin suite,
 // and a stream of incidents; the measured virtual execution cost per
-// incident is reported.
-func RunTable4(seed int64, incidentsPerTeam int) ([]Table4Row, error) {
+// incident is reported. workers bounds the per-team fan-out (0 = one per
+// CPU, 1 = sequential), matching Env.Workers semantics.
+func RunTable4(seed int64, incidentsPerTeam, workers int) ([]Table4Row, error) {
 	if incidentsPerTeam <= 0 {
 		incidentsPerTeam = 20
 	}
@@ -326,21 +329,23 @@ func RunTable4(seed int64, incidentsPerTeam int) ([]Table4Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table4Row
-	for i, team := range Table4Teams() {
+	// Each team owns its own fleet, registry and RNG, so the per-team runs
+	// fan out on the shared worker pool with no cross-talk.
+	teams := Table4Teams()
+	return parallel.Map(len(teams), workers, func(i int) (Table4Row, error) {
+		team := teams[i]
 		scale := team.TargetExecSeconds / base.Seconds()
 		cost, err := teamRun(seed+int64(i), scale, team, incidentsPerTeam)
 		if err != nil {
-			return nil, fmt.Errorf("table4 %s: %w", team.Name, err)
+			return Table4Row{}, fmt.Errorf("table4 %s: %w", team.Name, err)
 		}
-		rows = append(rows, Table4Row{
+		return Table4Row{
 			Team:            team.Name,
 			AvgExecSeconds:  cost.Seconds(),
 			EnabledHandlers: team.EnabledHandlers,
 			IncidentsRun:    incidentsPerTeam,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func meanExecCost(seed int64, scale float64, n int) (time.Duration, error) {
@@ -524,16 +529,15 @@ func RunTrustworthiness(e *Env, rounds int) ([]TrustRound, error) {
 	if rounds <= 0 {
 		rounds = 3
 	}
-	var out []TrustRound
-	for r := 1; r <= rounds; r++ {
+	return parallel.Map(rounds, e.Workers, func(i int) (TrustRound, error) {
+		r := i + 1
 		seed := e.Seed*1000 + int64(r)
 		run, err := RunPipeline(e, PipelineOptions{LLMSeed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("trust round %d: %w", r, err)
+			return TrustRound{}, fmt.Errorf("trust round %d: %w", r, err)
 		}
-		out = append(out, TrustRound{Round: r, Seed: seed, Scores: run.Result.Scores})
-	}
-	return out, nil
+		return TrustRound{Round: r, Seed: seed, Scores: run.Result.Scores}, nil
+	})
 }
 
 // FormatTrust renders the stability rounds.

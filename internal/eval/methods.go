@@ -11,8 +11,15 @@ import (
 	"repro/internal/incident"
 	"repro/internal/llm"
 	"repro/internal/llm/simgpt"
+	"repro/internal/parallel"
 	"repro/internal/prompt"
 )
+
+// Every Run* method fans its per-test-incident loop out on the shared
+// worker pool (internal/parallel), bounded by Env.Workers. Predictions and
+// modelled latencies land in index-addressed slices and the simulated
+// models are order-independent, so any worker count reproduces the
+// sequential results exactly; only wall-clock time changes.
 
 // MethodResult is one Table-2 row.
 type MethodResult struct {
@@ -38,13 +45,19 @@ func RunFastTextBaseline(e *Env) (MethodResult, error) {
 	}
 	trainTime := time.Since(start)
 
-	inferStart := time.Now()
 	preds := make([]incident.Category, len(e.Test))
-	for i, in := range e.Test {
-		label, _ := clf.Predict(in.DiagnosticText())
+	lats := make([]time.Duration, len(e.Test))
+	_ = parallel.ForEach(len(e.Test), e.Workers, func(i int) error {
+		start := time.Now()
+		label, _ := clf.Predict(e.Test[i].DiagnosticText())
+		lats[i] = time.Since(start)
 		preds[i] = incident.Category(label)
-	}
-	infer := time.Since(inferStart) / time.Duration(len(e.Test))
+		return nil
+	})
+	// Per-item timing, not loop wall time: under the worker pool the loop's
+	// elapsed time shrinks with the worker count, but the per-incident
+	// inference cost column must not depend on -workers.
+	infer := sumDurations(lats) / time.Duration(len(e.Test))
 	return MethodResult{
 		Method: "FastText",
 		Scores: Score(NormalizeAll(preds), e.TestGold()),
@@ -69,13 +82,16 @@ func RunXGBoostBaseline(e *Env) (MethodResult, error) {
 	}
 	trainTime := time.Since(start)
 
-	inferStart := time.Now()
 	preds := make([]incident.Category, len(e.Test))
-	for i, in := range e.Test {
-		label, _ := clf.Predict(vec.Transform(in.DiagnosticText()))
+	lats := make([]time.Duration, len(e.Test))
+	_ = parallel.ForEach(len(e.Test), e.Workers, func(i int) error {
+		start := time.Now()
+		label, _ := clf.Predict(vec.Transform(e.Test[i].DiagnosticText()))
+		lats[i] = time.Since(start)
 		preds[i] = incident.Category(label)
-	}
-	infer := time.Since(inferStart) / time.Duration(len(e.Test))
+		return nil
+	})
+	infer := sumDurations(lats) / time.Duration(len(e.Test))
 	return MethodResult{
 		Method: "XGBoost",
 		Scores: Score(NormalizeAll(preds), e.TestGold()),
@@ -102,28 +118,42 @@ func RunFineTuneGPT(e *Env) (MethodResult, error) {
 		return MethodResult{}, err
 	}
 	preds := make([]incident.Category, len(e.Test))
-	var latency time.Duration
-	for i, in := range e.Test {
-		text := prompt.TrimToTokens(in.DiagnosticText(), budget, base.CountTokens)
+	lats := make([]time.Duration, len(e.Test))
+	err = parallel.ForEach(len(e.Test), e.Workers, func(i int) error {
+		text := prompt.TrimToTokens(e.Test[i].DiagnosticText(), budget, base.CountTokens)
 		resp, err := tuned.Complete(withTemperature(prompt.Classify(text), 0))
 		if err != nil {
-			return MethodResult{}, err
+			return err
 		}
-		latency += resp.ModelLatency
+		lats[i] = resp.ModelLatency
 		cat, err := prompt.ParseClassification(resp.Content)
 		if err != nil {
-			return MethodResult{}, err
+			return err
 		}
 		preds[i] = cat
+		return nil
+	})
+	if err != nil {
+		return MethodResult{}, err
 	}
 	return MethodResult{
 		Method:        "Fine-tune GPT",
 		Scores:        Score(NormalizeAll(preds), e.TestGold()),
 		Train:         trainCost,
 		ModelledTrain: true,
-		Infer:         latency / time.Duration(len(e.Test)),
+		Infer:         sumDurations(lats) / time.Duration(len(e.Test)),
 		ModelledInfer: true,
 	}, nil
+}
+
+// sumDurations totals per-incident modelled latencies; addition commutes,
+// so the total is identical however the loop was scheduled.
+func sumDurations(ds []time.Duration) time.Duration {
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	return total
 }
 
 // RunGPTPrompt is the "GPT-4 Prompt" variant: summarize the incident, then
@@ -132,30 +162,34 @@ func RunFineTuneGPT(e *Env) (MethodResult, error) {
 func RunGPTPrompt(e *Env) (MethodResult, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
 	preds := make([]incident.Category, len(e.Test))
-	var latency time.Duration
+	lats := make([]time.Duration, len(e.Test))
 	budget := chat.ContextWindow() - 768
-	for i, in := range e.Test {
-		diag := prompt.TrimToTokens(in.DiagnosticText(), budget, chat.CountTokens)
+	err := parallel.ForEach(len(e.Test), e.Workers, func(i int) error {
+		diag := prompt.TrimToTokens(e.Test[i].DiagnosticText(), budget, chat.CountTokens)
 		sum, err := chat.Complete(prompt.Summary(diag))
 		if err != nil {
-			return MethodResult{}, err
+			return err
 		}
-		latency += sum.ModelLatency
+		lats[i] = sum.ModelLatency
 		resp, err := chat.Complete(prompt.Classify(sum.Content))
 		if err != nil {
-			return MethodResult{}, err
+			return err
 		}
-		latency += resp.ModelLatency
+		lats[i] += resp.ModelLatency
 		cat, err := prompt.ParseClassification(resp.Content)
 		if err != nil {
-			return MethodResult{}, err
+			return err
 		}
 		preds[i] = cat
+		return nil
+	})
+	if err != nil {
+		return MethodResult{}, err
 	}
 	return MethodResult{
 		Method:        "GPT-4 Prompt",
 		Scores:        Score(NormalizeAll(preds), e.TestGold()),
-		Infer:         latency / time.Duration(len(e.Test)),
+		Infer:         sumDurations(lats) / time.Duration(len(e.Test)),
 		ModelledInfer: true,
 	}, nil
 }
@@ -223,25 +257,31 @@ func RunPipeline(e *Env, opts PipelineOptions) (*PipelineRun, error) {
 		trainTime = ftTime
 	}
 
-	for _, in := range e.Train {
-		if err := cop.Learn(in.Clone()); err != nil {
-			return nil, fmt.Errorf("eval: learn %s: %w", in.ID, err)
-		}
+	if err := learnHistory(e, cop); err != nil {
+		return nil, fmt.Errorf("eval: learn history: %w", err)
 	}
 
 	preds := make([]incident.Category, len(e.Test))
-	unseen := 0
+	unseens := make([]bool, len(e.Test))
 	meterBefore := cop.Meter().Total()
-	for i, in := range e.Test {
-		probe := in.Clone()
+	err = parallel.ForEach(len(e.Test), e.Workers, func(i int) error {
+		probe := e.Test[i].Clone()
 		probe.Summary = ""
 		probe.Predicted = ""
 		res, err := cop.Predict(probe)
 		if err != nil {
-			return nil, fmt.Errorf("eval: predict %s: %w", in.ID, err)
+			return fmt.Errorf("eval: predict %s: %w", e.Test[i].ID, err)
 		}
 		preds[i] = res.Category
-		if res.Unseen {
+		unseens[i] = res.Unseen
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	unseen := 0
+	for _, u := range unseens {
+		if u {
 			unseen++
 		}
 	}

@@ -42,8 +42,17 @@ func Score(pred, gold []incident.Category) F1Scores {
 			fn[gold[i]]++
 		}
 	}
-	var macro float64
+	// Sum per-class F1 in sorted class order: float addition does not
+	// commute at the last ULP, so averaging in (randomized) map order would
+	// make macro-F1 differ between two otherwise identical runs, breaking
+	// the byte-identical determinism contract.
+	ordered := make([]incident.Category, 0, len(classes))
 	for c := range classes {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	var macro float64
+	for _, c := range ordered {
 		p := safeDiv(tp[c], tp[c]+fp[c])
 		r := safeDiv(tp[c], tp[c]+fn[c])
 		macro += safeDiv(2*p*r, p+r)

@@ -1,0 +1,191 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// These tests pin the tentpole contract of the parallel harness: any worker
+// count must reproduce the sequential golden results exactly. They raise
+// the shared pool's budget explicitly so true goroutine interleaving occurs
+// even on single-CPU CI machines.
+//
+// The heavyweight goldens skip under the race detector: they verify
+// determinism, not memory safety, and multiple full reproductions at race
+// overhead blow the per-binary test timeout on small runners. Raced
+// coverage of the same code paths comes from the short suite and the
+// concurrency hammer tests.
+
+func skipHeavyGolden(t *testing.T, why string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip(why)
+	}
+	if raceEnabled {
+		t.Skip("determinism golden; raced coverage comes from the quick suite and hammer tests")
+	}
+}
+
+// smallEnv builds (and caches per seed) a reduced-span corpus (~1/6 of the
+// year) so a full Table 2 + Table 3 + Fig 12 reproduction can run twice in
+// test time. The sequential and parallel passes share the env and flip
+// Workers, so they see the identical corpus and FastText model.
+var smallEnvs = map[int64]*Env{}
+
+func smallEnv(t *testing.T, seed int64, workers int) *Env {
+	t.Helper()
+	e, ok := smallEnvs[seed]
+	if !ok {
+		spec := dataset.DefaultSpec(seed)
+		spec.Days = 60
+		var err error
+		e, err = NewEnvFromSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallEnvs[seed] = e
+	}
+	e.Workers = workers
+	return e
+}
+
+func sameMethodResults(t *testing.T, name string, seq, par []MethodResult) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("%s: %d rows vs %d", name, len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Method != p.Method || s.Scores != p.Scores {
+			t.Errorf("%s row %d: %s %+v (seq) != %s %+v (par)", name, i, s.Method, s.Scores, p.Method, p.Scores)
+		}
+		if s.ModelledTrain != p.ModelledTrain || s.ModelledInfer != p.ModelledInfer {
+			t.Errorf("%s row %d (%s): modelled flags differ", name, i, s.Method)
+		}
+		// Wall-clock columns vary run to run by nature; the modelled API
+		// latencies are part of the determinism contract.
+		if s.ModelledTrain && s.Train != p.Train {
+			t.Errorf("%s row %d (%s): modelled train %v != %v", name, i, s.Method, s.Train, p.Train)
+		}
+		if s.ModelledInfer && s.Infer != p.Infer {
+			t.Errorf("%s row %d (%s): modelled infer %v != %v", name, i, s.Method, s.Infer, p.Infer)
+		}
+	}
+}
+
+// TestParallelTable2MatchesSequential runs the full seven-method Table 2 on
+// one worker and on eight, and requires identical rows.
+func TestParallelTable2MatchesSequential(t *testing.T) {
+	skipHeavyGolden(t, "two full Table 2 reproductions")
+	defer parallel.SetLimit(parallel.SetLimit(8))
+	seqRows, err := RunTable2(smallEnv(t, 11, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRows, err := RunTable2(smallEnv(t, 11, 8)) // same env, eight workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMethodResults(t, "table2", seqRows, parRows)
+}
+
+// TestParallelTable3AndFig12ByteIdentical renders Table 3 and the Fig 12
+// grid from a sequential and a parallel run and requires byte-identical
+// output (these tables carry no wall-clock columns).
+func TestParallelTable3AndFig12ByteIdentical(t *testing.T) {
+	skipHeavyGolden(t, "four reduced reproductions")
+	defer parallel.SetLimit(parallel.SetLimit(8))
+	ks, alphas := []int{3, 5}, []float64{0.2, 0.6}
+
+	env := smallEnv(t, 13, 1)
+	seqT3, err := RunTable3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqF, err := RunFig12(env, ks, alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env = smallEnv(t, 13, 8)
+	parT3, err := RunTable3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF, err := RunFig12(env, ks, alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if s, p := FormatTable3(seqT3), FormatTable3(parT3); s != p {
+		t.Errorf("Table 3 diverged:\n--- sequential ---\n%s--- parallel ---\n%s", s, p)
+	}
+	if s, p := FormatFig12(seqF), FormatFig12(parF); s != p {
+		t.Errorf("Fig 12 diverged:\n--- sequential ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestParallelPipelineMatchesSequentialFullCorpus holds the flagship
+// RCACopilot (GPT-4) run on the full 653-incident corpus to per-prediction
+// equality between one worker and eight.
+func TestParallelPipelineMatchesSequentialFullCorpus(t *testing.T) {
+	skipHeavyGolden(t, "two full-corpus pipeline runs")
+	defer parallel.SetLimit(parallel.SetLimit(8))
+	e := getSharedEnv(t)
+	defer func(w int) { e.Workers = w }(e.Workers)
+
+	e.Workers = 1
+	seq, err := RunPipeline(e, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Workers = 8
+	par, err := RunPipeline(e, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Result.Scores != par.Result.Scores {
+		t.Errorf("scores diverged: %+v vs %+v", seq.Result.Scores, par.Result.Scores)
+	}
+	if seq.Result.Infer != par.Result.Infer {
+		t.Errorf("modelled infer diverged: %v vs %v", seq.Result.Infer, par.Result.Infer)
+	}
+	if seq.UnseenAnswered != par.UnseenAnswered {
+		t.Errorf("unseen count diverged: %d vs %d", seq.UnseenAnswered, par.UnseenAnswered)
+	}
+	if len(seq.Preds) != len(par.Preds) {
+		t.Fatalf("pred lengths differ: %d vs %d", len(seq.Preds), len(par.Preds))
+	}
+	for i := range seq.Preds {
+		if seq.Preds[i] != par.Preds[i] {
+			t.Fatalf("prediction %d diverged: %q vs %q", i, seq.Preds[i], par.Preds[i])
+		}
+	}
+}
+
+// TestParallelTable4MatchesSequential compares the multi-team simulation
+// at one worker and at eight.
+func TestParallelTable4MatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two multi-team simulations")
+	}
+	defer parallel.SetLimit(parallel.SetLimit(8))
+	seqRows, err := RunTable4(3, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRows, err := RunTable4(3, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRows) != len(parRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(seqRows), len(parRows))
+	}
+	for i := range seqRows {
+		if seqRows[i] != parRows[i] {
+			t.Errorf("table4 row %d diverged: %+v vs %+v", i, seqRows[i], parRows[i])
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports whether this test binary was built with -race; the
+// determinism golden tests skip under it (see parallel_equiv_test.go).
+const raceEnabled = true

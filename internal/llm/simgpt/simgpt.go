@@ -91,8 +91,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Client is a simulated GPT endpoint. It is safe for concurrent use only if
-// calls are externally serialized (matching how the pipeline uses it).
+// Client is a simulated GPT endpoint. It is immutable after New and safe
+// for concurrent use: every completion derives its random state per request
+// (an RNG seeded with seed ^ hash(prompt), see rngFor), so outputs depend
+// only on the client seed and the prompt text, never on call order or
+// goroutine interleaving. This order-independence is the determinism
+// contract the batch pipeline API and the parallel evaluation harness rely
+// on to reproduce sequential results bit for bit.
 type Client struct {
 	model string
 	cap   capability

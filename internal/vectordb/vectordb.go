@@ -14,6 +14,7 @@
 package vectordb
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -129,32 +130,129 @@ func Similarity(query []float64, qt time.Time, e Entry, alpha float64) (dist, si
 	return dist, sim
 }
 
+// ranksAfter reports whether a ranks strictly after (worse than) b in
+// retrieval order: similarity descending, ties broken by older-first ID for
+// determinism.
+func ranksAfter(a, b Scored) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity < b.Similarity
+	}
+	return a.Entry.ID > b.Entry.ID
+}
+
+// worstFirst is a bounded min-heap over retrieval rank: the root is the
+// worst-ranked entry kept so far, so streaming selection evicts it in O(log
+// k) when a better candidate arrives.
+type worstFirst []Scored
+
+func (h worstFirst) Len() int           { return len(h) }
+func (h worstFirst) Less(i, j int) bool { return ranksAfter(h[i], h[j]) }
+func (h worstFirst) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *worstFirst) Push(x any)        { *h = append(*h, x.(Scored)) }
+func (h *worstFirst) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// offer streams one candidate into the bounded heap of capacity k.
+func (h *worstFirst) offer(sc Scored, k int) {
+	if len(*h) < k {
+		heap.Push(h, sc)
+	} else if ranksAfter((*h)[0], sc) {
+		(*h)[0] = sc
+		heap.Fix(h, 0)
+	}
+}
+
+// drain empties the heap into a best-first ordered slice.
+func (h *worstFirst) drain() []Scored {
+	out := make([]Scored, len(*h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Scored)
+	}
+	return out
+}
+
+func (db *DB) checkQuery(query []float64, k int) error {
+	if len(query) != db.dim {
+		return fmt.Errorf("vectordb: query dim %d, store dim %d", len(query), db.dim)
+	}
+	if k <= 0 {
+		return fmt.Errorf("vectordb: k must be positive, got %d", k)
+	}
+	return nil
+}
+
 // TopKDiverse returns the k most similar entries under the constraint that
 // each root-cause category appears at most once — the paper "select[s] the
 // top K incidents from different categories as demonstrations ... a diverse
 // and representative set" (§4.2.2). Results are ordered by similarity
 // descending; ties break by older-first ID for determinism.
+//
+// Retrieval sits on the per-incident hot path, so instead of sorting all n
+// entries (O(n log n)) this streams them once: the diversity constraint
+// means only each category's best-ranked entry can ever be selected (a
+// descending greedy scan takes the first — i.e. best — occurrence of every
+// category), so one O(n) pass finds the per-category representatives and a
+// bounded heap selects the top k among them in O(C log k).
 func (db *DB) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
-	if len(query) != db.dim {
-		return nil, fmt.Errorf("vectordb: query dim %d, store dim %d", len(query), db.dim)
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("vectordb: k must be positive, got %d", k)
+	if err := db.checkQuery(query, k); err != nil {
+		return nil, err
 	}
 	db.mu.RLock()
-	scored := make([]Scored, 0, len(db.entries))
+	best := make(map[incident.Category]Scored)
 	for _, e := range db.entries {
 		d, s := Similarity(query, qt, e, alpha)
-		scored = append(scored, Scored{Entry: e, Distance: d, Similarity: s})
+		sc := Scored{Entry: e, Distance: d, Similarity: s}
+		if cur, ok := best[e.Category]; !ok || ranksAfter(cur, sc) {
+			best[e.Category] = sc
+		}
 	}
 	db.mu.RUnlock()
 
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].Similarity != scored[j].Similarity {
-			return scored[i].Similarity > scored[j].Similarity
-		}
-		return scored[i].Entry.ID < scored[j].Entry.ID
-	})
+	h := make(worstFirst, 0, k+1)
+	for _, sc := range best {
+		h.offer(sc, k)
+	}
+	return h.drain(), nil
+}
+
+// TopK returns the k most similar entries without the category-diversity
+// constraint (used by ablations), via a single streaming pass over the
+// store with a size-k bounded heap — O(n log k) instead of the full sort's
+// O(n log n).
+func (db *DB) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	if err := db.checkQuery(query, k); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	h := make(worstFirst, 0, k+1)
+	for _, e := range db.entries {
+		d, s := Similarity(query, qt, e, alpha)
+		h.offer(Scored{Entry: e, Distance: d, Similarity: s}, k)
+	}
+	db.mu.RUnlock()
+	return h.drain(), nil
+}
+
+// sortTopK is the retained full-sort reference implementation of TopK; the
+// equivalence tests hold the heap path to it.
+func (db *DB) sortTopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	if err := db.checkQuery(query, k); err != nil {
+		return nil, err
+	}
+	scored := db.scoreAllSorted(query, qt, alpha)
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored, nil
+}
+
+// sortTopKDiverse is the retained full-sort reference implementation of
+// TopKDiverse: sort everything, then greedily take the first occurrence of
+// each category.
+func (db *DB) sortTopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	if err := db.checkQuery(query, k); err != nil {
+		return nil, err
+	}
+	scored := db.scoreAllSorted(query, qt, alpha)
 	seen := make(map[incident.Category]bool)
 	out := make([]Scored, 0, k)
 	for _, s := range scored {
@@ -170,15 +268,7 @@ func (db *DB) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) (
 	return out, nil
 }
 
-// TopK returns the k most similar entries without the category-diversity
-// constraint (used by ablations).
-func (db *DB) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
-	if len(query) != db.dim {
-		return nil, fmt.Errorf("vectordb: query dim %d, store dim %d", len(query), db.dim)
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("vectordb: k must be positive, got %d", k)
-	}
+func (db *DB) scoreAllSorted(query []float64, qt time.Time, alpha float64) []Scored {
 	db.mu.RLock()
 	scored := make([]Scored, 0, len(db.entries))
 	for _, e := range db.entries {
@@ -186,14 +276,6 @@ func (db *DB) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Score
 		scored = append(scored, Scored{Entry: e, Distance: d, Similarity: s})
 	}
 	db.mu.RUnlock()
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].Similarity != scored[j].Similarity {
-			return scored[i].Similarity > scored[j].Similarity
-		}
-		return scored[i].Entry.ID < scored[j].Entry.ID
-	})
-	if len(scored) > k {
-		scored = scored[:k]
-	}
-	return scored, nil
+	sort.Slice(scored, func(i, j int) bool { return ranksAfter(scored[j], scored[i]) })
+	return scored
 }

@@ -1,0 +1,194 @@
+package rcacopilot
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// Concurrency hammer tests: these drive the batch pipeline, the feedback
+// loop and the learn path from many goroutines at once. They pass on any
+// machine, but their real job is under `go test -race ./...` (the CI
+// configuration), where they prove the locking discipline of the tentpole
+// concurrent engine. The pool budget is raised explicitly so true
+// interleaving happens even on single-CPU runners.
+
+// raceSystem builds a trained system over the shared corpus with a modest
+// history, an injected fault, and its alert.
+func raceSystem(t *testing.T) (*System, Alert) {
+	t.Helper()
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := c.Incidents[:150]
+	if err := sys.TrainEmbedding(history); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHistory(history); err != nil {
+		t.Fatal(err)
+	}
+	fleet := sys.Fleet()
+	fault, err := fleet.Inject("HubPortExhaustion", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Repair)
+	alert, ok := fleet.FirstAlert()
+	if !ok {
+		t.Fatal("no alert")
+	}
+	return sys, alert
+}
+
+// TestHandleIncidentsBatchMatchesSequential runs the same incident stream
+// through the batch API on one worker and on eight, and requires identical
+// predictions — the determinism contract end to end.
+func TestHandleIncidentsBatchMatchesSequential(t *testing.T) {
+	defer parallel.SetLimit(parallel.SetLimit(8))
+	sys, alert := raceSystem(t)
+
+	// Pin CreatedAt: handler runs advance the fleet's virtual clock, and
+	// the temporal-decay similarity reads the incident timestamp, so both
+	// streams must carry identical times for the outputs to be comparable.
+	at := sys.Fleet().Clock().Now()
+	build := func() []*Incident {
+		incs := make([]*Incident, 24)
+		for i := range incs {
+			incs[i] = &Incident{
+				ID: fmt.Sprintf("INC-BATCH-%03d", i), Title: alert.Message,
+				OwningTeam: "Transport", Severity: Sev2, Alert: alert,
+				CreatedAt: at,
+			}
+		}
+		return incs
+	}
+
+	seqIncs := build()
+	seqOut, err := sys.HandleIncidents(seqIncs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parIncs := build()
+	parOut, err := sys.HandleIncidents(parIncs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqOut) != len(parOut) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(seqOut), len(parOut))
+	}
+	for i := range seqOut {
+		if seqIncs[i].Predicted != parIncs[i].Predicted {
+			t.Errorf("incident %d prediction diverged: %q vs %q", i, seqIncs[i].Predicted, parIncs[i].Predicted)
+		}
+		if seqOut[i].Summary != parOut[i].Summary {
+			t.Errorf("incident %d summary diverged", i)
+		}
+		if seqIncs[i].Explanation != parIncs[i].Explanation {
+			t.Errorf("incident %d explanation diverged", i)
+		}
+	}
+}
+
+// TestConcurrentHandleIncidentHammer drives HandleIncident from many
+// goroutines directly (not through the pool), mixed with concurrent Learn
+// calls that grow the vector store mid-flight.
+func TestConcurrentHandleIncidentHammer(t *testing.T) {
+	sys, alert := raceSystem(t)
+	c := sharedCorpus(t)
+
+	var wg sync.WaitGroup
+	const handlers, perG = 6, 8
+	for g := 0; g < handlers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				inc := &Incident{
+					ID: fmt.Sprintf("INC-HAMMER-%d-%03d", g, i), Title: alert.Message,
+					OwningTeam: "Transport", Severity: Sev2, Alert: alert,
+					CreatedAt: sys.Fleet().Clock().Now(),
+				}
+				out, err := sys.HandleIncident(inc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if out.Report == nil || out.Report.VirtualCost <= 0 {
+					t.Errorf("incident %s: missing or zero-cost collection report", inc.ID)
+					return
+				}
+				if inc.Predicted == "" {
+					t.Errorf("incident %s: no prediction", inc.ID)
+					return
+				}
+			}
+		}(g)
+	}
+	// Two learners feed fresh history into the store while predictions run.
+	for l := 0; l < 2; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				in := c.Incidents[150+l*perG+i].Clone()
+				if err := sys.Learn(in); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentFeedbackLoop submits verdicts from many goroutines; confirm
+// and correct verdicts re-enter the learn path concurrently.
+func TestConcurrentFeedbackLoop(t *testing.T) {
+	sys, _ := raceSystem(t)
+	c := sharedCorpus(t)
+	loop := sys.Feedback()
+
+	var wg sync.WaitGroup
+	const reviewers, perG = 6, 10
+	for r := 0; r < reviewers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				src := c.Incidents[200+r*perG+i]
+				inc := src.Clone()
+				inc.ID = fmt.Sprintf("INC-FB-%d-%03d", r, i)
+				inc.Predicted = src.Category
+				var err error
+				switch i % 3 {
+				case 0:
+					_, err = loop.Submit(inc, VerdictConfirm, "", fmt.Sprintf("oce-%d", r), "")
+				case 1:
+					_, err = loop.Submit(inc, VerdictCorrect, "RoutingConfigError", fmt.Sprintf("oce-%d", r), "post-mortem")
+				default:
+					_, err = loop.Submit(inc, VerdictReject, "", fmt.Sprintf("oce-%d", r), "open")
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Interleave reads with writes.
+				loop.ComputeStats()
+				if sys.Feedback() != loop {
+					t.Error("Feedback returned a different loop")
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	stats := loop.ComputeStats()
+	if want := reviewers * perG; stats.Total != want {
+		t.Fatalf("recorded %d verdicts, want %d", stats.Total, want)
+	}
+}

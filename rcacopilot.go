@@ -30,10 +30,27 @@
 //	sys.AddHistory(corpus.Incidents)                  // fill the vector DB
 //	outcome, _ := sys.HandleIncident(inc)             // collect → summarize → predict
 //	fmt.Println(inc.Predicted, inc.Explanation)
+//
+// # Concurrency and determinism
+//
+// A System is safe for concurrent use, and HandleIncidents processes a
+// batch of incidents on a bounded worker pool — the shape a high-traffic
+// deployment needs. Concurrency does not cost reproducibility: the
+// simulated GPT endpoint derives its random state per request, seeding an
+// RNG with seed ^ hash(prompt), so a completion depends only on the client
+// seed and the prompt text — never on call order or interleaving. Identical
+// incidents therefore produce identical predictions whether handled one at
+// a time or in a concurrent batch, and the evaluation harness exploits the
+// same contract to parallelize the paper's experiments while reproducing
+// the sequential results bit for bit. Only the collection stage serializes
+// internally (handler runs advance the fleet's shared virtual clock and
+// meter per-run telemetry cost); summarization and prediction run fully in
+// parallel.
 package rcacopilot
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -43,6 +60,7 @@ import (
 	"repro/internal/incident"
 	"repro/internal/llm"
 	"repro/internal/llm/simgpt"
+	"repro/internal/parallel"
 	"repro/internal/prompt"
 	"repro/internal/report"
 	"repro/internal/transport"
@@ -135,10 +153,11 @@ type Config struct {
 
 // System is an assembled RCACopilot deployment over a fleet.
 type System struct {
-	fleet   *Fleet
-	copilot *core.Copilot
-	cfg     Config
-	loop    *feedback.Loop
+	fleet    *Fleet
+	copilot  *core.Copilot
+	cfg      Config
+	loopOnce sync.Once
+	loop     *feedback.Loop
 }
 
 // NewFleet builds a default simulated Transport fleet.
@@ -215,15 +234,15 @@ func (s *System) UseGPTEmbedding(dim int) {
 }
 
 // AddHistory inserts labelled historical incidents into the vector DB,
-// summarizing any that lack summaries. Incidents are cloned; callers'
-// copies are not mutated.
+// summarizing any that lack summaries on the shared worker pool. Incidents
+// are cloned; callers' copies are not mutated. The resulting store is
+// identical to learning the incidents one at a time in order.
 func (s *System) AddHistory(history []*Incident) error {
-	for _, in := range history {
-		if err := s.copilot.Learn(in.Clone()); err != nil {
-			return err
-		}
+	clones := make([]*Incident, len(history))
+	for i, in := range history {
+		clones[i] = in.Clone()
 	}
-	return nil
+	return s.copilot.LearnBatch(clones, 0)
 }
 
 // Outcome is the result of handling one incident end to end.
@@ -238,13 +257,28 @@ type Outcome struct {
 
 // HandleIncident runs the full pipeline: collect, summarize, predict. The
 // incident is enriched in place (Evidence, ActionOutput, Summary,
-// Predicted, Explanation).
+// Predicted, Explanation). Safe to call concurrently, each call on its own
+// incident.
 func (s *System) HandleIncident(inc *Incident) (*Outcome, error) {
 	report, res, err := s.copilot.HandleIncident(inc)
 	if err != nil {
 		return nil, err
 	}
 	return &Outcome{Report: report, Prediction: res, Summary: inc.Summary}, nil
+}
+
+// HandleIncidents runs the full pipeline over a batch of incidents on a
+// bounded worker pool: workers <= 0 uses one worker per CPU, workers == 1
+// degrades to a sequential loop. Outcomes are index-aligned with incs, and
+// each incident's outcome is identical to what HandleIncident would have
+// produced for it sequentially (see the package comment's determinism
+// contract). On error the lowest-index error is returned and remaining
+// incidents are skipped best-effort; incidents already processed keep their
+// in-place enrichment.
+func (s *System) HandleIncidents(incs []*Incident, workers int) ([]*Outcome, error) {
+	return parallel.Map(len(incs), workers, func(i int) (*Outcome, error) {
+		return s.HandleIncident(incs[i])
+	})
 }
 
 // Collect runs only the collection stage.
@@ -263,10 +297,9 @@ func (s *System) Learn(inc *Incident) error { return s.copilot.Learn(inc.Clone()
 // Feedback returns the system's OCE feedback loop: confirmed and corrected
 // predictions are learned back into the incident history, so the system
 // improves from review (§5.5's notification-email feedback mechanism).
+// Safe to call concurrently; every caller sees the same loop.
 func (s *System) Feedback() *FeedbackLoop {
-	if s.loop == nil {
-		s.loop = feedback.New(nil, s.copilot)
-	}
+	s.loopOnce.Do(func() { s.loop = feedback.New(nil, s.copilot) })
 	return s.loop
 }
 
