@@ -17,6 +17,7 @@ import (
 	"repro/internal/handler"
 	"repro/internal/incident"
 	"repro/internal/llm/simgpt"
+	"repro/internal/parallel"
 	"repro/internal/prompt"
 	"repro/internal/transport"
 )
@@ -414,5 +415,55 @@ func BenchmarkMonitorScan(b *testing.B) {
 		if alerts := fleet.RunMonitors(); len(alerts) != 0 {
 			b.Fatal("healthy fleet alerted")
 		}
+	}
+}
+
+// BenchmarkHandleIncidentsParallelCollect measures the collection stage —
+// the half of the pipeline PR 1 left serialized behind a mutex — over a
+// batch of incidents at one worker (sequential reference) and on the pool.
+// With per-run execution contexts collection no longer serializes, so the
+// parallel variant scales with the worker count on multi-core hardware and
+// degrades to parity on a single CPU.
+func BenchmarkHandleIncidentsParallelCollect(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"Sequential", 1}, {"Parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			env := sharedBenchEnv(b)
+			chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: 1})
+			cop, err := core.New(env.Corpus.Fleet, chat, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fleet := env.Corpus.Fleet
+			fault, err := fleet.Inject("HubPortExhaustion", 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fault.Repair()
+			alert, ok := fleet.FirstAlert()
+			if !ok {
+				b.Fatal("no alert")
+			}
+			at := fleet.Clock().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				incs := make([]*incident.Incident, 64)
+				for j := range incs {
+					incs[j] = &incident.Incident{
+						ID: fmt.Sprintf("INC-PC-%d-%03d", i, j), Title: alert.Message,
+						OwningTeam: "Transport", Severity: incident.Sev2, Alert: alert,
+						CreatedAt: at,
+					}
+				}
+				if err := parallel.ForEach(len(incs), bc.workers, func(j int) error {
+					_, err := cop.Collect(incs[j])
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

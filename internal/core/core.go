@@ -6,16 +6,22 @@
 //
 // # Concurrency
 //
-// A Copilot is safe for concurrent use: HandleIncident, Predict, Summarize,
-// Learn and LearnBatch may be called from many goroutines at once, each on
-// its own incident. The prediction stage is embarrassingly parallel — the
-// chat client, embedder and vector store are either stateless or internally
-// locked — while the collection stage is serialized internally: handler
-// execution advances the fleet's shared virtual clock and attributes
-// telemetry cost by metering deltas, both of which would interleave across
-// runs. SetEmbedder may race with in-flight calls only in the trivial sense
-// that each call atomically sees either the old or the new retriever;
-// callers are expected to attach the embedder before serving traffic.
+// A Copilot is safe for concurrent use: HandleIncident, Collect, Predict,
+// Summarize, Learn and LearnBatch may be called from many goroutines at
+// once, each on its own incident. Both pipeline stages run unserialized.
+// The prediction stage is embarrassingly parallel — the chat client,
+// embedder and vector store are either stateless or internally locked — and
+// the collection stage executes each handler run on its own execution
+// context (transport.Exec): telemetry cost accumulates in a per-run
+// accumulator and virtual time advances on a per-run clock view based at
+// the incident's creation time, so nothing interleaves across runs. When a
+// run finishes, its accumulator merges into the fleet meter and the shared
+// virtual clock advances past the run's total cost; both operations
+// commute, so fleet-level accounting is deterministic regardless of how
+// concurrent collections interleave. SetEmbedder may race with in-flight
+// calls only in the trivial sense that each call atomically sees either the
+// old or the new retriever; callers are expected to attach the embedder
+// before serving traffic.
 package core
 
 import (
@@ -162,11 +168,6 @@ type Copilot struct {
 	mu       sync.RWMutex
 	embedder Embedder
 	db       *vectordb.DB
-
-	// collectMu serializes the collection stage: handler runs advance the
-	// fleet's shared virtual clock and attribute telemetry cost by metering
-	// deltas, so interleaved runs would corrupt both.
-	collectMu sync.Mutex
 }
 
 // New assembles a Copilot over a fleet and a chat model. The embedder (and
@@ -197,7 +198,9 @@ func (c *Copilot) Registry() *handler.Registry { return c.registry }
 // Runner exposes the handler runner (for known-issue administration).
 func (c *Copilot) Runner() *handler.Runner { return c.runner }
 
-// Meter returns the accumulated modelled LLM latency.
+// Meter returns the accumulated modelled LLM latency (summarization and
+// prediction calls). Collection-stage telemetry cost accumulates per run and
+// merges into the fleet's meter — see Fleet.Meter.
 func (c *Copilot) Meter() *timeutil.CostMeter { return c.meter }
 
 // Chat returns the underlying chat model.
@@ -207,12 +210,20 @@ func (c *Copilot) Chat() llm.Client { return c.chat }
 func (c *Copilot) Config() Config { return c.cfg }
 
 // SetEmbedder attaches the retrieval embedder and resets the vector store
-// to its dimensionality.
-func (c *Copilot) SetEmbedder(e Embedder) {
+// to its dimensionality. Resetting is deliberate: vectors produced by
+// different embedders are not comparable, so every previously learned entry
+// is DISCARDED and the history must be re-learned against the new embedding
+// space. The number of dropped entries is returned so callers can detect an
+// accidental mid-flight swap (0 on first attachment).
+func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.db != nil {
+		dropped = c.db.Len()
+	}
 	c.embedder = e
 	c.db = vectordb.New(e.Dim())
+	return dropped
 }
 
 // retriever snapshots the (embedder, db) pair so one call works against a
@@ -232,8 +243,11 @@ func (c *Copilot) DB() *vectordb.DB {
 
 // Collect runs the collection stage: match the incident's alert type to the
 // team's handler and execute it, enriching the incident with multi-source
-// evidence and action outputs. Collection is serialized across goroutines
-// (see the package comment); the surrounding pipeline stages are not.
+// evidence and action outputs. Each call executes on its own per-run
+// execution context based at the incident's creation time, so concurrent
+// collections never interleave their cost attribution or clock views (see
+// the package comment); the finished run's cost merges back into the fleet
+// meter and advances the shared virtual clock.
 func (c *Copilot) Collect(inc *incident.Incident) (*handler.RunReport, error) {
 	if err := inc.Validate(); err != nil {
 		return nil, err
@@ -242,9 +256,11 @@ func (c *Copilot) Collect(inc *incident.Incident) (*handler.RunReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.collectMu.Lock()
-	defer c.collectMu.Unlock()
-	return c.runner.Run(h, inc)
+	ec := c.fleet.NewExec(inc.CreatedAt)
+	// Merge on every exit: a failed run's already-charged queries must still
+	// reach the fleet meter, as they did on the pre-context ambient path.
+	defer ec.Finish()
+	return c.runner.RunWith(ec, h, inc)
 }
 
 // Summarize compresses the incident's collected diagnostic text through the
@@ -425,8 +441,8 @@ func (c *Copilot) Predict(inc *incident.Incident) (prompt.Result, error) {
 // HandleIncident runs the full pipeline on a fresh incident: collection,
 // summarization, prediction. It returns the collection report and the
 // parsed prediction. It is safe to call from many goroutines, each on its
-// own incident: the collection stage serializes internally while the LLM
-// stages run concurrently.
+// own incident; every stage, collection included, runs concurrently (each
+// collection on its own per-run execution context).
 func (c *Copilot) HandleIncident(inc *incident.Incident) (*handler.RunReport, prompt.Result, error) {
 	report, err := c.Collect(inc)
 	if err != nil {

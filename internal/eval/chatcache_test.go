@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/llm/simgpt"
+)
+
+// TestRunPipelineSharesChatCache pins the (model, seed)-keyed response
+// cache: a second pipeline run over the same environment must serve its
+// completions from the shared cache (the training incidents are not
+// re-summarized) and still produce bit-identical results.
+func TestRunPipelineSharesChatCache(t *testing.T) {
+	spec := dataset.DefaultSpec(97)
+	spec.Days = 30
+	e, err := NewEnvFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := RunPipeline(e, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := sharedChat(simgpt.GPT4, e.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst := cached.Stats()
+	if missesAfterFirst == 0 {
+		t.Fatal("first run recorded no cache misses; pipeline is not using the shared client")
+	}
+
+	second, err := RunPipeline(e, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cached.Stats()
+	if misses != missesAfterFirst {
+		t.Errorf("second run re-invoked the model: misses %d -> %d", missesAfterFirst, misses)
+	}
+	if hits == 0 {
+		t.Error("second run recorded no cache hits")
+	}
+
+	if first.Result.Scores != second.Result.Scores {
+		t.Errorf("scores diverged across cached runs: %+v vs %+v", first.Result.Scores, second.Result.Scores)
+	}
+	if first.Result.Infer != second.Result.Infer {
+		t.Errorf("modelled infer diverged: %v vs %v (cached responses must preserve ModelLatency)", first.Result.Infer, second.Result.Infer)
+	}
+	for i := range first.Preds {
+		if first.Preds[i] != second.Preds[i] {
+			t.Fatalf("prediction %d diverged: %q vs %q", i, first.Preds[i], second.Preds[i])
+		}
+	}
+
+	// A different LLM seed must not share the cache (stability rounds need
+	// fresh model variance).
+	other, err := sharedChat(simgpt.GPT4, e.Seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == cached {
+		t.Fatal("distinct seeds share one cache entry")
+	}
+}

@@ -371,14 +371,15 @@ func meanExecCost(seed int64, scale float64, n int) (time.Duration, error) {
 		if err != nil {
 			return 0, err
 		}
-		report, err := handler.NewRunner(fleet).Run(h, inc)
+		ec := fleet.NewExec(inc.CreatedAt)
+		report, err := runner.RunWith(ec, h, inc)
+		ec.Finish() // merge even on error, matching the ambient path
 		if err != nil {
 			return 0, err
 		}
 		total += report.VirtualCost
 		fault.Repair()
 	}
-	_ = runner
 	return total / time.Duration(n), nil
 }
 
@@ -433,7 +434,12 @@ func teamRun(seed int64, scale float64, team TeamProfile, n int) (time.Duration,
 		if err != nil {
 			return 0, err
 		}
-		report, err := runner.Run(h, inc)
+		// Per-run execution context (the unserialized collection path);
+		// Finish keeps the fleet clock advancing so successive incidents
+		// carry distinct timestamps, as the ambient path did.
+		ec := fleet.NewExec(inc.CreatedAt)
+		report, err := runner.RunWith(ec, h, inc)
+		ec.Finish() // merge even on error, matching the ambient path
 		if err != nil {
 			return 0, err
 		}

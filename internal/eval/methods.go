@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/boost"
@@ -14,6 +15,57 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/prompt"
 )
+
+// chatCaches shares one llm.Cached wrapper per (model, seed) across every
+// RunPipeline call in the process. The simulated GPT derives its output from
+// seed ^ hash(prompt) alone, so a cached response is bit-identical to a
+// fresh one (ModelLatency included — metered inference cost is unchanged);
+// sharing the cache just stops Table-2/3/Fig-12 cells from re-summarizing
+// the same training incidents over and over. Memory stays bounded on both
+// axes: once maxChatCaches distinct (model, seed) pairs accumulate — more
+// than any one experiment batch uses — the map resets wholesale, and an
+// individual cache that outgrows maxChatCacheEntries (many distinct corpora
+// funnelling prompts into one seed) is dropped and rebuilt empty.
+var (
+	chatCacheMu sync.Mutex
+	chatCaches  = make(map[string]*llm.Cached)
+)
+
+const (
+	maxChatCaches       = 16
+	maxChatCacheEntries = 50_000 // ≈ a few dozen full-corpus pipeline runs
+)
+
+// sharedChat returns the process-wide cached chat client for (model, seed).
+func sharedChat(model string, seed int64) (*llm.Cached, error) {
+	key := fmt.Sprintf("%s|%d", model, seed)
+	chatCacheMu.Lock()
+	if c, ok := chatCaches[key]; ok {
+		if c.Len() < maxChatCacheEntries {
+			chatCacheMu.Unlock()
+			return c, nil
+		}
+		delete(chatCaches, key) // oversized: rebuild empty below
+	}
+	chatCacheMu.Unlock()
+
+	base, err := simgpt.New(model, simgpt.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	fresh := llm.NewCached(base)
+
+	chatCacheMu.Lock()
+	defer chatCacheMu.Unlock()
+	if c, ok := chatCaches[key]; ok { // lost the construction race
+		return c, nil
+	}
+	if len(chatCaches) >= maxChatCaches {
+		chatCaches = make(map[string]*llm.Cached)
+	}
+	chatCaches[key] = fresh
+	return fresh, nil
+}
 
 // Every Run* method fans its per-test-incident loop out on the shared
 // worker pool (internal/parallel), bounded by Env.Workers. Predictions and
@@ -217,7 +269,9 @@ type PipelineRun struct {
 
 // RunPipeline evaluates the full RCACopilot pipeline under the options:
 // train (or reuse) the embedder, ingest the training history, then collect
-// summaries and predictions for every test incident.
+// summaries and predictions for every test incident. The chat client is a
+// process-shared response cache keyed by (model, seed), so repeated cells of
+// an experiment grid reuse each other's deterministic completions.
 func RunPipeline(e *Env, opts PipelineOptions) (*PipelineRun, error) {
 	if opts.Model == "" {
 		opts.Model = simgpt.GPT4
@@ -226,7 +280,7 @@ func RunPipeline(e *Env, opts PipelineOptions) (*PipelineRun, error) {
 	if seed == 0 {
 		seed = e.Seed
 	}
-	chat, err := simgpt.New(opts.Model, simgpt.Options{Seed: seed})
+	chat, err := sharedChat(opts.Model, seed)
 	if err != nil {
 		return nil, err
 	}

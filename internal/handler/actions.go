@@ -11,11 +11,16 @@ import (
 )
 
 // Context carries the mutable investigation state a handler run threads
-// through its actions: the fleet under diagnosis, the incident being
+// through its actions: the run's execution context (which meters every
+// telemetry query into the run's own cost sink), the incident being
 // enriched, and the current scope/target (adjusted by scope switching
 // actions).
 type Context struct {
-	Fleet    *transport.Fleet
+	// Exec is the per-run execution context; query ops issue telemetry
+	// requests through it so cost and virtual time stay private to the run.
+	// It also identifies the fleet, so state reads cannot target a
+	// different fleet than the one being charged.
+	Exec     *transport.Exec
 	Incident *incident.Incident
 
 	// Scope and Target identify what is currently under investigation.
@@ -28,6 +33,10 @@ type Context struct {
 	// "Known issue?" query consults it (Figure 5's first branch).
 	KnownIssues *kvstore.Store
 }
+
+// Fleet returns the fleet under diagnosis, for uncharged state reads
+// (forest and machine lookups, limits).
+func (c *Context) Fleet() *transport.Fleet { return c.Exec.Fleet() }
 
 // Result is what executing one action yields.
 type Result struct {
@@ -72,7 +81,7 @@ func machineTarget(ctx *Context, params map[string]string) (string, error) {
 	if ctx.Scope == incident.ScopeMachine && ctx.Target != "" {
 		return ctx.Target, nil
 	}
-	fo, ok := ctx.Fleet.Forest(ctx.Forest)
+	fo, ok := ctx.Fleet().Forest(ctx.Forest)
 	if !ok {
 		return "", fmt.Errorf("handler: unknown forest %q", ctx.Forest)
 	}
@@ -148,7 +157,7 @@ func init() {
 		if err != nil {
 			return Result{}, err
 		}
-		out, err := ctx.Fleet.ProbeLog(m)
+		out, err := ctx.Exec.ProbeLog(m)
 		if err != nil {
 			return Result{}, err
 		}
@@ -164,7 +173,7 @@ func init() {
 		if err != nil {
 			return Result{}, err
 		}
-		out, err := ctx.Fleet.SocketMetrics(m)
+		out, err := ctx.Exec.SocketMetrics(m)
 		if err != nil {
 			return Result{}, err
 		}
@@ -176,7 +185,7 @@ func init() {
 		if err != nil {
 			return Result{}, err
 		}
-		out, err := ctx.Fleet.ExceptionStacks(m)
+		out, err := ctx.Exec.ExceptionStacks(m)
 		if err != nil {
 			return Result{}, err
 		}
@@ -192,7 +201,7 @@ func init() {
 		if proc == "" {
 			proc = "Transport.exe"
 		}
-		out, err := ctx.Fleet.ThreadStackGrouping(m, proc)
+		out, err := ctx.Exec.ThreadStackGrouping(m, proc)
 		if err != nil {
 			return Result{}, err
 		}
@@ -208,7 +217,7 @@ func init() {
 		if err != nil {
 			return Result{}, err
 		}
-		out, err := ctx.Fleet.DiskUsage(m)
+		out, err := ctx.Exec.DiskUsage(m)
 		if err != nil {
 			return Result{}, err
 		}
@@ -224,7 +233,7 @@ func init() {
 		if err != nil {
 			return Result{}, err
 		}
-		out, err := ctx.Fleet.DNSResolution(m)
+		out, err := ctx.Exec.DNSResolution(m)
 		if err != nil {
 			return Result{}, err
 		}
@@ -238,7 +247,7 @@ func init() {
 
 	// Forest-scoped telemetry queries.
 	registerOp("queue-metrics", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.QueueMetrics(ctx.Forest)
+		out, err := ctx.Exec.QueueMetrics(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -250,7 +259,7 @@ func init() {
 			KV: map[string]string{"queue-backlog": string(outcome)}}, nil
 	})
 	registerOp("crash-events", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.CrashEvents(ctx.Forest)
+		out, err := ctx.Exec.CrashEvents(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -262,7 +271,7 @@ func init() {
 			KV: map[string]string{"crashes-present": string(outcome)}}, nil
 	})
 	registerOp("cert-inventory", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.CertInventory(ctx.Forest)
+		out, err := ctx.Exec.CertInventory(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -274,7 +283,7 @@ func init() {
 			KV: map[string]string{"invalid-cert": string(outcome)}}, nil
 	})
 	registerOp("tenant-connectors", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.TenantConnectors(ctx.Forest)
+		out, err := ctx.Exec.TenantConnectors(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -286,7 +295,7 @@ func init() {
 			KV: map[string]string{"tenant-anomaly": string(outcome)}}, nil
 	})
 	registerOp("component-availability", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.ComponentAvailability(ctx.Forest)
+		out, err := ctx.Exec.ComponentAvailability(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -299,7 +308,7 @@ func init() {
 			KV: map[string]string{"availability-degraded": string(outcome)}}, nil
 	})
 	registerOp("config-dump", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.ConfigDump(ctx.Forest)
+		out, err := ctx.Exec.ConfigDump(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -311,7 +320,7 @@ func init() {
 			KV: map[string]string{"config-service-error": string(outcome)}}, nil
 	})
 	registerOp("delivery-health", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.DeliveryHealth(ctx.Forest)
+		out, err := ctx.Exec.DeliveryHealth(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -323,7 +332,7 @@ func init() {
 			KV: map[string]string{"delivery-restarted-recently": string(outcome)}}, nil
 	})
 	registerOp("trace-sample", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.TraceSample(ctx.Forest)
+		out, err := ctx.Exec.TraceSample(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -335,7 +344,7 @@ func init() {
 			KV: map[string]string{"trace-failing-hop": string(outcome)}}, nil
 	})
 	registerOp("provisioning-status", func(ctx *Context, _ map[string]string) (Result, error) {
-		out, err := ctx.Fleet.ProvisioningStatus(ctx.Forest)
+		out, err := ctx.Exec.ProvisioningStatus(ctx.Forest)
 		if err != nil {
 			return Result{}, err
 		}
@@ -346,7 +355,7 @@ func init() {
 	// record and returns it as the outcome, so edges can route per
 	// exception type ("Get top error msg" in Figure 5).
 	registerOp("top-error", func(ctx *Context, _ map[string]string) (Result, error) {
-		fo, ok := ctx.Fleet.Forest(ctx.Forest)
+		fo, ok := ctx.Fleet().Forest(ctx.Forest)
 		if !ok {
 			return Result{}, fmt.Errorf("handler: unknown forest %q", ctx.Forest)
 		}
@@ -379,7 +388,7 @@ func runScopeSwitch(ctx *Context, params map[string]string) (Result, error) {
 	to := incident.Scope(params["to"])
 	switch to {
 	case incident.ScopeMachine:
-		fo, ok := ctx.Fleet.Forest(ctx.Forest)
+		fo, ok := ctx.Fleet().Forest(ctx.Forest)
 		if !ok {
 			return Result{}, fmt.Errorf("handler: unknown forest %q", ctx.Forest)
 		}

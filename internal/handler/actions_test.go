@@ -13,7 +13,7 @@ func actionCtx(t *testing.T) (*transport.Fleet, *Context) {
 	t.Helper()
 	fleet := transport.NewFleet(transport.DefaultConfig(21))
 	return fleet, &Context{
-		Fleet: fleet,
+		Exec: fleet.Ambient(),
 		Incident: &incident.Incident{
 			ID: "I", Title: "t", Severity: incident.Sev2,
 			Alert: incident.Alert{Type: "A", Scope: incident.ScopeForest,

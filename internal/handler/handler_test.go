@@ -406,3 +406,72 @@ func TestOpNamesSortedAndRegistered(t *testing.T) {
 		}
 	}
 }
+
+// TestRunWithPerRunExecIsolation executes a handler on a fresh per-run
+// execution context: the report's VirtualCost must come from the run's own
+// accumulator, the fleet meter must stay untouched until Finish, and the
+// evidence timestamps must be based at the run's own clock view.
+func TestRunWithPerRunExecIsolation(t *testing.T) {
+	fleet, inc := newIncidentFor(t, "HubPortExhaustion")
+	runner := NewRunner(fleet)
+	h, err := Builtin(inc.Alert.Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meterBefore := fleet.Meter().Total()
+
+	ec := fleet.NewExec(inc.CreatedAt)
+	report, err := runner.RunWith(ec, h, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.VirtualCost <= 0 || report.VirtualCost != ec.CostTotal() {
+		t.Fatalf("VirtualCost = %v, exec total = %v", report.VirtualCost, ec.CostTotal())
+	}
+	if fleet.Meter().Total() != meterBefore {
+		t.Fatal("per-run execution leaked cost into the fleet meter before Finish")
+	}
+	for _, ev := range inc.Evidence {
+		if ev.Collected.Before(inc.CreatedAt) {
+			t.Fatalf("evidence stamped %v, before run base %v", ev.Collected, inc.CreatedAt)
+		}
+		if ev.Collected.After(inc.CreatedAt.Add(report.VirtualCost)) {
+			t.Fatalf("evidence stamped %v, after run end", ev.Collected)
+		}
+	}
+	ec.Finish()
+	if got := fleet.Meter().Total() - meterBefore; got != report.VirtualCost {
+		t.Fatalf("merged cost %v != run cost %v", got, report.VirtualCost)
+	}
+}
+
+// TestRunWithMatchesAmbientRun runs the same handler against two identically
+// seeded fleets, once on the ambient context and once on a per-run context,
+// and requires identical diagnostics and cost — the refactor's equivalence
+// contract.
+func TestRunWithMatchesAmbientRun(t *testing.T) {
+	fleetA, incA := newIncidentFor(t, "DeliveryHang")
+	fleetB, incB := newIncidentFor(t, "DeliveryHang")
+	h, err := Builtin(incA.Alert.Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, err := NewRunner(fleetA).Run(h, incA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := fleetB.NewExec(incB.CreatedAt)
+	repB, err := NewRunner(fleetB).RunWith(ec, h, incB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.VirtualCost != repB.VirtualCost {
+		t.Fatalf("cost diverged: ambient %v vs per-run %v", repA.VirtualCost, repB.VirtualCost)
+	}
+	if a, b := incA.DiagnosticText(), incB.DiagnosticText(); a != b {
+		t.Fatalf("diagnostics diverged:\n--- ambient ---\n%s\n--- per-run ---\n%s", a, b)
+	}
+	if len(repA.Steps) != len(repB.Steps) {
+		t.Fatalf("step counts diverged: %d vs %d", len(repA.Steps), len(repB.Steps))
+	}
+}

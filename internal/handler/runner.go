@@ -41,12 +41,27 @@ func NewRunner(fleet *transport.Fleet) *Runner {
 	return &Runner{Fleet: fleet, KnownIssues: kvstore.New(), MaxSteps: 64}
 }
 
-// Run executes h for the incident, walking the decision tree from the root:
-// each node's action runs, its output is appended to the incident's
-// evidence, its key-value table merges into the incident's action outputs,
-// and its outcome selects the next edge (falling back to Default). The walk
-// stops at a node with no matching edge.
+// Run executes h for the incident on the fleet's ambient execution context:
+// telemetry cost lands in the shared fleet meter and the shared virtual
+// clock advances, the behaviour sequential drivers (corpus generation,
+// single-threaded tools, tests) expect. Concurrent callers use RunWith with
+// a per-run context instead; interleaved ambient runs would blur VirtualCost
+// attribution (though they are memory-safe).
 func (r *Runner) Run(h *Handler, inc *incident.Incident) (*RunReport, error) {
+	return r.RunWith(r.Fleet.Ambient(), h, inc)
+}
+
+// RunWith executes h for the incident on the given execution context,
+// walking the decision tree from the root: each node's action runs, its
+// output is appended to the incident's evidence, its key-value table merges
+// into the incident's action outputs, and its outcome selects the next edge
+// (falling back to Default). The walk stops at a node with no matching edge.
+//
+// Every telemetry query charges the context's cost sink and advances the
+// context's clock view, so runs on distinct per-run contexts (Fleet.NewExec)
+// may execute concurrently: cost attribution and evidence timestamps are
+// private to the run.
+func (r *Runner) RunWith(ec *transport.Exec, h *Handler, inc *incident.Incident) (*RunReport, error) {
 	if err := h.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,7 +70,7 @@ func (r *Runner) Run(h *Handler, inc *incident.Incident) (*RunReport, error) {
 			h.Name, h.AlertType, inc.ID, inc.Alert.Type)
 	}
 	ctx := &Context{
-		Fleet:       r.Fleet,
+		Exec:        ec,
 		Incident:    inc,
 		Scope:       inc.Alert.Scope,
 		Target:      inc.Alert.Target,
@@ -70,7 +85,7 @@ func (r *Runner) Run(h *Handler, inc *incident.Incident) (*RunReport, error) {
 	if maxSteps <= 0 {
 		maxSteps = 64
 	}
-	costBefore := r.Fleet.Meter().Total()
+	costBefore := ec.CostTotal()
 
 	cur := h.Root
 	for steps := 0; cur != ""; steps++ {
@@ -90,7 +105,7 @@ func (r *Runner) Run(h *Handler, inc *incident.Incident) (*RunReport, error) {
 			if source == "" {
 				source = string(node.Action.Kind)
 			}
-			inc.AddEvidence(source, res.Kind, res.Output, r.Fleet.Clock().Now())
+			inc.AddEvidence(source, res.Kind, res.Output, ec.Now())
 		}
 		for k, v := range res.KV {
 			inc.SetActionOutput(k, v)
@@ -107,7 +122,7 @@ func (r *Runner) Run(h *Handler, inc *incident.Incident) (*RunReport, error) {
 		}
 		cur = next
 	}
-	report.VirtualCost = r.Fleet.Meter().Total() - costBefore
+	report.VirtualCost = ec.CostTotal() - costBefore
 	return report, nil
 }
 

@@ -52,6 +52,18 @@ func SetLimit(n int) int {
 	return int(budget.Swap(int64(n)))
 }
 
+// Reserve takes up to want extra-worker slots from the process-wide budget
+// and returns how many were granted (possibly zero). It is how long-lived
+// consumers — a streaming pipeline holding workers for the life of a
+// channel — share the same budget as transient ForEach/Map calls, so a
+// stream exerts backpressure on batch work and vice versa. Every grant must
+// be returned with Release; the caller's own goroutine never needs a slot,
+// so progress is guaranteed even on a zero grant.
+func Reserve(want int) int { return reserve(want) }
+
+// Release returns n slots taken by Reserve to the process-wide budget.
+func Release(n int) { release(n) }
+
 // reserve takes up to want extra workers from the global budget.
 func reserve(want int) int {
 	if want <= 0 {

@@ -193,3 +193,33 @@ func TestForEachConcurrentCallers(t *testing.T) {
 		t.Fatalf("budget leaked: %d != %d", Limit(), before)
 	}
 }
+
+func TestReserveReleaseRoundTrip(t *testing.T) {
+	defer SetLimit(SetLimit(4))
+
+	if got := Reserve(2); got != 2 {
+		t.Fatalf("Reserve(2) = %d with budget 4", got)
+	}
+	if got := Limit(); got != 2 {
+		t.Fatalf("Limit after reserve = %d, want 2", got)
+	}
+	// Over-asking grants only what's left; an exhausted budget grants zero.
+	if got := Reserve(10); got != 2 {
+		t.Fatalf("Reserve(10) = %d, want remaining 2", got)
+	}
+	if got := Reserve(1); got != 0 {
+		t.Fatalf("Reserve on empty budget = %d, want 0", got)
+	}
+	Release(2)
+	Release(2)
+	Release(0) // no-op
+	if got := Limit(); got != 4 {
+		t.Fatalf("Limit after releases = %d, want 4", got)
+	}
+	if got := Reserve(0); got != 0 {
+		t.Fatalf("Reserve(0) = %d", got)
+	}
+	if got := Reserve(-3); got != 0 {
+		t.Fatalf("Reserve(-3) = %d", got)
+	}
+}

@@ -1,0 +1,72 @@
+package timeutil
+
+import (
+	"sync"
+	"time"
+)
+
+// RunClock is a per-run view of virtual time: it starts at a base instant
+// and advances privately, so many concurrent runs can each model "time
+// passes while my telemetry queries execute" without interleaving on one
+// shared clock. A RunClock is safe for concurrent use, though a run context
+// is normally confined to a single goroutine.
+type RunClock struct {
+	mu      sync.Mutex
+	base    time.Time
+	elapsed time.Duration
+}
+
+// NewRunClock returns a RunClock starting at base.
+func NewRunClock(base time.Time) *RunClock {
+	return &RunClock{base: base}
+}
+
+// Now implements Clock.
+func (c *RunClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base.Add(c.elapsed)
+}
+
+// Sleep implements Clock by advancing the view without blocking.
+func (c *RunClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// Advance moves the view forward by d (negative d is ignored).
+func (c *RunClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.elapsed += d
+	c.mu.Unlock()
+}
+
+// Elapsed returns how far the view has advanced past its base.
+func (c *RunClock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
+
+// CostAccumulator collects one run's virtual cost privately, so concurrent
+// runs never contend on (or corrupt the delta arithmetic of) a shared
+// CostMeter. It is a CostMeter scoped to one run — same Charge/Total/ByKey
+// semantics — plus MergeInto, which a finished run uses to fold its cost
+// into the fleet-wide meter.
+type CostAccumulator struct {
+	CostMeter
+}
+
+// NewCostAccumulator returns an empty accumulator.
+func NewCostAccumulator() *CostAccumulator {
+	return &CostAccumulator{CostMeter: CostMeter{byKey: make(map[string]time.Duration)}}
+}
+
+// MergeInto adds the accumulator's per-key costs to a shared meter. Every
+// addition commutes and CostMeter.Charge locks per call, so the meter's
+// final state is identical however concurrent runs' merges interleave.
+func (a *CostAccumulator) MergeInto(m *CostMeter) {
+	for k, v := range a.ByKey() {
+		m.Charge(k, v)
+	}
+}

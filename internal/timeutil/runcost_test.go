@@ -1,0 +1,88 @@
+package timeutil
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunClockAdvancesPrivately(t *testing.T) {
+	base := time.Date(2022, 6, 1, 12, 0, 0, 0, time.UTC)
+	a := NewRunClock(base)
+	b := NewRunClock(base)
+	a.Advance(90 * time.Second)
+	a.Sleep(30 * time.Second)
+	a.Advance(-time.Hour) // ignored
+	if got := a.Now(); !got.Equal(base.Add(2 * time.Minute)) {
+		t.Fatalf("a.Now() = %v, want base+2m", got)
+	}
+	if got := a.Elapsed(); got != 2*time.Minute {
+		t.Fatalf("a.Elapsed() = %v, want 2m", got)
+	}
+	if got := b.Now(); !got.Equal(base) {
+		t.Fatalf("b advanced with a: %v", got)
+	}
+}
+
+func TestCostAccumulatorChargesAndMerges(t *testing.T) {
+	a := NewCostAccumulator()
+	a.Charge("probe-log", time.Second)
+	a.Charge("probe-log", time.Second)
+	a.Charge("dns-check", 500*time.Millisecond)
+	a.Charge("dns-check", -time.Hour) // ignored
+	if got := a.Total(); got != 2500*time.Millisecond {
+		t.Fatalf("Total = %v", got)
+	}
+	if by := a.ByKey(); by["probe-log"] != 2*time.Second || by["dns-check"] != 500*time.Millisecond {
+		t.Fatalf("ByKey = %v", by)
+	}
+
+	m := NewCostMeter()
+	m.Charge("dns-check", time.Second)
+	a.MergeInto(m)
+	if got := m.Total(); got != 3500*time.Millisecond {
+		t.Fatalf("merged meter total = %v", got)
+	}
+	if by := m.ByKey(); by["dns-check"] != 1500*time.Millisecond {
+		t.Fatalf("merged dns-check = %v", by["dns-check"])
+	}
+}
+
+// TestCostAccumulatorMergeCommutes merges many per-run accumulators into one
+// meter from concurrent goroutines and requires the final state to equal the
+// sequential merge — the property that lets collection run unserialized.
+func TestCostAccumulatorMergeCommutes(t *testing.T) {
+	mk := func(i int) *CostAccumulator {
+		a := NewCostAccumulator()
+		a.Charge("q", time.Duration(i+1)*time.Second)
+		a.Charge("r", time.Duration(i+1)*time.Millisecond)
+		return a
+	}
+	const n = 16
+
+	seq := NewCostMeter()
+	for i := 0; i < n; i++ {
+		mk(i).MergeInto(seq)
+	}
+
+	par := NewCostMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mk(i).MergeInto(par)
+		}(i)
+	}
+	wg.Wait()
+
+	if seq.Total() != par.Total() {
+		t.Fatalf("totals diverged: %v vs %v", seq.Total(), par.Total())
+	}
+	sby, pby := seq.ByKey(), par.ByKey()
+	for k, v := range sby {
+		if pby[k] != v {
+			t.Fatalf("key %s diverged: %v vs %v", k, v, pby[k])
+		}
+	}
+}

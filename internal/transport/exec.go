@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/timeutil"
+)
+
+// execClock is the clock surface a run context advances: the fleet's shared
+// virtual clock (ambient context) or a private per-run view.
+type execClock interface {
+	Now() time.Time
+	Advance(d time.Duration)
+}
+
+// costSink is where a run context books its modelled telemetry cost: the
+// fleet-wide meter (ambient context) or a private per-run accumulator.
+type costSink interface {
+	Charge(key string, d time.Duration)
+	Total() time.Duration
+}
+
+// Exec is a per-run execution context over a Fleet: every telemetry query it
+// serves charges its modelled cost into the context's own sink and advances
+// the context's own clock view. Contexts are what let many handler runs
+// execute concurrently against one fleet — cost attribution and virtual time
+// are private to the run, so nothing interleaves — while the fleet's shared
+// meter and clock still see every run once the context is Finished.
+//
+// Fleet state reads (Forest, Machine, Limits, ...) remain on *Fleet; an Exec
+// adds only the charged query surface.
+type Exec struct {
+	fleet    *Fleet
+	clock    execClock
+	costs    costSink
+	private  *timeutil.CostAccumulator // nil for the ambient context
+	finished bool                      // Finish already merged this run
+}
+
+// NewExec returns a per-run execution context whose clock view starts at
+// `at` (the incident's creation time, typically). A zero `at` starts at the
+// fleet clock's current instant.
+func (f *Fleet) NewExec(at time.Time) *Exec {
+	if at.IsZero() {
+		at = f.clock.Now()
+	}
+	acc := timeutil.NewCostAccumulator()
+	return &Exec{
+		fleet:   f,
+		clock:   timeutil.NewRunClock(at),
+		costs:   acc,
+		private: acc,
+	}
+}
+
+// Ambient returns the fleet's shared execution context: queries charge the
+// fleet meter directly and advance the shared virtual clock, the pre-context
+// behaviour. It is what the Fleet's own query methods delegate to, and what
+// sequential drivers (corpus generation, single-threaded tools) use.
+// Concurrent callers wanting per-run cost attribution use NewExec instead.
+func (f *Fleet) Ambient() *Exec { return f.ambient }
+
+// Fleet returns the fleet under diagnosis.
+func (e *Exec) Fleet() *Fleet { return e.fleet }
+
+// Now returns the context's current virtual time.
+func (e *Exec) Now() time.Time { return e.clock.Now() }
+
+// CostTotal returns the total virtual cost charged through this context's
+// sink so far (for the ambient context: the fleet meter's running total).
+func (e *Exec) CostTotal() time.Duration { return e.costs.Total() }
+
+// Costs returns the run's private cost accumulator, or nil for the ambient
+// context (which charges the fleet meter directly).
+func (e *Exec) Costs() *timeutil.CostAccumulator { return e.private }
+
+// Finish folds a per-run context back into fleet-level accounting: the
+// private accumulator merges into the fleet meter and the shared virtual
+// clock advances past the run's total cost. Both operations commute, so the
+// fleet's final state is identical however concurrent runs' Finishes
+// interleave. Finish is idempotent (subsequent calls are no-ops, so
+// `defer ec.Finish()` is safe alongside an explicit call) and a no-op for
+// the ambient context, which charged the fleet directly. Like the rest of a
+// run context, it is meant to be called from the run's own goroutine.
+func (e *Exec) Finish() {
+	if e.private == nil || e.finished {
+		return
+	}
+	e.finished = true
+	e.private.MergeInto(e.fleet.meter)
+	e.fleet.clock.Advance(e.private.Total())
+}
+
+// charge books a modelled telemetry cost against the context's sink and
+// advances its clock view, simulating the latency of the backing store.
+func (e *Exec) charge(site string, d time.Duration) {
+	d = time.Duration(float64(d) * e.fleet.cfg.QueryCostScale)
+	e.costs.Charge(site, d)
+	e.clock.Advance(d)
+}
+
+// ---- Fleet-level query surface (ambient-context delegation) ----
+//
+// The Fleet keeps the full telemetry query API for sequential callers and
+// existing tests; each call runs on the ambient context, charging the fleet
+// meter and advancing the shared clock exactly as before per-run contexts
+// existed.
+
+// ProbeLog renders a machine's recent synthetic-probe results.
+func (f *Fleet) ProbeLog(machine string) (string, error) { return f.ambient.ProbeLog(machine) }
+
+// SocketMetrics renders a machine's UDP socket table.
+func (f *Fleet) SocketMetrics(machine string) (string, error) {
+	return f.ambient.SocketMetrics(machine)
+}
+
+// ExceptionStacks renders a machine's recent exception stacks.
+func (f *Fleet) ExceptionStacks(machine string) (string, error) {
+	return f.ambient.ExceptionStacks(machine)
+}
+
+// ThreadStackGrouping aggregates identical thread stacks in a process.
+func (f *Fleet) ThreadStackGrouping(machine, process string) (string, error) {
+	return f.ambient.ThreadStackGrouping(machine, process)
+}
+
+// QueueMetrics renders a forest's queue depths.
+func (f *Fleet) QueueMetrics(forest string) (string, error) { return f.ambient.QueueMetrics(forest) }
+
+// DiskUsage renders a machine's per-volume utilization.
+func (f *Fleet) DiskUsage(machine string) (string, error) { return f.ambient.DiskUsage(machine) }
+
+// CrashEvents renders a forest's crash record.
+func (f *Fleet) CrashEvents(forest string) (string, error) { return f.ambient.CrashEvents(forest) }
+
+// CertInventory renders a forest's certificate table.
+func (f *Fleet) CertInventory(forest string) (string, error) {
+	return f.ambient.CertInventory(forest)
+}
+
+// TenantConnectors renders a forest's per-tenant connector counts.
+func (f *Fleet) TenantConnectors(forest string) (string, error) {
+	return f.ambient.TenantConnectors(forest)
+}
+
+// ComponentAvailability renders a forest's component availability counters.
+func (f *Fleet) ComponentAvailability(forest string) (string, error) {
+	return f.ambient.ComponentAvailability(forest)
+}
+
+// ConfigDump renders a forest's configuration-service state.
+func (f *Fleet) ConfigDump(forest string) (string, error) { return f.ambient.ConfigDump(forest) }
+
+// DNSResolution renders a DNS health check from a machine.
+func (f *Fleet) DNSResolution(machine string) (string, error) {
+	return f.ambient.DNSResolution(machine)
+}
+
+// DeliveryHealth reports a forest's delivery-service health.
+func (f *Fleet) DeliveryHealth(forest string) (string, error) {
+	return f.ambient.DeliveryHealth(forest)
+}
+
+// TraceSample renders a request-flow trace across a forest's tiers.
+func (f *Fleet) TraceSample(forest string) (string, error) { return f.ambient.TraceSample(forest) }
+
+// ProvisioningStatus renders a forest's provisioning check.
+func (f *Fleet) ProvisioningStatus(forest string) (string, error) {
+	return f.ambient.ProvisioningStatus(forest)
+}

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExecChargesPrivatelyAndFinishMerges(t *testing.T) {
+	f := NewFleet(DefaultConfig(21))
+	machine := f.Forests[0].Machines[0].Name
+	base := time.Date(2022, 3, 1, 9, 0, 0, 0, time.UTC)
+
+	sharedBefore := f.Meter().Total()
+	clockBefore := f.Clock().Now()
+
+	e := f.NewExec(base)
+	if _, err := e.ProbeLog(machine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DNSResolution(machine); err != nil {
+		t.Fatal(err)
+	}
+
+	want := 1500*time.Millisecond + 400*time.Millisecond
+	if got := e.CostTotal(); got != want {
+		t.Fatalf("exec cost = %v, want %v", got, want)
+	}
+	if got := e.Costs().Total(); got != want {
+		t.Fatalf("accumulator total = %v, want %v", got, want)
+	}
+	if !e.Now().Equal(base.Add(want)) {
+		t.Fatalf("exec clock = %v, want base+%v", e.Now(), want)
+	}
+	// Nothing leaked into the fleet before Finish.
+	if f.Meter().Total() != sharedBefore {
+		t.Fatalf("fleet meter moved before Finish: %v", f.Meter().Total())
+	}
+	if !f.Clock().Now().Equal(clockBefore) {
+		t.Fatalf("fleet clock moved before Finish: %v", f.Clock().Now())
+	}
+
+	e.Finish()
+	if got := f.Meter().Total() - sharedBefore; got != want {
+		t.Fatalf("merged fleet cost = %v, want %v", got, want)
+	}
+	if !f.Clock().Now().Equal(clockBefore.Add(want)) {
+		t.Fatalf("fleet clock after Finish = %v", f.Clock().Now())
+	}
+	if by := f.Meter().ByKey(); by["probe-log"] != 1500*time.Millisecond {
+		t.Fatalf("probe-log merged cost = %v", by["probe-log"])
+	}
+}
+
+func TestExecZeroBaseStartsAtFleetClock(t *testing.T) {
+	f := NewFleet(DefaultConfig(21))
+	e := f.NewExec(time.Time{})
+	if !e.Now().Equal(f.Clock().Now()) {
+		t.Fatalf("zero-base exec starts at %v, fleet at %v", e.Now(), f.Clock().Now())
+	}
+}
+
+func TestAmbientExecChargesFleetDirectly(t *testing.T) {
+	f := NewFleet(DefaultConfig(21))
+	machine := f.Forests[0].Machines[0].Name
+	before := f.Meter().Total()
+	clockBefore := f.Clock().Now()
+
+	a := f.Ambient()
+	if a.Costs() != nil {
+		t.Fatal("ambient context should have no private accumulator")
+	}
+	if _, err := a.DiskUsage(machine); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Meter().Total() - before; got != 600*time.Millisecond {
+		t.Fatalf("ambient charge = %v, want 600ms", got)
+	}
+	if !f.Clock().Now().Equal(clockBefore.Add(600 * time.Millisecond)) {
+		t.Fatalf("ambient clock advance wrong: %v", f.Clock().Now())
+	}
+	a.Finish() // no-op
+	if got := f.Meter().Total() - before; got != 600*time.Millisecond {
+		t.Fatalf("ambient Finish double-charged: %v", got)
+	}
+}
+
+// TestConcurrentExecsDoNotInterleave runs many execs against one fleet at
+// once; each must observe exactly its own cost, and the fleet totals must
+// equal the sequential sum.
+func TestConcurrentExecsDoNotInterleave(t *testing.T) {
+	f := NewFleet(DefaultConfig(21))
+	machine := f.Forests[0].Machines[0].Name
+	base := f.Clock().Now()
+	const runs = 32
+	perRun := 1500*time.Millisecond + 800*time.Millisecond // probe-log + socket-metrics
+
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := f.NewExec(base)
+			if _, err := e.ProbeLog(machine); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := e.SocketMetrics(machine); err != nil {
+				t.Error(err)
+				return
+			}
+			if got := e.CostTotal(); got != perRun {
+				t.Errorf("run cost = %v, want %v", got, perRun)
+			}
+			e.Finish()
+		}()
+	}
+	wg.Wait()
+
+	if got, want := f.Meter().Total(), time.Duration(runs)*perRun; got != want {
+		t.Fatalf("fleet total = %v, want %v", got, want)
+	}
+	if got, want := f.Clock().Now(), base.Add(time.Duration(runs)*perRun); !got.Equal(want) {
+		t.Fatalf("fleet clock = %v, want %v", got, want)
+	}
+}

@@ -11,15 +11,21 @@ import (
 // state, in the shapes the paper's Figure 6 shows (probe logs, exception
 // stacks, socket tables), and charges a modelled virtual cost that stands in
 // for the latency of the production telemetry backend.
+//
+// The queries live on the per-run execution context (Exec): the cost lands
+// in the run's own sink and virtual time advances on the run's own clock
+// view, so concurrent handler runs never interleave their accounting. The
+// Fleet re-exports every query through its ambient context (see exec.go).
 
 // ProbeLog renders the recent synthetic-probe results for a machine,
 // matching the DatacenterHubOutboundProxyProbe log of Figure 6.
-func (f *Fleet) ProbeLog(machine string) (string, error) {
+func (e *Exec) ProbeLog(machine string) (string, error) {
+	f := e.fleet
 	m, ok := f.Machine(machine)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown machine %q", machine)
 	}
-	f.charge("probe-log", 1500*time.Millisecond)
+	e.charge("probe-log", 1500*time.Millisecond)
 
 	var b strings.Builder
 	failed := 0
@@ -40,12 +46,13 @@ func (f *Fleet) ProbeLog(machine string) (string, error) {
 
 // SocketMetrics renders the machine's UDP socket table grouped by process,
 // top five consumers first (Figure 6's bottom block).
-func (f *Fleet) SocketMetrics(machine string) (string, error) {
+func (e *Exec) SocketMetrics(machine string) (string, error) {
+	f := e.fleet
 	m, ok := f.Machine(machine)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown machine %q", machine)
 	}
-	f.charge("socket-metrics", 800*time.Millisecond)
+	e.charge("socket-metrics", 800*time.Millisecond)
 
 	type row struct {
 		key   string
@@ -78,12 +85,13 @@ func (f *Fleet) SocketMetrics(machine string) (string, error) {
 
 // ExceptionStacks renders the most recent exception stack traces observed on
 // a machine (middle block of Figure 6). Healthy machines report none.
-func (f *Fleet) ExceptionStacks(machine string) (string, error) {
+func (e *Exec) ExceptionStacks(machine string) (string, error) {
+	f := e.fleet
 	m, ok := f.Machine(machine)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown machine %q", machine)
 	}
-	f.charge("exception-stacks", 2*time.Second)
+	e.charge("exception-stacks", 2*time.Second)
 
 	fo, _ := f.Forest(m.Forest)
 	var b strings.Builder
@@ -116,12 +124,13 @@ func (f *Fleet) ExceptionStacks(machine string) (string, error) {
 // ThreadStackGrouping aggregates threads with identical stacks in the target
 // process, the analog of the paper's Get-ThreadStackGrouping.ps1 script used
 // to surface deadlocks and blocking code paths.
-func (f *Fleet) ThreadStackGrouping(machine, process string) (string, error) {
+func (e *Exec) ThreadStackGrouping(machine, process string) (string, error) {
+	f := e.fleet
 	m, ok := f.Machine(machine)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown machine %q", machine)
 	}
-	f.charge("thread-stacks", 4*time.Second)
+	e.charge("thread-stacks", 4*time.Second)
 
 	var proc *Process
 	for _, p := range m.Procs {
@@ -162,12 +171,13 @@ func (f *Fleet) ThreadStackGrouping(machine, process string) (string, error) {
 
 // QueueMetrics renders submission/delivery queue depths for every machine
 // in the forest.
-func (f *Fleet) QueueMetrics(forest string) (string, error) {
+func (e *Exec) QueueMetrics(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("queue-metrics", 1200*time.Millisecond)
+	e.charge("queue-metrics", 1200*time.Millisecond)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Queue depths for forest %s:\n", fo.Name)
@@ -189,12 +199,13 @@ func (f *Fleet) QueueMetrics(forest string) (string, error) {
 }
 
 // DiskUsage renders per-volume utilization for a machine.
-func (f *Fleet) DiskUsage(machine string) (string, error) {
+func (e *Exec) DiskUsage(machine string) (string, error) {
+	f := e.fleet
 	m, ok := f.Machine(machine)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown machine %q", machine)
 	}
-	f.charge("disk-usage", 600*time.Millisecond)
+	e.charge("disk-usage", 600*time.Millisecond)
 
 	vols := make([]string, 0, len(m.DiskUsedPct))
 	for v := range m.DiskUsedPct {
@@ -215,12 +226,13 @@ func (f *Fleet) DiskUsage(machine string) (string, error) {
 }
 
 // CrashEvents renders the forest-wide crash record.
-func (f *Fleet) CrashEvents(forest string) (string, error) {
+func (e *Exec) CrashEvents(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("crash-events", 2500*time.Millisecond)
+	e.charge("crash-events", 2500*time.Millisecond)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Crash events in forest %s (last 24h): %d\n", fo.Name, len(fo.Crashes))
@@ -236,12 +248,13 @@ func (f *Fleet) CrashEvents(forest string) (string, error) {
 
 // CertInventory renders the forest's certificate table, flagging invalid
 // entries (AuthCertIssue surfaces here).
-func (f *Fleet) CertInventory(forest string) (string, error) {
+func (e *Exec) CertInventory(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("cert-inventory", 1800*time.Millisecond)
+	e.charge("cert-inventory", 1800*time.Millisecond)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Certificates installed in forest %s:\n", fo.Name)
@@ -265,12 +278,13 @@ func (f *Fleet) CertInventory(forest string) (string, error) {
 
 // TenantConnectors renders per-tenant SMTP connector counts, flagging
 // suspicious volumes from recently created tenants.
-func (f *Fleet) TenantConnectors(forest string) (string, error) {
+func (e *Exec) TenantConnectors(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("tenant-connectors", 2200*time.Millisecond)
+	e.charge("tenant-connectors", 2200*time.Millisecond)
 
 	var b strings.Builder
 	total, bogus := 0, 0
@@ -295,12 +309,13 @@ func (f *Fleet) TenantConnectors(forest string) (string, error) {
 }
 
 // ComponentAvailability renders forest component availability counters.
-func (f *Fleet) ComponentAvailability(forest string) (string, error) {
+func (e *Exec) ComponentAvailability(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("component-availability", 900*time.Millisecond)
+	e.charge("component-availability", 900*time.Millisecond)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Component availability in forest %s:\n", fo.Name)
@@ -320,12 +335,13 @@ func (f *Fleet) ComponentAvailability(forest string) (string, error) {
 }
 
 // ConfigDump renders the forest configuration-service state.
-func (f *Fleet) ConfigDump(forest string) (string, error) {
+func (e *Exec) ConfigDump(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("config-dump", 700*time.Millisecond)
+	e.charge("config-dump", 700*time.Millisecond)
 
 	keys := make([]string, 0, len(fo.Config))
 	for k := range fo.Config {
@@ -345,12 +361,13 @@ func (f *Fleet) ConfigDump(forest string) (string, error) {
 
 // DNSResolution renders a DNS health check from a machine, which fails when
 // UDP source ports are exhausted (HubPortExhaustion).
-func (f *Fleet) DNSResolution(machine string) (string, error) {
+func (e *Exec) DNSResolution(machine string) (string, error) {
+	f := e.fleet
 	m, ok := f.Machine(machine)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown machine %q", machine)
 	}
-	f.charge("dns-check", 400*time.Millisecond)
+	e.charge("dns-check", 400*time.Millisecond)
 
 	if m.DNSHealthy {
 		return fmt.Sprintf("DNS resolution from %s: OK (resolved smtp relay in 12ms)\n", m.Name), nil
@@ -360,12 +377,13 @@ func (f *Fleet) DNSResolution(machine string) (string, error) {
 
 // DeliveryHealth reports whether the forest's delivery service is keeping up
 // and whether it was restarted recently (the Figure 5 handler's check).
-func (f *Fleet) DeliveryHealth(forest string) (string, error) {
+func (e *Exec) DeliveryHealth(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("delivery-health", 1100*time.Millisecond)
+	e.charge("delivery-health", 1100*time.Millisecond)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Delivery health for forest %s:\n", fo.Name)
@@ -382,12 +400,13 @@ func (f *Fleet) DeliveryHealth(forest string) (string, error) {
 
 // TraceSample renders a short request-flow trace across the forest's tiers,
 // annotated with the first failing hop if any.
-func (f *Fleet) TraceSample(forest string) (string, error) {
+func (e *Exec) TraceSample(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("trace-sample", 1600*time.Millisecond)
+	e.charge("trace-sample", 1600*time.Millisecond)
 
 	fd := fo.MachinesByRole(RoleFrontDoor)
 	hb := fo.MachinesByRole(RoleHub)
@@ -422,12 +441,13 @@ func (f *Fleet) TraceSample(forest string) (string, error) {
 
 // ProvisioningStatus renders the common new-incident check the paper
 // mentions (evaluating provisioning status) for a forest.
-func (f *Fleet) ProvisioningStatus(forest string) (string, error) {
+func (e *Exec) ProvisioningStatus(forest string) (string, error) {
+	f := e.fleet
 	fo, ok := f.Forest(forest)
 	if !ok {
 		return "", fmt.Errorf("transport: unknown forest %q", forest)
 	}
-	f.charge("provisioning-status", 500*time.Millisecond)
+	e.charge("provisioning-status", 500*time.Millisecond)
 	return fmt.Sprintf("Provisioning status for %s: %d/%d machines in service, build %s\n",
 		fo.Name, len(fo.Machines), len(fo.Machines), fo.Config["TransportConfigVersion"]), nil
 }

@@ -204,6 +204,7 @@ type Fleet struct {
 	rng     *rand.Rand
 	clock   *timeutil.Virtual
 	meter   *timeutil.CostMeter
+	ambient *Exec
 	Forests []*Forest
 	active  []*ActiveFault
 }
@@ -228,6 +229,7 @@ func NewFleet(cfg Config) *Fleet {
 		clock: timeutil.NewVirtual(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)),
 		meter: timeutil.NewCostMeter(),
 	}
+	f.ambient = &Exec{fleet: f, clock: f.clock, costs: f.meter}
 	for i := 0; i < cfg.NumForests; i++ {
 		f.Forests = append(f.Forests, f.buildForest(i))
 	}
@@ -402,10 +404,3 @@ func (fo *Forest) MachinesByRole(role Role) []*Machine {
 	return out
 }
 
-// charge books a modelled telemetry cost against the fleet meter and
-// advances the virtual clock, simulating the latency of the backing store.
-func (f *Fleet) charge(site string, d time.Duration) {
-	d = time.Duration(float64(d) * f.cfg.QueryCostScale)
-	f.meter.Charge(site, d)
-	f.clock.Advance(d)
-}

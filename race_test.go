@@ -1,9 +1,13 @@
 package rcacopilot
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/parallel"
 )
@@ -190,5 +194,169 @@ func TestConcurrentFeedbackLoop(t *testing.T) {
 	stats := loop.ComputeStats()
 	if want := reviewers * perG; stats.Total != want {
 		t.Fatalf("recorded %d verdicts, want %d", stats.Total, want)
+	}
+}
+
+// TestConcurrentCollectHammer drives the unserialized collection stage from
+// many goroutines on one fleet: with per-run execution contexts there is no
+// collection mutex left, so this is the test that must stay clean under
+// `go test -race ./...`. Identical incidents must report identical virtual
+// costs regardless of interleaving.
+func TestConcurrentCollectHammer(t *testing.T) {
+	sys, alert := raceSystem(t)
+	at := sys.Fleet().Clock().Now()
+
+	var wg sync.WaitGroup
+	const collectors, perG = 8, 6
+	costs := make([]string, collectors*perG)
+	for g := 0; g < collectors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				inc := &Incident{
+					ID: fmt.Sprintf("INC-COLL-%d-%03d", g, i), Title: alert.Message,
+					OwningTeam: "Transport", Severity: Sev2, Alert: alert,
+					CreatedAt: at,
+				}
+				rep, err := sys.Collect(inc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rep.VirtualCost <= 0 || len(inc.Evidence) == 0 {
+					t.Errorf("incident %s: empty collection", inc.ID)
+					return
+				}
+				costs[g*perG+i] = rep.VirtualCost.String()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 1; i < len(costs); i++ {
+		if costs[i] != costs[0] {
+			t.Fatalf("per-run cost attribution interleaved: run %d charged %s, run 0 charged %s",
+				i, costs[i], costs[0])
+		}
+	}
+}
+
+// TestHandleStreamHammer mixes several stream producers, several consumers
+// of one result channel, and a learner growing the vector store mid-stream —
+// the live alert-bus shape the streaming API exists for.
+func TestHandleStreamHammer(t *testing.T) {
+	defer parallel.SetLimit(parallel.SetLimit(8))
+	sys, alert := raceSystem(t)
+	c := sharedCorpus(t)
+	at := sys.Fleet().Clock().Now()
+
+	const producers, perProducer, consumers = 3, 8, 3
+	in := make(chan *Incident)
+	out := sys.HandleStream(context.Background(), in)
+
+	var produce sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		produce.Add(1)
+		go func(p int) {
+			defer produce.Done()
+			for i := 0; i < perProducer; i++ {
+				in <- &Incident{
+					ID: fmt.Sprintf("INC-STRM-%d-%03d", p, i), Title: alert.Message,
+					OwningTeam: "Transport", Severity: Sev2, Alert: alert,
+					CreatedAt: at,
+				}
+			}
+		}(p)
+	}
+	go func() {
+		produce.Wait()
+		close(in)
+	}()
+
+	// A learner feeds fresh history into the store while the stream runs.
+	var learn sync.WaitGroup
+	learn.Add(1)
+	go func() {
+		defer learn.Done()
+		for i := 0; i < 12; i++ {
+			if err := sys.Learn(c.Incidents[300+i].Clone()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var consume sync.WaitGroup
+	var got atomic.Int64
+	for w := 0; w < consumers; w++ {
+		consume.Add(1)
+		go func() {
+			defer consume.Done()
+			for res := range out {
+				if res.Err != nil {
+					t.Error(res.Err)
+					return
+				}
+				if res.Incident.Predicted == "" {
+					t.Errorf("incident %s: no prediction", res.Incident.ID)
+					return
+				}
+				got.Add(1)
+			}
+		}()
+	}
+	consume.Wait()
+	learn.Wait()
+	if want := int64(producers * perProducer); got.Load() != want {
+		t.Fatalf("stream emitted %d results, want %d", got.Load(), want)
+	}
+}
+
+// TestHandleStreamCancelDoesNotLeakGoroutines cancels a stream early —
+// producer still writing, consumer gone — and requires the process goroutine
+// count to return to its baseline, proving workers unwind instead of
+// blocking on the abandoned output channel.
+func TestHandleStreamCancelDoesNotLeakGoroutines(t *testing.T) {
+	sys, alert := raceSystem(t)
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		in := make(chan *Incident)
+		out := sys.HandleStream(ctx, in)
+		go func() {
+			at := sys.Fleet().Clock().Now()
+			for i := 0; ; i++ {
+				inc := &Incident{
+					ID: fmt.Sprintf("INC-LEAK-%d", i), Title: alert.Message,
+					OwningTeam: "Transport", Severity: Sev2, Alert: alert,
+					CreatedAt: at,
+				}
+				select {
+				case in <- inc:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		<-out // wait for at least one result so workers are mid-flight
+		cancel()
+		// The output channel must close; drain whatever raced the cancel.
+		for range out {
+		}
+	}
+
+	// Workers unwind asynchronously after the channel closes; poll briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancelled streams",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -33,19 +33,25 @@
 //
 // # Concurrency and determinism
 //
-// A System is safe for concurrent use, and HandleIncidents processes a
-// batch of incidents on a bounded worker pool — the shape a high-traffic
-// deployment needs. Concurrency does not cost reproducibility: the
-// simulated GPT endpoint derives its random state per request, seeding an
-// RNG with seed ^ hash(prompt), so a completion depends only on the client
-// seed and the prompt text — never on call order or interleaving. Identical
-// incidents therefore produce identical predictions whether handled one at
-// a time or in a concurrent batch, and the evaluation harness exploits the
-// same contract to parallelize the paper's experiments while reproducing
-// the sequential results bit for bit. Only the collection stage serializes
-// internally (handler runs advance the fleet's shared virtual clock and
-// meter per-run telemetry cost); summarization and prediction run fully in
-// parallel.
+// A System is safe for concurrent use. HandleIncidents processes a batch of
+// incidents on a bounded worker pool, and HandleStream consumes a live
+// channel of incidents — the alert-bus shape — emitting results as they
+// complete, with backpressure against the same process-wide worker budget.
+// Every pipeline stage runs unserialized: summarization and prediction are
+// stateless per incident, and each collection run executes on its own
+// execution context (a per-run cost accumulator plus a per-run virtual
+// clock view based at the incident's creation time), merging back into
+// fleet-level accounting only through commutative additions.
+//
+// Concurrency does not cost reproducibility: the simulated GPT endpoint
+// derives its random state per request, seeding an RNG with
+// seed ^ hash(prompt), so a completion depends only on the client seed and
+// the prompt text — never on call order or interleaving — and per-run
+// execution contexts make collection outputs a function of the incident
+// alone. Identical incidents therefore produce identical predictions
+// whether handled one at a time, in a concurrent batch, or over a stream,
+// and the evaluation harness exploits the same contract to parallelize the
+// paper's experiments while reproducing the sequential results bit for bit.
 package rcacopilot
 
 import (
@@ -203,7 +209,11 @@ func (s *System) Copilot() *core.Copilot { return s.copilot }
 
 // TrainEmbedding trains the FastText retrieval embedding on the diagnostic
 // text of historical incidents (§4.2.1: "we opt to train a FastText model
-// on our historical incidents") and attaches it, resetting the vector DB.
+// on our historical incidents") and attaches it, resetting the vector DB:
+// any previously learned history is discarded (vectors from different
+// embedders are not comparable) and must be re-added with AddHistory.
+// Callers needing the dropped-entry count use Copilot().SetEmbedder
+// directly.
 func (s *System) TrainEmbedding(history []*Incident) error {
 	if len(history) == 0 {
 		return fmt.Errorf("rcacopilot: no history to train the embedding on")
@@ -225,7 +235,9 @@ func (s *System) TrainEmbedding(history []*Incident) error {
 }
 
 // UseGPTEmbedding swaps the retriever to the chat model's embedding
-// endpoint — the paper's "GPT-4 Embed." baseline variant.
+// endpoint — the paper's "GPT-4 Embed." baseline variant. Like
+// TrainEmbedding, swapping resets the vector DB; re-add the history
+// afterwards.
 func (s *System) UseGPTEmbedding(dim int) {
 	if dim <= 0 {
 		dim = 64

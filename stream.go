@@ -1,0 +1,82 @@
+package rcacopilot
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// StreamResult is one handled incident emitted by HandleStream. Exactly one
+// of Outcome and Err is meaningful; Incident is always the input incident,
+// so consumers can correlate results with submissions (completion order is
+// not submission order).
+type StreamResult struct {
+	Incident *Incident
+	Outcome  *Outcome
+	Err      error
+}
+
+// HandleStream runs the full pipeline over a live stream of incidents — the
+// shape an alert bus feeds — and emits a StreamResult per incident on the
+// returned channel, in completion order. Workers are drawn from the same
+// process-wide budget as HandleIncidents and the evaluation harness
+// (internal/parallel), so a stream and concurrent batch work share one
+// concurrency bound; at least one worker always runs, so the stream makes
+// progress even with the budget exhausted.
+//
+// Backpressure flows both ways: workers stop pulling from in while the
+// consumer lags on the output channel, and a slow producer simply idles the
+// workers. The output channel closes after in closes and all in-flight
+// incidents have been emitted, or after ctx is cancelled (in-flight results
+// may then be dropped rather than block). The consumer MUST either drain
+// the output channel until it closes or cancel ctx: backpressure means
+// workers block on an unread result, so abandoning the channel with an
+// uncancellable ctx parks them — and their reservation against the shared
+// budget — forever. Once the stream ends by either route, the reserved
+// workers return to the budget. A nil ctx means context.Background().
+//
+// Each incident's outcome is identical to what HandleIncident would produce
+// for it: per-incident errors arrive as StreamResult.Err instead of
+// terminating the stream.
+func (s *System) HandleStream(ctx context.Context, in <-chan *Incident) <-chan StreamResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	extras := parallel.Reserve(runtime.GOMAXPROCS(0) - 1)
+	out := make(chan StreamResult)
+
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		for {
+			var inc *Incident
+			select {
+			case <-ctx.Done():
+				return
+			case i, ok := <-in:
+				if !ok {
+					return
+				}
+				inc = i
+			}
+			outcome, err := s.HandleIncident(inc)
+			select {
+			case <-ctx.Done():
+				return
+			case out <- StreamResult{Incident: inc, Outcome: outcome, Err: err}:
+			}
+		}
+	}
+	for w := 0; w < 1+extras; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	go func() {
+		wg.Wait()
+		parallel.Release(extras)
+		close(out)
+	}()
+	return out
+}

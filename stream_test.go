@@ -1,0 +1,131 @@
+package rcacopilot
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// streamIncidents builds n identical incidents with CreatedAt pinned to at,
+// so stream results are comparable with the batch API's (the temporal-decay
+// retrieval reads the incident timestamp).
+func streamIncidents(sys *System, alert Alert, n int, prefix string, at time.Time) []*Incident {
+	incs := make([]*Incident, n)
+	for i := range incs {
+		incs[i] = &Incident{
+			ID: fmt.Sprintf("INC-%s-%03d", prefix, i), Title: alert.Message,
+			OwningTeam: "Transport", Severity: Sev2, Alert: alert,
+			CreatedAt: at,
+		}
+	}
+	return incs
+}
+
+// TestHandleStreamMatchesBatch feeds a stream and a batch the same incident
+// set and requires identical per-incident predictions — the streaming API
+// inherits the pipeline's determinism contract.
+func TestHandleStreamMatchesBatch(t *testing.T) {
+	sys, alert := raceSystem(t)
+	at := sys.Fleet().Clock().Now()
+
+	batchIncs := streamIncidents(sys, alert, 12, "SB", at)
+	if _, err := sys.HandleIncidents(batchIncs, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	streamIncs := streamIncidents(sys, alert, 12, "SS", at)
+	in := make(chan *Incident)
+	out := sys.HandleStream(context.Background(), in)
+	go func() {
+		for _, inc := range streamIncs {
+			in <- inc
+		}
+		close(in)
+	}()
+
+	got := 0
+	for res := range out {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Incident == nil || res.Outcome == nil {
+			t.Fatal("stream result missing incident or outcome")
+		}
+		got++
+	}
+	if got != len(streamIncs) {
+		t.Fatalf("stream emitted %d results, want %d", got, len(streamIncs))
+	}
+	for i := range streamIncs {
+		if streamIncs[i].Predicted != batchIncs[i].Predicted {
+			t.Errorf("incident %d prediction diverged: stream %q vs batch %q",
+				i, streamIncs[i].Predicted, batchIncs[i].Predicted)
+		}
+		if streamIncs[i].Summary != batchIncs[i].Summary {
+			t.Errorf("incident %d summary diverged", i)
+		}
+	}
+}
+
+// TestHandleStreamEmitsPerIncidentErrors sends one malformed incident among
+// good ones; the stream must report it as a StreamResult.Err and keep
+// processing the rest.
+func TestHandleStreamEmitsPerIncidentErrors(t *testing.T) {
+	sys, alert := raceSystem(t)
+	incs := streamIncidents(sys, alert, 4, "SE", sys.Fleet().Clock().Now())
+	incs[2] = &Incident{ID: "INC-BAD"} // fails validation
+
+	in := make(chan *Incident, len(incs))
+	for _, inc := range incs {
+		in <- inc
+	}
+	close(in)
+
+	var errs, oks int
+	for res := range sys.HandleStream(context.Background(), in) {
+		if res.Err != nil {
+			errs++
+			if res.Incident.ID != "INC-BAD" {
+				t.Errorf("unexpected error on %s: %v", res.Incident.ID, res.Err)
+			}
+		} else {
+			oks++
+		}
+	}
+	if errs != 1 || oks != 3 {
+		t.Fatalf("stream saw %d errors / %d successes, want 1/3", errs, oks)
+	}
+}
+
+// TestHandleStreamCancelClosesOutput cancels mid-stream without draining and
+// requires the output channel to close promptly (no blocked workers).
+func TestHandleStreamCancelClosesOutput(t *testing.T) {
+	sys, alert := raceSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan *Incident) // never closed; cancellation must end the stream
+	out := sys.HandleStream(ctx, in)
+
+	// Feed a few incidents without consuming results, then cancel.
+	incs := streamIncidents(sys, alert, 2, "SC", sys.Fleet().Clock().Now())
+	go func() {
+		for _, inc := range incs {
+			select {
+			case in <- inc:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	select {
+	case _, open := <-out:
+		for open {
+			_, open = <-out
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("output channel did not close after cancellation")
+	}
+}
