@@ -6,6 +6,16 @@
 //	experiments -run table2,fig12   # a subset
 //	experiments -seed 7             # different corpus/LLM seed
 //	experiments -workers 1          # sequential reference run
+//	experiments -shards 8           # sharded vector index (same results)
+//	experiments -shards 8 -partitioner ivf   # IVF coarse-quantizer routing
+//	experiments -parallel-budget 16 # pin the worker budget explicitly
+//	experiments -auto-limit         # latency-driven worker budget
+//
+// The retrieval goldens are index-independent: -shards swaps the vector
+// store behind every pipeline for the sharded implementation (category-hash
+// or IVF routing per -partitioner), and because sharded search is exact and
+// merges under the flat store's ordering, every table and figure reproduces
+// bit-identically.
 //
 // The experiments fan out on a bounded worker pool (one worker per CPU by
 // default); because the simulated models are order-independent, every
@@ -27,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -34,7 +45,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus and model seed")
 	teamsN := flag.Int("team-incidents", 20, "incidents per team for table4")
 	workers := flag.Int("workers", 0, "worker-pool size; 0 = one per CPU, 1 = sequential")
+	shards := flag.Int("shards", 0, "vector-index shard count; 0 or 1 = flat exact store")
+	partitioner := flag.String("partitioner", "", "shard routing: category (default) or ivf")
+	parallelBudget := flag.Int("parallel-budget", -1, "pin the process-wide extra-worker budget; -1 = default/auto")
+	autoLimit := flag.Bool("auto-limit", false, "auto-size the worker budget from observed model-call latency")
 	flag.Parse()
+
+	if *parallelBudget >= 0 {
+		parallel.SetLimit(*parallelBudget)
+		if *autoLimit {
+			fmt.Fprintln(os.Stderr, "experiments: -parallel-budget pins the budget; ignoring -auto-limit")
+			*autoLimit = false
+		}
+	}
+	eval.SetChatAutoTune(*autoLimit)
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*run, ",") {
@@ -53,6 +77,15 @@ func main() {
 			fatal(err)
 		}
 		env.Workers = *workers
+		env.Shards = *shards
+		env.Partitioner = *partitioner
+		if *shards > 1 {
+			p := *partitioner
+			if p == "" {
+				p = "category"
+			}
+			fmt.Printf("vector index: %d shards (%s routing)\n", *shards, p)
+		}
 		if *workers != 1 {
 			n := *workers
 			if n <= 0 {

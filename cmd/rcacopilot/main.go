@@ -52,7 +52,7 @@ func run(category incident.Category, model string, seed int64, history int) erro
 		return err
 	}
 	fmt.Printf("ingested %d historical incidents across %d categories\n\n",
-		history, sys.Copilot().DB().Len())
+		history, sys.Copilot().Index().Len())
 
 	fmt.Printf("── injecting %s and waiting for monitors ──\n", category)
 	fleet := sys.Fleet()

@@ -29,7 +29,7 @@ func main() {
 	if err := sys.AddHistory(corpus.Incidents); err != nil {
 		log.Fatal(err)
 	}
-	before := sys.Copilot().DB().Len()
+	before := sys.Copilot().Index().Len()
 
 	// Handle a live incident end to end.
 	fleet := sys.Fleet()
@@ -57,7 +57,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("feedback recorded: %s by %s at %s\n", entry.Verdict, entry.Reviewer, entry.At.Format("15:04:05"))
-	fmt.Printf("history grew from %d to %d incidents\n\n", before, sys.Copilot().DB().Len())
+	fmt.Printf("history grew from %d to %d incidents\n\n", before, sys.Copilot().Index().Len())
 
 	// A second incident where the OCE corrects a coined keyword to the
 	// canonical label — the paper's "I/O Bottleneck" → "DiskFull" case.

@@ -120,6 +120,16 @@ func DefaultContext() ContextSources {
 	return ContextSources{DiagnosticInfo: true, Summarized: true}
 }
 
+// Shard-routing strategies for Config.Partitioner.
+const (
+	// PartitionCategory routes entries to shards by a hash of their
+	// root-cause category (the default).
+	PartitionCategory = "category"
+	// PartitionIVF routes entries to shards through an IVF-style coarse
+	// quantizer trained from the stored vectors after each batch ingest.
+	PartitionIVF = "ivf"
+)
+
 // Config parameterizes a Copilot.
 type Config struct {
 	Team string
@@ -133,6 +143,14 @@ type Config struct {
 	// PromptReserve keeps headroom for instructions and the completion
 	// within the model context window (default 768 tokens).
 	PromptReserve int
+	// Shards partitions the vector store into this many shards with
+	// parallel query fan-out; 0 or 1 keeps the flat exact store. Results
+	// are bit-identical either way — sharding changes scaling, not
+	// retrieval semantics.
+	Shards int
+	// Partitioner selects shard routing when Shards > 1:
+	// PartitionCategory (default) or PartitionIVF.
+	Partitioner string
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +169,9 @@ func (c Config) withDefaults() Config {
 	if c.PromptReserve <= 0 {
 		c.PromptReserve = 768
 	}
+	if c.Partitioner == "" {
+		c.Partitioner = PartitionCategory
+	}
 	return c
 }
 
@@ -167,7 +188,7 @@ type Copilot struct {
 	// together; everything else is immutable after New or internally locked.
 	mu       sync.RWMutex
 	embedder Embedder
-	db       *vectordb.DB
+	db       vectordb.Index
 }
 
 // New assembles a Copilot over a fleet and a chat model. The embedder (and
@@ -178,6 +199,10 @@ func New(fleet *transport.Fleet, chat llm.Client, cfg Config) (*Copilot, error) 
 		return nil, fmt.Errorf("core: fleet and chat model are required")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Partitioner != PartitionCategory && cfg.Partitioner != PartitionIVF {
+		return nil, fmt.Errorf("core: unknown partitioner %q (want %q or %q)",
+			cfg.Partitioner, PartitionCategory, PartitionIVF)
+	}
 	c := &Copilot{
 		cfg:      cfg,
 		fleet:    fleet,
@@ -210,11 +235,12 @@ func (c *Copilot) Chat() llm.Client { return c.chat }
 func (c *Copilot) Config() Config { return c.cfg }
 
 // SetEmbedder attaches the retrieval embedder and resets the vector store
-// to its dimensionality. Resetting is deliberate: vectors produced by
-// different embedders are not comparable, so every previously learned entry
-// is DISCARDED and the history must be re-learned against the new embedding
-// space. The number of dropped entries is returned so callers can detect an
-// accidental mid-flight swap (0 on first attachment).
+// to its dimensionality (flat or sharded per Config.Shards). Resetting is
+// deliberate: vectors produced by different embedders are not comparable,
+// so every previously learned entry is DISCARDED and the history must be
+// re-learned against the new embedding space. The number of dropped entries
+// is returned so callers can detect an accidental mid-flight swap (0 on
+// first attachment).
 func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -222,23 +248,47 @@ func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 		dropped = c.db.Len()
 	}
 	c.embedder = e
-	c.db = vectordb.New(e.Dim())
+	// PartitionIVF also starts on category-hash routing: the quantizer can
+	// only be trained once vectors exist (see trainPartitioner).
+	c.db = vectordb.NewIndex(e.Dim(), vectordb.Options{Shards: c.cfg.Shards})
 	return dropped
 }
 
 // retriever snapshots the (embedder, db) pair so one call works against a
 // consistent retriever even if SetEmbedder swaps it mid-flight.
-func (c *Copilot) retriever() (Embedder, *vectordb.DB) {
+func (c *Copilot) retriever() (Embedder, vectordb.Index) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.embedder, c.db
 }
 
-// DB returns the vector store (nil until SetEmbedder).
-func (c *Copilot) DB() *vectordb.DB {
+// Index returns the vector store (nil until SetEmbedder).
+func (c *Copilot) Index() vectordb.Index {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.db
+}
+
+// DB returns the vector store.
+//
+// Deprecated: use Index; retained for callers predating the pluggable
+// index.
+func (c *Copilot) DB() vectordb.Index { return c.Index() }
+
+// trainPartitioner retrains an IVF-partitioned sharded index from its
+// stored vectors. It is a no-op for the flat store and category routing;
+// called after batch ingest so the quantizer reflects the loaded history.
+// Placement never changes retrieval results (exact fan-out search), so
+// retraining is invisible to Predict.
+func (c *Copilot) trainPartitioner(db vectordb.Index) error {
+	if c.cfg.Partitioner != PartitionIVF {
+		return nil
+	}
+	s, ok := db.(*vectordb.Sharded)
+	if !ok || s.Len() == 0 {
+		return nil
+	}
+	return s.TrainIVF(0)
 }
 
 // Collect runs the collection stage: match the incident's alert type to the
@@ -385,7 +435,9 @@ func (c *Copilot) LearnBatch(incs []*incident.Incident, workers int) error {
 			return err
 		}
 	}
-	return nil
+	// With IVF routing the quantizer trains from whatever is stored after
+	// the batch lands, so bulk history loads end with balanced shards.
+	return c.trainPartitioner(db)
 }
 
 // Predict runs the prediction stage for a collected incident: embed the

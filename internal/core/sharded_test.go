@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/incident"
+	"repro/internal/vectordb"
+)
+
+// TestShardedCopilotMatchesFlat wires a sharded index through the full
+// Learn/Predict path and requires predictions identical to a flat-store
+// copilot over the same history — the core-level slice of the tentpole
+// equivalence contract.
+func TestShardedCopilotMatchesFlat(t *testing.T) {
+	e := getEnv(t)
+	flat := newCopilot(t, Config{})
+	sharded := newCopilot(t, Config{Shards: 7})
+	ivf := newCopilot(t, Config{Shards: 5, Partitioner: PartitionIVF})
+
+	if _, ok := flat.Index().(*vectordb.DB); !ok {
+		t.Fatalf("default index is %T, want flat", flat.Index())
+	}
+	if _, ok := sharded.Index().(*vectordb.Sharded); !ok {
+		t.Fatalf("Shards=7 index is %T, want sharded", sharded.Index())
+	}
+
+	const history = 120
+	for i := 0; i < history; i++ {
+		inc := e.corpus.Incidents[i]
+		for _, c := range []*Copilot{flat, sharded, ivf} {
+			if err := c.Learn(inc.Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The IVF copilot trains its quantizer from the stored vectors (Learn
+	// alone never retrains; batch ingest does it automatically).
+	if s, ok := ivf.Index().(*vectordb.Sharded); !ok {
+		t.Fatalf("ivf index is %T", ivf.Index())
+	} else if err := s.TrainIVF(0); err != nil {
+		t.Fatal(err)
+	}
+
+	for probe := history; probe < history+5; probe++ {
+		want := e.corpus.Incidents[probe].Clone()
+		want.Summary, want.Predicted = "", ""
+		res, err := flat.Predict(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, c := range map[string]*Copilot{"sharded": sharded, "ivf": ivf} {
+			got := e.corpus.Incidents[probe].Clone()
+			got.Summary, got.Predicted = "", ""
+			gres, err := c.Predict(got)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if gres.Category != res.Category || gres.Explanation != res.Explanation || gres.Unseen != res.Unseen {
+				t.Fatalf("%s probe %d diverged: %+v vs flat %+v", name, probe, gres, res)
+			}
+		}
+	}
+}
+
+// TestLearnBatchTrainsIVFPartitioner pins the auto-training hook: after a
+// batch ingest under PartitionIVF the index runs on a trained quantizer.
+func TestLearnBatchTrainsIVFPartitioner(t *testing.T) {
+	e := getEnv(t)
+	c := newCopilot(t, Config{Shards: 4, Partitioner: PartitionIVF})
+	incs := e.corpus.Incidents[:40]
+	clones := make([]*incident.Incident, len(incs))
+	for i, in := range incs {
+		clones[i] = in.Clone()
+	}
+	if err := c.LearnBatch(clones, 2); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := c.Index().(*vectordb.Sharded)
+	if !ok {
+		t.Fatalf("index is %T", c.Index())
+	}
+	if _, ok := s.Partitioner().(*vectordb.IVF); !ok {
+		t.Fatalf("partitioner is %T after LearnBatch, want *vectordb.IVF", s.Partitioner())
+	}
+	if s.Len() != len(incs) {
+		t.Fatalf("len = %d, want %d", s.Len(), len(incs))
+	}
+}
+
+// TestNewRejectsUnknownPartitioner covers config validation.
+func TestNewRejectsUnknownPartitioner(t *testing.T) {
+	e := getEnv(t)
+	chat := newCopilot(t, Config{}).Chat()
+	if _, err := New(e.corpus.Fleet, chat, Config{Shards: 4, Partitioner: "lsh"}); err == nil {
+		t.Fatal("unknown partitioner must fail")
+	}
+	if _, err := New(e.corpus.Fleet, chat, Config{Shards: 4, Partitioner: PartitionIVF}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,7 +56,7 @@ func RunDesignAblation(e *Env) ([]AblationRow, error) {
 // runWithScale re-runs the pipeline with a different embedding scale.
 func runWithScale(e *Env, scale float64) (F1Scores, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
-	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{})
+	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner})
 	if err != nil {
 		return F1Scores{}, err
 	}
@@ -74,7 +74,7 @@ func runWithScale(e *Env, scale float64) (F1Scores, error) {
 // constraint exists to prevent.
 func runNoDiversity(e *Env) (F1Scores, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
-	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{})
+	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner})
 	if err != nil {
 		return F1Scores{}, err
 	}
@@ -99,7 +99,7 @@ func runNoDiversity(e *Env) (F1Scores, error) {
 		if err != nil {
 			return err
 		}
-		hits, err := cop.DB().TopK(query, probe.CreatedAt, cop.Config().K, cop.Config().Alpha)
+		hits, err := cop.Index().TopK(query, probe.CreatedAt, cop.Config().K, cop.Config().Alpha)
 		if err != nil {
 			return err
 		}

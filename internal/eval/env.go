@@ -28,6 +28,15 @@ type Env struct {
 	// scores and predictions — only wall-clock time changes.
 	Workers int
 
+	// Shards selects the sharded vector index for every pipeline the
+	// harness builds (0 or 1 = the flat exact store). Sharded retrieval is
+	// bit-identical to flat, so the Table-2/3/Fig-12 goldens reproduce on
+	// either index; only retrieval scaling changes.
+	Shards int
+	// Partitioner selects shard routing when Shards > 1 (see
+	// core.PartitionCategory / core.PartitionIVF; empty = category hash).
+	Partitioner string
+
 	ftOnce      sync.Once
 	ft          *fasttext.Model
 	ftErr       error

@@ -19,10 +19,25 @@
 // The store keeps per-category accuracy so teams can watch prediction
 // quality per root cause, mirroring the satisfaction tracking the paper
 // reports from its deployment.
+//
+// # Asynchronous learning
+//
+// Learning an incident re-summarizes and embeds it — LLM work that by
+// default runs inline in Submit, on the OCE's hot path. StartIngest moves
+// it onto a background worker behind a bounded queue: Submit records the
+// verdict and returns immediately, the worker drains the queue, and a full
+// queue degrades gracefully by learning inline (backpressure, never
+// unbounded memory). The worker draws its slot from the shared
+// internal/parallel budget so feedback ingest and batch evaluation share
+// one process-wide concurrency bound. Flush is the read-your-writes
+// barrier: it blocks until everything submitted so far is learned (and
+// surfaces any async learn errors), so a submitting OCE who wants their
+// confirmation reflected in the next retrieval calls Flush first.
 package feedback
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -30,6 +45,7 @@ import (
 
 	"repro/internal/incident"
 	"repro/internal/kvstore"
+	"repro/internal/parallel"
 )
 
 // Verdict is the OCE's judgement on one prediction.
@@ -67,6 +83,18 @@ type Loop struct {
 	store   *kvstore.Store
 	learner Learner
 	clock   func() time.Time
+
+	// ingest guards the async-learning state; nil queue = synchronous.
+	ingest struct {
+		mu      sync.Mutex
+		cond    *sync.Cond
+		queue   chan *incident.Incident
+		done    chan struct{}
+		closed  bool
+		pending int
+		errs    []error
+		granted int
+	}
 }
 
 // New returns a Loop persisting entries to the given store (a fresh
@@ -131,11 +159,117 @@ func (l *Loop) Submit(inc *incident.Incident, verdict Verdict, corrected inciden
 	if final != "" && l.learner != nil {
 		learned := inc.Clone()
 		learned.Category = final
-		if err := l.learner.Learn(learned); err != nil {
+		if err := l.learnOrEnqueue(learned); err != nil {
 			return nil, fmt.Errorf("feedback: learn %s: %w", inc.ID, err)
 		}
 	}
 	return e, nil
+}
+
+// learnOrEnqueue hands a labelled incident to the background ingest worker
+// when one is running, falling back to an inline learn when the queue is
+// full (backpressure) or ingest is off/closed (the synchronous default).
+func (l *Loop) learnOrEnqueue(learned *incident.Incident) error {
+	ig := &l.ingest
+	ig.mu.Lock()
+	if ig.queue == nil || ig.closed {
+		ig.mu.Unlock()
+		return l.learner.Learn(learned)
+	}
+	ig.pending++
+	select {
+	case ig.queue <- learned:
+		ig.mu.Unlock()
+		return nil
+	default:
+		// Queue full: the submitter pays for this one inline, which is
+		// exactly the pre-async behaviour — bounded memory, no lost learns.
+		ig.pending--
+		ig.mu.Unlock()
+		return l.learner.Learn(learned)
+	}
+}
+
+// StartIngest starts the background learn worker with the given queue
+// capacity (default 64 when <= 0). It fails if the loop has no learner or
+// ingest is already running; after a Close it starts a fresh worker. The
+// worker holds at most one slot of the shared internal/parallel budget,
+// released on Close.
+func (l *Loop) StartIngest(queueSize int) error {
+	if l.learner == nil {
+		return fmt.Errorf("feedback: StartIngest on a record-only loop (no learner)")
+	}
+	if queueSize <= 0 {
+		queueSize = 64
+	}
+	ig := &l.ingest
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	if ig.queue != nil && !ig.closed {
+		return fmt.Errorf("feedback: ingest already started")
+	}
+	ig.cond = sync.NewCond(&ig.mu)
+	ig.queue = make(chan *incident.Incident, queueSize)
+	ig.done = make(chan struct{})
+	ig.closed = false
+	ig.granted = parallel.Reserve(1)
+	go l.ingestWorker(ig.queue, ig.done)
+	return nil
+}
+
+// ingestWorker drains queued learns until the queue closes.
+func (l *Loop) ingestWorker(queue <-chan *incident.Incident, done chan<- struct{}) {
+	defer close(done)
+	ig := &l.ingest
+	for inc := range queue {
+		err := l.learner.Learn(inc)
+		ig.mu.Lock()
+		ig.pending--
+		if err != nil {
+			ig.errs = append(ig.errs, fmt.Errorf("feedback: learn %s: %w", inc.ID, err))
+		}
+		ig.cond.Broadcast()
+		ig.mu.Unlock()
+	}
+}
+
+// Flush blocks until every learn submitted before the call has been
+// applied — the read-your-writes barrier for a submitting OCE — and
+// returns (and clears) any errors the background learns accumulated. With
+// ingest off it returns nil immediately: the synchronous path has no
+// deferred work.
+func (l *Loop) Flush() error {
+	ig := &l.ingest
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	for ig.pending > 0 {
+		ig.cond.Wait()
+	}
+	err := errors.Join(ig.errs...)
+	ig.errs = nil
+	return err
+}
+
+// Close stops the ingest worker after draining the queue, returns its slot
+// to the shared budget, and reports any remaining async learn errors.
+// Submissions after Close learn synchronously again; Close on a loop that
+// never started ingest is a no-op.
+func (l *Loop) Close() error {
+	ig := &l.ingest
+	ig.mu.Lock()
+	if ig.queue == nil || ig.closed {
+		ig.mu.Unlock()
+		return nil
+	}
+	ig.closed = true
+	close(ig.queue)
+	done, granted := ig.done, ig.granted
+	ig.granted = 0
+	ig.mu.Unlock()
+
+	<-done
+	parallel.Release(granted)
+	return l.Flush()
 }
 
 // Get returns the latest feedback for an incident.

@@ -4,14 +4,47 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-
-	"repro/internal/incident"
 )
 
-// snapshot is the gob wire format.
+// snapshot is the gob wire format, shared by every Index implementation:
+// a flat entry list plus its dimensionality. The flat DB saves entries in
+// insertion order; the Sharded store saves them sorted by ID (its
+// insertion order is not deterministic under concurrent ingest). Either
+// implementation loads either ordering, so stores round-trip freely
+// between flat and sharded deployments.
 type snapshot struct {
 	Dim     int
 	Entries []Entry
+}
+
+// decodeSnapshot reads and fully validates a snapshot against the
+// receiving store's dimensionality BEFORE any store state changes, so a
+// mismatched or corrupt file is rejected with a descriptive error instead
+// of corrupting the store: the store keeps its previous contents on every
+// error path.
+func decodeSnapshot(r io.Reader, dim int) (snapshot, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return snapshot{}, fmt.Errorf("vectordb: load: %w", err)
+	}
+	if snap.Dim != dim {
+		return snapshot{}, fmt.Errorf("vectordb: load: snapshot dim %d does not match store dim %d", snap.Dim, dim)
+	}
+	seen := make(map[string]bool, len(snap.Entries))
+	for i, e := range snap.Entries {
+		if e.ID == "" {
+			return snapshot{}, fmt.Errorf("vectordb: load: snapshot entry %d has empty ID", i)
+		}
+		if len(e.Vector) != snap.Dim {
+			return snapshot{}, fmt.Errorf("vectordb: load: snapshot entry %d (%s) has dim %d, snapshot declares %d",
+				i, e.ID, len(e.Vector), snap.Dim)
+		}
+		if seen[e.ID] {
+			return snapshot{}, fmt.Errorf("vectordb: load: snapshot has duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	return snap, nil
 }
 
 // Save serializes the store to w, so a trained incident history survives
@@ -27,24 +60,16 @@ func (db *DB) Save(w io.Writer) error {
 	return nil
 }
 
-// Load replaces the store contents with a snapshot written by Save. The
-// snapshot's dimensionality must match the store's.
+// Load replaces the store contents with a snapshot written by any Index
+// implementation's Save. The snapshot's dimensionality must match the
+// store's; on any validation error the store is left unchanged.
 func (db *DB) Load(r io.Reader) error {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("vectordb: load: %w", err)
-	}
-	if snap.Dim != db.dim {
-		return fmt.Errorf("vectordb: snapshot dim %d != store dim %d", snap.Dim, db.dim)
+	snap, err := decodeSnapshot(r, db.dim)
+	if err != nil {
+		return err
 	}
 	byID := make(map[string]int, len(snap.Entries))
 	for i, e := range snap.Entries {
-		if len(e.Vector) != snap.Dim {
-			return fmt.Errorf("vectordb: snapshot entry %s has dim %d", e.ID, len(e.Vector))
-		}
-		if _, dup := byID[e.ID]; dup {
-			return fmt.Errorf("vectordb: snapshot has duplicate ID %s", e.ID)
-		}
 		byID[e.ID] = i
 	}
 	db.mu.Lock()
@@ -54,14 +79,29 @@ func (db *DB) Load(r io.Reader) error {
 	return nil
 }
 
-// CountByCategory returns how many stored incidents each category has —
-// the inventory view an on-call dashboard shows.
-func (db *DB) CountByCategory() map[incident.Category]int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make(map[incident.Category]int)
-	for _, e := range db.entries {
-		out[e.Category]++
+// Save serializes the sharded store in the same flat snapshot format the
+// flat DB writes, entries sorted by ID for determinism, so a sharded
+// deployment's history loads into a flat store and vice versa.
+func (s *Sharded) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Dim: s.dim, Entries: s.allEntriesSortedByID()}
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("vectordb: save: %w", err)
 	}
-	return out
+	return nil
+}
+
+// Load replaces the sharded store contents with a snapshot written by any
+// Index implementation's Save, routing every entry through the current
+// partitioner. On any validation error the store is left unchanged.
+func (s *Sharded) Load(r io.Reader) error {
+	snap, err := decodeSnapshot(r, s.dim)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.resetLocked(s.parts, snap.Entries)
+	s.mu.Unlock()
+	return nil
 }

@@ -2,6 +2,8 @@ package vectordb
 
 import (
 	"bytes"
+	"encoding/gob"
+	"strings"
 	"testing"
 )
 
@@ -47,9 +49,64 @@ func TestLoadRejectsDimMismatch(t *testing.T) {
 	if err := db.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	other := New(5)
-	if err := other.Load(&buf); err == nil {
-		t.Fatal("dim mismatch should fail")
+	snap := buf.Bytes()
+	for _, idx := range []Index{New(5), NewSharded(5, 4, nil)} {
+		err := idx.Load(bytes.NewReader(snap))
+		if err == nil {
+			t.Fatal("dim mismatch should fail")
+		}
+		// The error must name both dimensionalities, not just reject.
+		if !strings.Contains(err.Error(), "2") || !strings.Contains(err.Error(), "5") {
+			t.Fatalf("undiagnostic dim-mismatch error: %v", err)
+		}
+	}
+}
+
+// TestLoadRejectsCorruptEntriesWithoutClobbering covers snapshots whose
+// declared dim matches the store but whose entries are malformed: the load
+// must fail descriptively and leave the previous store contents intact
+// rather than silently corrupting them.
+func TestLoadRejectsCorruptEntriesWithoutClobbering(t *testing.T) {
+	corrupt := []struct {
+		name string
+		snap snapshot
+		want string
+	}{
+		{"entry-dim", snapshot{Dim: 2, Entries: []Entry{
+			{ID: "bad", Vector: []float64{1, 2, 3}, Category: "X", Time: t0},
+		}}, "dim 3"},
+		{"empty-id", snapshot{Dim: 2, Entries: []Entry{
+			{ID: "", Vector: []float64{1, 2}, Category: "X", Time: t0},
+		}}, "empty ID"},
+		{"duplicate-id", snapshot{Dim: 2, Entries: []Entry{
+			{ID: "dup", Vector: []float64{1, 2}, Category: "X", Time: t0},
+			{ID: "dup", Vector: []float64{3, 4}, Category: "Y", Time: t0},
+		}}, "duplicate"},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(tc.snap); err != nil {
+				t.Fatal(err)
+			}
+			snap := buf.Bytes()
+			for _, idx := range []Index{New(2), NewSharded(2, 3, nil)} {
+				must(t, idx.Add(entry("keep", "K", []float64{7, 7}, 2)))
+				err := idx.Load(bytes.NewReader(snap))
+				if err == nil {
+					t.Fatalf("%T: corrupt snapshot should fail", idx)
+				}
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("%T: error %q does not mention %q", idx, err, tc.want)
+				}
+				if idx.Len() != 1 {
+					t.Fatalf("%T: failed load clobbered the store (len %d)", idx, idx.Len())
+				}
+				if _, ok := idx.Get("keep"); !ok {
+					t.Fatalf("%T: failed load dropped existing entry", idx)
+				}
+			}
+		})
 	}
 }
 
@@ -57,6 +114,61 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	db := New(2)
 	if err := db.Load(bytes.NewReader([]byte("not gob"))); err == nil {
 		t.Fatal("garbage should fail")
+	}
+	sh := NewSharded(2, 3, nil)
+	if err := sh.Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+// TestFlatShardedRoundTrip drives a snapshot flat → sharded → flat and
+// requires the final store to behave identically to the original: the two
+// implementations share one wire format.
+func TestFlatShardedRoundTrip(t *testing.T) {
+	const seed, n, dim, numCats = 21, 150, 5, 9
+	orig := New(dim)
+	fillIndex(t, orig, seed, n, dim, numCats)
+
+	var flatSnap bytes.Buffer
+	if err := orig.Save(&flatSnap); err != nil {
+		t.Fatal(err)
+	}
+	sh := NewSharded(dim, 7, nil)
+	if err := sh.Load(&flatSnap); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Len() != n {
+		t.Fatalf("sharded loaded %d entries, want %d", sh.Len(), n)
+	}
+	queryGrid(t, "flat->sharded", orig, sh, seed, n, dim)
+
+	var shardSnap bytes.Buffer
+	if err := sh.Save(&shardSnap); err != nil {
+		t.Fatal(err)
+	}
+	back := New(dim)
+	if err := back.Load(&shardSnap); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != n {
+		t.Fatalf("flat reloaded %d entries, want %d", back.Len(), n)
+	}
+	for _, e := range orig.scoreAllSorted(make([]float64, dim), t0, 0) {
+		got, ok := back.Get(e.Entry.ID)
+		if !ok {
+			t.Fatalf("entry %s lost in round trip", e.Entry.ID)
+		}
+		if got.Category != e.Entry.Category || !got.Time.Equal(e.Entry.Time) || got.Summary != e.Entry.Summary {
+			t.Fatalf("entry %s mutated in round trip: %+v vs %+v", e.Entry.ID, got, e.Entry)
+		}
+	}
+	queryGrid(t, "sharded->flat", orig, back, seed+1, n, dim)
+	// Loaded stores still reject duplicates against loaded IDs.
+	if err := back.Add(entry("INC-000000", "Z", make([]float64, dim), 0)); err == nil {
+		t.Fatal("duplicate ID after round trip should fail")
+	}
+	if err := sh.Add(entry("INC-000000", "Z", make([]float64, dim), 0)); err == nil {
+		t.Fatal("duplicate ID after sharded load should fail")
 	}
 }
 

@@ -1,0 +1,384 @@
+package vectordb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/incident"
+	"repro/internal/parallel"
+)
+
+// Sharded is an exact-search vector store partitioned across N shards, the
+// scale-oriented Index implementation. Entries route to a shard through a
+// Partitioner (category-hash by default, or a trained IVF coarse
+// quantizer), each shard guards its slice with its own lock, and queries
+// fan out across shards on the shared internal/parallel pool — so
+// concurrent inserts contend per shard instead of on one store-wide write
+// lock, and a TopK over millions of entries splits into N streaming
+// heap scans that run on every available core.
+//
+// # Merge determinism
+//
+// Every query searches every shard exactly (the partitioner never prunes),
+// and per-shard candidates merge under the same total retrieval order as
+// the flat store — similarity descending, ties by ascending entry ID — so
+// results are bit-identical to DB's for any shard count, partitioner, and
+// insert interleaving. TopK merges the per-shard bounded heaps through one
+// final size-k heap; TopKDiverse merges the per-shard per-category bests by
+// keeping each category's best-ranked representative (a commutative,
+// associative reduction under the total order) before the final heap.
+//
+// # Locking
+//
+// A store-wide RWMutex is held shared by every normal operation — Add
+// included, so inserts never serialize against each other on it — and
+// exclusively only by Load and Rebalance/TrainIVF, which re-route entries
+// across shards wholesale. Duplicate-ID rejection is a lock-free
+// LoadOrStore against an ID→shard map.
+//
+// # Memory layout
+//
+// Each shard packs its vectors into one contiguous row-major backing array
+// rather than one heap allocation per entry. The distance scan — the hot
+// loop of every query — walks that backing sequentially, so it prefetches
+// instead of pointer-chasing, and a million vectors cost one long-lived
+// allocation instead of a million GC-visible slices. This is why the
+// sharded store holds its own on a single core (where fan-out cannot help)
+// and pulls ahead of the flat store even before parallelism.
+type Sharded struct {
+	dim   int
+	mu    sync.RWMutex // shared: all ops; exclusive: Load, Rebalance
+	parts Partitioner
+	shard []*shard
+	byID  *sync.Map // entry ID -> shard index
+	count atomic.Int64
+}
+
+var _ Index = (*Sharded)(nil)
+
+// shard is one partition under its own lock. Entry metadata lives in
+// entries with the Vector field nilled out; the vectors themselves pack
+// into vecs, dim floats per row, in the same order — the columnar layout
+// the query scan walks. Vectors are materialized (copied out of the
+// backing) whenever an Entry leaves the shard.
+type shard struct {
+	mu      sync.RWMutex
+	dim     int
+	entries []Entry
+	vecs    []float64
+	byID    map[string]int
+}
+
+// NewSharded returns an empty sharded store for vectors of the given
+// dimensionality. A nil partitioner — or one reporting no shards —
+// selects CategoryHash over shards (minimum 1; a single-shard store is
+// the degenerate case the equivalence tests anchor on); a valid non-nil
+// partitioner's Shards() takes precedence over the shards argument.
+func NewSharded(dim, shards int, p Partitioner) *Sharded {
+	if p == nil || p.Shards() < 1 {
+		if shards < 1 {
+			shards = 2
+		}
+		p = CategoryHash{N: shards}
+	}
+	s := &Sharded{dim: dim, parts: p, byID: &sync.Map{}}
+	s.shard = newShards(p.Shards(), dim)
+	return s
+}
+
+func newShards(n, dim int) []*shard {
+	out := make([]*shard, n)
+	for i := range out {
+		out[i] = &shard{dim: dim, byID: make(map[string]int)}
+	}
+	return out
+}
+
+// Dim returns the vector dimensionality.
+func (s *Sharded) Dim() int { return s.dim }
+
+// Len returns the number of stored entries.
+func (s *Sharded) Len() int { return int(s.count.Load()) }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.shard)
+}
+
+// Partitioner returns the current routing partitioner.
+func (s *Sharded) Partitioner() Partitioner {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.parts
+}
+
+// ShardLens returns the per-shard entry counts (the load-balance view).
+func (s *Sharded) ShardLens() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, len(s.shard))
+	for i, sh := range s.shard {
+		sh.mu.RLock()
+		out[i] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Add stores an entry, rejecting dimension mismatches and duplicate IDs.
+// Concurrent Adds contend only on the destination shard's lock.
+func (s *Sharded) Add(e Entry) error {
+	if err := validateEntry(s.dim, e); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dst := s.parts.Route(e)
+	if _, dup := s.byID.LoadOrStore(e.ID, dst); dup {
+		return fmt.Errorf("vectordb: duplicate entry ID %s", e.ID)
+	}
+	s.shard[dst].add(e)
+	s.count.Add(1)
+	return nil
+}
+
+// add copies the entry's vector into the shard's columnar backing. The
+// caller has validated the entry and claimed its ID.
+func (sh *shard) add(e Entry) {
+	vec := e.Vector
+	e.Vector = nil
+	sh.mu.Lock()
+	sh.byID[e.ID] = len(sh.entries)
+	sh.entries = append(sh.entries, e)
+	sh.vecs = append(sh.vecs, vec...)
+	sh.mu.Unlock()
+}
+
+// row returns entry i's vector view into the backing; valid only under
+// sh.mu.
+func (sh *shard) row(i int) []float64 {
+	return sh.vecs[i*sh.dim : (i+1)*sh.dim]
+}
+
+// materialize returns entry i with its vector copied out of the backing;
+// valid only under sh.mu.
+func (sh *shard) materialize(i int) Entry {
+	e := sh.entries[i]
+	e.Vector = append([]float64(nil), sh.row(i)...)
+	return e
+}
+
+// Get returns the entry with the given ID.
+func (s *Sharded) Get(id string) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.byID.Load(id)
+	if !ok {
+		return Entry{}, false
+	}
+	sh := s.shard[v.(int)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	i, ok := sh.byID[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return sh.materialize(i), true
+}
+
+// CountByCategory returns how many stored incidents each category has, one
+// locked pass per shard.
+func (s *Sharded) CountByCategory() map[incident.Category]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[incident.Category]int)
+	for _, sh := range s.shard {
+		sh.mu.RLock()
+		countCategoriesInto(out, sh.entries)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Categories returns the set of distinct categories stored, derived from
+// the same per-shard pass as CountByCategory.
+func (s *Sharded) Categories() []incident.Category {
+	return sortedCategories(s.CountByCategory())
+}
+
+// TopK returns the k most similar entries under the paper's temporal-decay
+// similarity, fanning the scan out across shards (each shard streams its
+// entries through a size-k bounded heap) and merging the per-shard heaps
+// through one final size-k heap. Results are bit-identical to DB.TopK.
+func (s *Sharded) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	if err := checkQuery(s.dim, query, k); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	perShard, err := parallel.Map(len(s.shard), 0, func(i int) ([]Scored, error) {
+		return s.shard[i].topK(query, qt, k, alpha), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := make(worstFirst, 0, k+1)
+	for _, scs := range perShard {
+		for _, sc := range scs {
+			h.offer(sc, k)
+		}
+	}
+	return h.drain(), nil
+}
+
+// TopKDiverse returns the k most similar entries with each root-cause
+// category appearing at most once (§4.2.2), fanning out across shards.
+// Each shard finds its per-category best; the merge keeps each category's
+// best across shards — keep-best is commutative and associative under the
+// total retrieval order, so the merged representatives (and therefore the
+// final heap selection) are identical to the flat store's regardless of
+// shard count or routing.
+func (s *Sharded) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	if err := checkQuery(s.dim, query, k); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	perShard, err := parallel.Map(len(s.shard), 0, func(i int) (map[incident.Category]Scored, error) {
+		return s.shard[i].categoryBest(query, qt, alpha), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := perShard[0]
+	for _, m := range perShard[1:] {
+		for cat, sc := range m {
+			if cur, ok := best[cat]; !ok || ranksAfter(cur, sc) {
+				best[cat] = sc
+			}
+		}
+	}
+	h := make(worstFirst, 0, k+1)
+	for _, sc := range best {
+		h.offer(sc, k)
+	}
+	return h.drain(), nil
+}
+
+// topK streams one shard's columnar rows through a bounded heap and
+// returns its local best-first top k, vectors materialized. The threshold
+// pre-check skips the Entry copy for the overwhelming majority of rows
+// that can't displace the heap root.
+func (sh *shard) topK(query []float64, qt time.Time, k int, alpha float64) []Scored {
+	sh.mu.RLock()
+	h := make(worstFirst, 0, k+1)
+	for i := range sh.entries {
+		d, s := similarityAt(query, qt, sh.row(i), sh.entries[i].Time, alpha)
+		if len(h) == k {
+			if r := &h[0]; r.Similarity > s || (r.Similarity == s && r.Entry.ID < sh.entries[i].ID) {
+				continue
+			}
+		}
+		h.offer(Scored{Entry: sh.entries[i], Distance: d, Similarity: s}, k)
+	}
+	for i := range h {
+		h[i].Entry.Vector = append([]float64(nil), sh.row(sh.byID[h[i].Entry.ID])...)
+	}
+	sh.mu.RUnlock()
+	return h.drain()
+}
+
+// categoryBest returns the shard's best-ranked entry per category,
+// vectors materialized.
+func (sh *shard) categoryBest(query []float64, qt time.Time, alpha float64) map[incident.Category]Scored {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	best := make(map[incident.Category]Scored)
+	for i := range sh.entries {
+		d, s := similarityAt(query, qt, sh.row(i), sh.entries[i].Time, alpha)
+		sc := Scored{Entry: sh.entries[i], Distance: d, Similarity: s}
+		if cur, ok := best[sc.Entry.Category]; !ok || ranksAfter(cur, sc) {
+			best[sc.Entry.Category] = sc
+		}
+	}
+	for cat, sc := range best {
+		sc.Entry.Vector = append([]float64(nil), sh.row(sh.byID[sc.Entry.ID])...)
+		best[cat] = sc
+	}
+	return best
+}
+
+// allEntriesSortedByID snapshots every entry, vectors materialized,
+// ordered by ID — the canonical order for persistence and partitioner
+// training, independent of how concurrent inserts interleaved. Callers
+// hold s.mu (shared or exclusive).
+func (s *Sharded) allEntriesSortedByID() []Entry {
+	out := make([]Entry, 0, s.count.Load())
+	for _, sh := range s.shard {
+		sh.mu.RLock()
+		for i := range sh.entries {
+			out = append(out, sh.materialize(i))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Rebalance re-routes every stored entry under a new partitioner,
+// stopping the world for the duration. Queries before and after return
+// identical results — placement is invisible to exact fan-out search.
+func (s *Sharded) Rebalance(p Partitioner) error {
+	if p == nil || p.Shards() < 1 {
+		return fmt.Errorf("vectordb: Rebalance needs a partitioner with at least 1 shard")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.allEntriesSortedByID()
+	s.resetLocked(p, entries)
+	return nil
+}
+
+// resetLocked replaces partitioner and contents; caller holds s.mu
+// exclusively. Entries are assumed validated and carry materialized
+// vectors.
+func (s *Sharded) resetLocked(p Partitioner, entries []Entry) {
+	s.parts = p
+	s.shard = newShards(p.Shards(), s.dim)
+	s.byID = &sync.Map{}
+	for _, e := range entries {
+		dst := p.Route(e)
+		s.byID.Store(e.ID, dst)
+		s.shard[dst].add(e)
+	}
+	s.count.Store(int64(len(entries)))
+}
+
+// TrainIVF trains an IVF coarse quantizer from the stored vectors (in
+// canonical ID order, so training is deterministic regardless of insert
+// interleaving) and rebalances the store onto it, keeping the current
+// shard count. Call it once enough history has accumulated; entries added
+// afterwards route through the trained centroids.
+func (s *Sharded) TrainIVF(iters int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.allEntriesSortedByID()
+	if len(entries) == 0 {
+		return fmt.Errorf("vectordb: TrainIVF on an empty store")
+	}
+	vecs := make([][]float64, len(entries))
+	for i := range entries {
+		vecs[i] = entries[i].Vector
+	}
+	p, err := TrainIVF(vecs, len(s.shard), iters)
+	if err != nil {
+		return err
+	}
+	s.resetLocked(p, entries)
+	return nil
+}

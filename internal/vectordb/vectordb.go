@@ -11,11 +11,30 @@
 // where T is the incident date in days. The decay encodes Insight 2:
 // recurring incidents cluster within ~20 days, so a recent incident is a
 // far better demonstration than an old one at equal embedding distance.
+//
+// # Pluggable indexes
+//
+// The pipeline is written against the Index interface, with two swappable
+// implementations sharing one exact retrieval contract (similarity
+// descending, ties by ascending entry ID):
+//
+//   - DB — the flat reference store: one slice under one RWMutex. Simple,
+//     and the semantics oracle every other implementation is tested
+//     against.
+//   - Sharded — entries partitioned across N shards (category-hash routing
+//     by default, or an IVF-style coarse quantizer trained from the stored
+//     vectors via Sharded.TrainIVF) with per-shard locks; queries fan out
+//     across shards on the shared internal/parallel pool and merge
+//     deterministically, bit-identical to DB for any shard count.
+//
+// NewIndex selects an implementation from Options; both persist the same
+// flat snapshot format, so stores round-trip between implementations.
 package vectordb
 
 import (
 	"container/heap"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -42,6 +61,56 @@ type Scored struct {
 	Similarity float64
 }
 
+// Index is the retrieval interface the prediction stage works against.
+// Implementations are safe for concurrent use and share the exact
+// retrieval contract: results ordered by temporal-decay similarity
+// descending, ties broken by ascending entry ID.
+type Index interface {
+	// Dim returns the vector dimensionality.
+	Dim() int
+	// Len returns the number of stored entries.
+	Len() int
+	// Add stores an entry, rejecting dimension mismatches and duplicate
+	// IDs.
+	Add(e Entry) error
+	// Get returns the entry with the given ID.
+	Get(id string) (Entry, bool)
+	// Categories returns the sorted set of distinct categories stored.
+	Categories() []incident.Category
+	// CountByCategory returns how many stored incidents each category has.
+	CountByCategory() map[incident.Category]int
+	// TopK returns the k most similar entries.
+	TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error)
+	// TopKDiverse returns the k most similar entries with each category
+	// appearing at most once (§4.2.2).
+	TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error)
+	// Save serializes the store in the flat snapshot format.
+	Save(w io.Writer) error
+	// Load replaces the store contents with a snapshot written by any
+	// Index implementation's Save.
+	Load(r io.Reader) error
+}
+
+// Options selects and parameterizes an Index implementation.
+type Options struct {
+	// Shards partitions the store into this many shards with parallel
+	// query fan-out; 0 or 1 selects the flat exact store.
+	Shards int
+	// Partitioner overrides shard routing (default: category hash).
+	// Ignored when Shards selects the flat store, unless the partitioner
+	// itself carries a shard count.
+	Partitioner Partitioner
+}
+
+// NewIndex builds the Index implementation the options select: a flat DB,
+// or a Sharded store when Shards > 1 (or a partitioner is given).
+func NewIndex(dim int, opts Options) Index {
+	if opts.Shards > 1 || opts.Partitioner != nil {
+		return NewSharded(dim, opts.Shards, opts.Partitioner)
+	}
+	return New(dim)
+}
+
 // DB is a concurrency-safe exact-search vector store.
 type DB struct {
 	mu      sync.RWMutex
@@ -49,6 +118,8 @@ type DB struct {
 	entries []Entry
 	byID    map[string]int
 }
+
+var _ Index = (*DB)(nil)
 
 // New returns an empty store for vectors of the given dimensionality.
 func New(dim int) *DB {
@@ -65,13 +136,22 @@ func (db *DB) Len() int {
 	return len(db.entries)
 }
 
-// Add stores an entry, rejecting dimension mismatches and duplicate IDs.
-func (db *DB) Add(e Entry) error {
-	if len(e.Vector) != db.dim {
-		return fmt.Errorf("vectordb: entry %s has dim %d, store has %d", e.ID, len(e.Vector), db.dim)
+// validateEntry checks an entry against the store dimensionality; shared
+// by every Index implementation so they reject identically.
+func validateEntry(dim int, e Entry) error {
+	if len(e.Vector) != dim {
+		return fmt.Errorf("vectordb: entry %s has dim %d, store has %d", e.ID, len(e.Vector), dim)
 	}
 	if e.ID == "" {
 		return fmt.Errorf("vectordb: entry has empty ID")
+	}
+	return nil
+}
+
+// Add stores an entry, rejecting dimension mismatches and duplicate IDs.
+func (db *DB) Add(e Entry) error {
+	if err := validateEntry(db.dim, e); err != nil {
+		return err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -95,20 +175,40 @@ func (db *DB) Get(id string) (Entry, bool) {
 	return db.entries[i], true
 }
 
-// Categories returns the set of distinct categories stored.
-func (db *DB) Categories() []incident.Category {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	seen := make(map[incident.Category]bool)
-	var out []incident.Category
-	for _, e := range db.entries {
-		if !seen[e.Category] {
-			seen[e.Category] = true
-			out = append(out, e.Category)
-		}
+// countCategoriesInto tallies entries per category into counts — the one
+// category pass shared by CountByCategory and Categories across both Index
+// implementations. Callers hold the lock guarding entries.
+func countCategoriesInto(counts map[incident.Category]int, entries []Entry) {
+	for _, e := range entries {
+		counts[e.Category]++
+	}
+}
+
+// sortedCategories returns the keys of a category-count map in sorted
+// order.
+func sortedCategories(counts map[incident.Category]int) []incident.Category {
+	out := make([]incident.Category, 0, len(counts))
+	for c := range counts {
+		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// CountByCategory returns how many stored incidents each category has —
+// the inventory view an on-call dashboard shows.
+func (db *DB) CountByCategory() map[incident.Category]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	counts := make(map[incident.Category]int)
+	countCategoriesInto(counts, db.entries)
+	return counts
+}
+
+// Categories returns the set of distinct categories stored, derived from
+// the same locked pass as CountByCategory.
+func (db *DB) Categories() []incident.Category {
+	return sortedCategories(db.CountByCategory())
 }
 
 // Distance is the Euclidean distance of the paper's similarity formula.
@@ -124,8 +224,15 @@ func Distance(a, b []float64) float64 {
 // Similarity evaluates the paper's formula for a query (vector, time)
 // against an entry, with temporal-decay coefficient alpha per day.
 func Similarity(query []float64, qt time.Time, e Entry, alpha float64) (dist, sim float64) {
-	dist = Distance(query, e.Vector)
-	days := math.Abs(qt.Sub(e.Time).Hours()) / 24
+	return similarityAt(query, qt, e.Vector, e.Time, alpha)
+}
+
+// similarityAt is Similarity over a raw (vector, time) pair, so the
+// sharded store's columnar scan can score rows without assembling an
+// Entry.
+func similarityAt(query []float64, qt time.Time, vec []float64, et time.Time, alpha float64) (dist, sim float64) {
+	dist = Distance(query, vec)
+	days := math.Abs(qt.Sub(et).Hours()) / 24
 	sim = 1 / (1 + dist) * math.Exp(-alpha*days)
 	return dist, sim
 }
@@ -170,14 +277,19 @@ func (h *worstFirst) drain() []Scored {
 	return out
 }
 
-func (db *DB) checkQuery(query []float64, k int) error {
-	if len(query) != db.dim {
-		return fmt.Errorf("vectordb: query dim %d, store dim %d", len(query), db.dim)
+// checkQuery validates query shape for any Index implementation.
+func checkQuery(dim int, query []float64, k int) error {
+	if len(query) != dim {
+		return fmt.Errorf("vectordb: query dim %d, store dim %d", len(query), dim)
 	}
 	if k <= 0 {
 		return fmt.Errorf("vectordb: k must be positive, got %d", k)
 	}
 	return nil
+}
+
+func (db *DB) checkQuery(query []float64, k int) error {
+	return checkQuery(db.dim, query, k)
 }
 
 // TopKDiverse returns the k most similar entries under the constraint that

@@ -135,6 +135,12 @@ const (
 	ModelGPT35 = simgpt.GPT35
 )
 
+// Shard-routing strategies for Config.Partitioner.
+const (
+	PartitionCategory = core.PartitionCategory
+	PartitionIVF      = core.PartitionIVF
+)
+
 // Config parameterizes a System.
 type Config struct {
 	// Model selects the chat model: ModelGPT4 (default) or ModelGPT35.
@@ -155,6 +161,21 @@ type Config struct {
 	// Chat overrides the chat model entirely (ignores Model/Seed); use it
 	// to plug a real LLM endpoint into the pipeline.
 	Chat llm.Client
+	// Shards partitions the incident history across this many vector-store
+	// shards with parallel query fan-out (0 or 1 keeps the flat exact
+	// store). Retrieval results are bit-identical either way; sharding
+	// changes how the store scales, not what it returns.
+	Shards int
+	// Partitioner selects shard routing when Shards > 1:
+	// PartitionCategory (default) or PartitionIVF, which trains a coarse
+	// quantizer from the stored vectors after each AddHistory batch.
+	Partitioner string
+	// AsyncLearnQueue, when positive, moves feedback-loop learning off the
+	// hot path: Feedback() verdicts enqueue onto a background ingest
+	// worker with this queue capacity instead of re-summarizing inline.
+	// Call Feedback().Flush() for read-your-writes before querying. 0
+	// keeps the synchronous default.
+	AsyncLearnQueue int
 }
 
 // System is an assembled RCACopilot deployment over a fleet.
@@ -189,10 +210,12 @@ func NewSystem(fleet *Fleet, cfg Config) (*System, error) {
 		}
 	}
 	cop, err := core.New(fleet, chat, core.Config{
-		Team:    cfg.Team,
-		K:       cfg.K,
-		Alpha:   cfg.Alpha,
-		Context: cfg.Context,
+		Team:        cfg.Team,
+		K:           cfg.K,
+		Alpha:       cfg.Alpha,
+		Context:     cfg.Context,
+		Shards:      cfg.Shards,
+		Partitioner: cfg.Partitioner,
 	})
 	if err != nil {
 		return nil, err
@@ -248,7 +271,9 @@ func (s *System) UseGPTEmbedding(dim int) {
 // AddHistory inserts labelled historical incidents into the vector DB,
 // summarizing any that lack summaries on the shared worker pool. Incidents
 // are cloned; callers' copies are not mutated. The resulting store is
-// identical to learning the incidents one at a time in order.
+// identical to learning the incidents one at a time in order. Under
+// Config{Partitioner: PartitionIVF} the coarse quantizer retrains from the
+// stored vectors after the batch lands, rebalancing the shards.
 func (s *System) AddHistory(history []*Incident) error {
 	clones := make([]*Incident, len(history))
 	for i, in := range history {
@@ -309,9 +334,18 @@ func (s *System) Learn(inc *Incident) error { return s.copilot.Learn(inc.Clone()
 // Feedback returns the system's OCE feedback loop: confirmed and corrected
 // predictions are learned back into the incident history, so the system
 // improves from review (§5.5's notification-email feedback mechanism).
-// Safe to call concurrently; every caller sees the same loop.
+// Safe to call concurrently; every caller sees the same loop. With
+// Config.AsyncLearnQueue > 0 the loop's learning runs on a background
+// ingest worker — see FeedbackLoop.Flush for the read-your-writes barrier.
 func (s *System) Feedback() *FeedbackLoop {
-	s.loopOnce.Do(func() { s.loop = feedback.New(nil, s.copilot) })
+	s.loopOnce.Do(func() {
+		s.loop = feedback.New(nil, s.copilot)
+		if s.cfg.AsyncLearnQueue > 0 {
+			// Start cannot fail here: the learner is non-nil and the loop
+			// is freshly built.
+			_ = s.loop.StartIngest(s.cfg.AsyncLearnQueue)
+		}
+	})
 	return s.loop
 }
 

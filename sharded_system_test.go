@@ -1,0 +1,98 @@
+package rcacopilot
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vectordb"
+)
+
+// TestSystemShardedMatchesFlat assembles two systems over the same corpus
+// and seed — one on the flat store, one sharded with IVF routing — and
+// requires identical end-to-end outcomes: the facade-level proof that the
+// Config shard knobs change scaling, not results.
+func TestSystemShardedMatchesFlat(t *testing.T) {
+	c := sharedCorpus(t)
+	history := c.Incidents[:150]
+
+	build := func(cfg Config) (*System, *Incident) {
+		t.Helper()
+		sys, err := NewSystem(c.Fleet, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.TrainEmbedding(history); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AddHistory(history); err != nil {
+			t.Fatal(err)
+		}
+		probe := c.Incidents[200].Clone()
+		probe.Summary, probe.Predicted, probe.Explanation = "", "", ""
+		return sys, probe
+	}
+
+	flatSys, flatProbe := build(Config{Seed: 2})
+	shardSys, shardProbe := build(Config{Seed: 2, Shards: 7, Partitioner: PartitionIVF})
+
+	idx := shardSys.Copilot().Index()
+	s, ok := idx.(*vectordb.Sharded)
+	if !ok {
+		t.Fatalf("sharded system runs on %T", idx)
+	}
+	if _, ok := s.Partitioner().(*vectordb.IVF); !ok {
+		t.Fatalf("partitioner is %T after AddHistory, want trained IVF", s.Partitioner())
+	}
+	if s.Len() != len(history) {
+		t.Fatalf("sharded history len = %d, want %d", s.Len(), len(history))
+	}
+
+	flatRes, err := flatSys.Predict(flatProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardRes, err := shardSys.Predict(shardProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flatRes.Category != shardRes.Category || flatRes.Explanation != shardRes.Explanation {
+		t.Fatalf("sharded prediction diverged: %+v vs %+v", shardRes, flatRes)
+	}
+}
+
+// TestSystemAsyncLearnQueue exercises the Config.AsyncLearnQueue wiring:
+// feedback verdicts land in the history only after Flush, and the history
+// grows by exactly the confirmed count.
+func TestSystemAsyncLearnQueue(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2, AsyncLearnQueue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := c.Incidents[:120]
+	if err := sys.TrainEmbedding(history); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHistory(history); err != nil {
+		t.Fatal(err)
+	}
+	loop := sys.Feedback()
+	defer loop.Close()
+	before := sys.Copilot().Index().Len()
+
+	const reviews = 5
+	for i := 0; i < reviews; i++ {
+		inc := c.Incidents[300+i].Clone()
+		inc.ID = fmt.Sprintf("INC-ASYNC-%d", i)
+		inc.Predicted = inc.Category
+		if _, err := loop.Submit(inc, VerdictConfirm, "", "oce", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := loop.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Copilot().Index().Len(); got != before+reviews {
+		t.Fatalf("history len = %d after Flush, want %d", got, before+reviews)
+	}
+}
