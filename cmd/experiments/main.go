@@ -8,6 +8,7 @@
 //	experiments -workers 1          # sequential reference run
 //	experiments -shards 8           # sharded vector index (same results)
 //	experiments -shards 8 -partitioner ivf   # IVF coarse-quantizer routing
+//	experiments -shards 8 -partitioner ivf -probes 2  # approximate serving
 //	experiments -parallel-budget 16 # pin the worker budget explicitly
 //	experiments -auto-limit         # latency-driven worker budget
 //
@@ -15,7 +16,10 @@
 // store behind every pipeline for the sharded implementation (category-hash
 // or IVF routing per -partitioner), and because sharded search is exact and
 // merges under the flat store's ordering, every table and figure reproduces
-// bit-identically.
+// bit-identically. -probes opts into probe-limited approximate retrieval
+// (only the nearest IVF partitions are searched), which trades exactness
+// for scan reduction — tables may then deviate from the goldens by design;
+// the recall floor for that mode is pinned in internal/vectordb.
 //
 // The experiments fan out on a bounded worker pool (one worker per CPU by
 // default); because the simulated models are order-independent, every
@@ -47,10 +51,20 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size; 0 = one per CPU, 1 = sequential")
 	shards := flag.Int("shards", 0, "vector-index shard count; 0 or 1 = flat exact store")
 	partitioner := flag.String("partitioner", "", "shard routing: category (default) or ivf")
+	probes := flag.Int("probes", 0, "IVF partitions searched per query (approximate); 0 = exact fan-out")
 	parallelBudget := flag.Int("parallel-budget", -1, "pin the process-wide extra-worker budget; -1 = default/auto")
 	autoLimit := flag.Bool("auto-limit", false, "auto-size the worker budget from observed model-call latency")
 	flag.Parse()
 
+	if *probes < 0 {
+		fatal(fmt.Errorf("-probes must be >= 0 (0 = exact fan-out), got %d", *probes))
+	}
+	if *probes > 0 && (*shards <= 1 || *partitioner != "ivf") {
+		// Fail here rather than deep inside whichever experiment first
+		// builds a pipeline: probe selection needs trained IVF centroids.
+		fatal(fmt.Errorf("-probes %d requires -shards > 1 and -partitioner ivf (got -shards %d -partitioner %q)",
+			*probes, *shards, *partitioner))
+	}
 	if *parallelBudget >= 0 {
 		parallel.SetLimit(*parallelBudget)
 		if *autoLimit {
@@ -79,12 +93,17 @@ func main() {
 		env.Workers = *workers
 		env.Shards = *shards
 		env.Partitioner = *partitioner
+		env.Probes = *probes
 		if *shards > 1 {
 			p := *partitioner
 			if p == "" {
 				p = "category"
 			}
-			fmt.Printf("vector index: %d shards (%s routing)\n", *shards, p)
+			serving := "exact fan-out"
+			if *probes > 0 {
+				serving = fmt.Sprintf("probe-limited, %d probes (approximate once IVF trains)", *probes)
+			}
+			fmt.Printf("vector index: %d shards (%s routing, %s)\n", *shards, p, serving)
 		}
 		if *workers != 1 {
 			n := *workers

@@ -151,6 +151,15 @@ type Config struct {
 	// Partitioner selects shard routing when Shards > 1:
 	// PartitionCategory (default) or PartitionIVF.
 	Partitioner string
+	// Probes opts retrieval into the sharded store's probe-limited
+	// approximate serving: queries search only this many IVF partitions
+	// nearest the query instead of fanning out to every shard. Requires
+	// Shards > 1 with Partitioner PartitionIVF (rejected otherwise — the
+	// knob would silently never engage) and takes effect once the
+	// quantizer has trained (until then — and whenever probes cover every
+	// populated shard — retrieval stays exact and bit-identical to the
+	// flat store). 0 keeps exact fan-out; negative values are rejected.
+	Probes int
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +212,18 @@ func New(fleet *transport.Fleet, chat llm.Client, cfg Config) (*Copilot, error) 
 		return nil, fmt.Errorf("core: unknown partitioner %q (want %q or %q)",
 			cfg.Partitioner, PartitionCategory, PartitionIVF)
 	}
+	if cfg.Probes < 0 {
+		return nil, fmt.Errorf("core: negative probe count %d (use 0 for exact fan-out)", cfg.Probes)
+	}
+	if cfg.Probes > 0 && cfg.Shards <= 1 {
+		return nil, fmt.Errorf("core: Probes=%d requires a sharded vector store (Shards > 1)", cfg.Probes)
+	}
+	if cfg.Probes > 0 && cfg.Partitioner != PartitionIVF {
+		// Probe selection needs centroid geometry; under category routing
+		// the knob would silently never engage, masking a misconfiguration.
+		return nil, fmt.Errorf("core: Probes=%d requires Partitioner=%q (got %q, which has no centroids to probe)",
+			cfg.Probes, PartitionIVF, cfg.Partitioner)
+	}
 	c := &Copilot{
 		cfg:      cfg,
 		fleet:    fleet,
@@ -249,8 +270,9 @@ func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 	}
 	c.embedder = e
 	// PartitionIVF also starts on category-hash routing: the quantizer can
-	// only be trained once vectors exist (see trainPartitioner).
-	c.db = vectordb.NewIndex(e.Dim(), vectordb.Options{Shards: c.cfg.Shards})
+	// only be trained once vectors exist (see trainPartitioner); the probe
+	// budget is likewise dormant until the IVF quantizer routes.
+	c.db = vectordb.NewIndex(e.Dim(), vectordb.Options{Shards: c.cfg.Shards, Probes: c.cfg.Probes})
 	return dropped
 }
 
@@ -278,8 +300,12 @@ func (c *Copilot) DB() vectordb.Index { return c.Index() }
 // trainPartitioner retrains an IVF-partitioned sharded index from its
 // stored vectors. It is a no-op for the flat store and category routing;
 // called after batch ingest so the quantizer reflects the loaded history.
-// Placement never changes retrieval results (exact fan-out search), so
-// retraining is invisible to Predict.
+// The handoff onto the trained quantizer is incremental — ingest and
+// queries keep flowing — and under exact serving (Config.Probes == 0)
+// placement never changes retrieval results, so retraining is invisible
+// to Predict. With Probes > 0 this training is also the moment
+// probe-limited serving engages: the freshly trained centroids are what
+// probe selection ranks.
 func (c *Copilot) trainPartitioner(db vectordb.Index) error {
 	if c.cfg.Partitioner != PartitionIVF {
 		return nil

@@ -98,3 +98,58 @@ func TestNewRejectsUnknownPartitioner(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProbeConfigValidation covers the probe knob's config surface:
+// negative budgets and probes without a sharded store are rejected; a
+// valid probe config reaches the index.
+func TestProbeConfigValidation(t *testing.T) {
+	e := getEnv(t)
+	chat := newCopilot(t, Config{}).Chat()
+	if _, err := New(e.corpus.Fleet, chat, Config{Shards: 4, Probes: -1}); err == nil {
+		t.Fatal("negative probes must fail")
+	}
+	if _, err := New(e.corpus.Fleet, chat, Config{Probes: 2}); err == nil {
+		t.Fatal("probes without shards must fail")
+	}
+	if _, err := New(e.corpus.Fleet, chat, Config{Shards: 4, Probes: 2}); err == nil {
+		t.Fatal("probes under category routing must fail (would silently never engage)")
+	}
+	c := newCopilot(t, Config{Shards: 4, Partitioner: PartitionIVF, Probes: 2})
+	s, ok := c.Index().(*vectordb.Sharded)
+	if !ok {
+		t.Fatalf("index is %T", c.Index())
+	}
+	if s.Probes() != 2 {
+		t.Fatalf("Probes = %d on the index, want 2", s.Probes())
+	}
+}
+
+// TestProbeCopilotPredicts runs the full Learn/Predict path under
+// probe-limited serving: the prediction pipeline must work end to end on
+// the approximate index (no golden equality — probe mode is approximate
+// by contract once the quantizer trains).
+func TestProbeCopilotPredicts(t *testing.T) {
+	e := getEnv(t)
+	c := newCopilot(t, Config{Shards: 4, Partitioner: PartitionIVF, Probes: 1})
+	incs := e.corpus.Incidents[:40]
+	clones := make([]*incident.Incident, len(incs))
+	for i, in := range incs {
+		clones[i] = in.Clone()
+	}
+	if err := c.LearnBatch(clones, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Index().(*vectordb.Sharded)
+	if _, ok := s.Partitioner().(*vectordb.IVF); !ok {
+		t.Fatalf("partitioner is %T, want trained IVF", s.Partitioner())
+	}
+	probe := e.corpus.Incidents[41].Clone()
+	probe.Summary, probe.Predicted = "", ""
+	res, err := c.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Category == "" {
+		t.Fatal("probe-limited Predict returned no category")
+	}
+}

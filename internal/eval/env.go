@@ -36,6 +36,11 @@ type Env struct {
 	// Partitioner selects shard routing when Shards > 1 (see
 	// core.PartitionCategory / core.PartitionIVF; empty = category hash).
 	Partitioner string
+	// Probes opts the sharded index into probe-limited approximate
+	// serving (search only this many IVF partitions nearest each query).
+	// 0 keeps exact fan-out — the mode every golden assumes; probe runs
+	// are for the recall/latency trade-off experiments.
+	Probes int
 
 	ftOnce      sync.Once
 	ft          *fasttext.Model

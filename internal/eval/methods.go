@@ -307,7 +307,7 @@ func RunPipeline(e *Env, opts PipelineOptions) (*PipelineRun, error) {
 	}
 	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{
 		K: opts.K, Alpha: opts.Alpha, Context: opts.Context,
-		Shards: e.Shards, Partitioner: e.Partitioner,
+		Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
 	})
 	if err != nil {
 		return nil, err

@@ -240,3 +240,82 @@ func fixedLoop2(l Learner) *Loop {
 	lp.SetClock(func() time.Time { mu.Lock(); n++; d := n; mu.Unlock(); return t0.Add(time.Duration(d) * time.Minute) })
 	return lp
 }
+
+// TestAsyncFailureSurfacesWithoutFlush is the regression test for the
+// async error-surfacing satellite: a failed background learn must become
+// visible — through the notifier, Failures, and FailureFor — without
+// anyone calling Flush.
+func TestAsyncFailureSurfacesWithoutFlush(t *testing.T) {
+	learner := &blockingLearner{failIDs: map[string]bool{"INC-BAD": true}}
+	lp := fixedLoop2(learner)
+	notified := make(chan Failure, 1)
+	lp.SetNotifier(func(f Failure) { notified <- f })
+	if err := lp.StartIngest(8); err != nil {
+		t.Fatal(err)
+	}
+	defer lp.Close()
+
+	if _, err := lp.Submit(predicted("INC-BAD", "X"), VerdictConfirm, "", "oce-alice", "note"); err != nil {
+		t.Fatal(err)
+	}
+	// No Flush anywhere: the notifier is the delivery path.
+	var f Failure
+	select {
+	case f = <-notified:
+	case <-time.After(5 * time.Second):
+		t.Fatal("notifier never fired for the failed background learn")
+	}
+	if f.IncidentID != "INC-BAD" || f.Reviewer != "oce-alice" || f.Err == nil {
+		t.Fatalf("notified failure %+v lacks attribution", f)
+	}
+	if f.At.IsZero() {
+		t.Fatal("failure has no timestamp")
+	}
+	got, ok := lp.FailureFor("INC-BAD")
+	if !ok || got.Reviewer != "oce-alice" {
+		t.Fatalf("FailureFor = %+v/%v, want the recorded failure", got, ok)
+	}
+	if all := lp.Failures(); len(all) != 1 || all[0].IncidentID != "INC-BAD" {
+		t.Fatalf("Failures = %+v, want exactly the one failure", all)
+	}
+
+	// Flush clears the aggregate error but NOT the per-incident record.
+	if err := lp.Flush(); err == nil {
+		t.Fatal("Flush must still aggregate the async error")
+	}
+	if _, ok := lp.FailureFor("INC-BAD"); !ok {
+		t.Fatal("Flush cleared the per-incident failure record")
+	}
+
+	// A later successful learn for the same incident resolves the failure.
+	learner.mu.Lock()
+	learner.failIDs = nil
+	learner.mu.Unlock()
+	if _, err := lp.Submit(predicted("INC-BAD", "X"), VerdictConfirm, "", "oce-alice", "retry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lp.FailureFor("INC-BAD"); ok {
+		t.Fatal("successful re-learn must clear the failure record")
+	}
+	if len(lp.Failures()) != 0 {
+		t.Fatalf("Failures = %+v after recovery, want none", lp.Failures())
+	}
+}
+
+// TestInlineFailureAlsoRecorded: with ingest off, the learn error returns
+// straight to the submitter AND lands in the failure record, so the
+// dashboard view is complete either way.
+func TestInlineFailureAlsoRecorded(t *testing.T) {
+	learner := &blockingLearner{failIDs: map[string]bool{"INC-SYNC": true}}
+	lp := fixedLoop2(learner)
+	if _, err := lp.Submit(predicted("INC-SYNC", "X"), VerdictConfirm, "", "oce-bob", ""); err == nil {
+		t.Fatal("inline learn failure must return to the submitter")
+	}
+	f, ok := lp.FailureFor("INC-SYNC")
+	if !ok || f.Reviewer != "oce-bob" {
+		t.Fatalf("inline failure not recorded: %+v/%v", f, ok)
+	}
+}

@@ -33,6 +33,19 @@
 // barrier: it blocks until everything submitted so far is learned (and
 // surfaces any async learn errors), so a submitting OCE who wants their
 // confirmation reflected in the next retrieval calls Flush first.
+//
+// # Async error surfacing
+//
+// A background learn that fails must reach the OCE who submitted the
+// verdict — not just whoever happens to Flush next. Every failed async
+// learn is therefore recorded on the loop as a Failure (incident,
+// reviewer, error, time), queryable via Failures/FailureFor without any
+// Flush, and pushed through the optional SetNotifier hook the moment it
+// happens — the notification path a deployment wires to the same email
+// mechanism the incident reports use (report.RenderLearnFailure renders
+// the message body). Flush still aggregates and clears the pending error
+// list for read-your-writes callers; the Failure record persists until
+// the same incident later learns successfully.
 package feedback
 
 import (
@@ -76,24 +89,53 @@ type Learner interface {
 	Learn(inc *incident.Incident) error
 }
 
+// Failure records one failed background learn: enough for a notification
+// to reach the OCE who submitted the verdict without anyone calling
+// Flush.
+type Failure struct {
+	// IncidentID identifies the incident whose learn failed.
+	IncidentID string
+	// Reviewer is the OCE who submitted the verdict that queued the learn.
+	Reviewer string
+	// Err is the learn error.
+	Err error
+	// At is when the failure was recorded.
+	At time.Time
+}
+
+// learnTask is one queued background learn, carrying the submitting
+// reviewer so a failure can be attributed back to them.
+type learnTask struct {
+	inc      *incident.Incident
+	reviewer string
+}
+
 // Loop records feedback and feeds confirmed/corrected incidents back into
 // the learner. Safe for concurrent use.
 type Loop struct {
 	mu      sync.Mutex
 	store   *kvstore.Store
 	learner Learner
+
+	// clockMu guards clock: the ingest worker timestamps failures off the
+	// Submit goroutine, so SetClock must not race a background read.
+	clockMu sync.Mutex
 	clock   func() time.Time
 
 	// ingest guards the async-learning state; nil queue = synchronous.
 	ingest struct {
 		mu      sync.Mutex
 		cond    *sync.Cond
-		queue   chan *incident.Incident
+		queue   chan learnTask
 		done    chan struct{}
 		closed  bool
 		pending int
 		errs    []error
 		granted int
+		// failures holds the latest unresolved Failure per incident; a
+		// later successful learn for the incident clears it.
+		failures map[string]Failure
+		notify   func(Failure)
 	}
 }
 
@@ -107,8 +149,22 @@ func New(store *kvstore.Store, learner Learner) *Loop {
 	return &Loop{store: store, learner: learner, clock: time.Now}
 }
 
-// SetClock overrides the timestamp source (tests, simulations).
-func (l *Loop) SetClock(now func() time.Time) { l.clock = now }
+// SetClock overrides the timestamp source (tests, simulations). The
+// clock function itself must be safe for concurrent calls when ingest is
+// running.
+func (l *Loop) SetClock(now func() time.Time) {
+	l.clockMu.Lock()
+	l.clock = now
+	l.clockMu.Unlock()
+}
+
+// now reads the clock under its own lock, callable from any goroutine.
+func (l *Loop) now() time.Time {
+	l.clockMu.Lock()
+	clock := l.clock
+	l.clockMu.Unlock()
+	return clock()
+}
 
 func entryKey(incidentID string) string { return "feedback/" + incidentID }
 
@@ -147,7 +203,7 @@ func (l *Loop) Submit(inc *incident.Incident, verdict Verdict, corrected inciden
 		Verdict:    verdict,
 		Corrected:  corrected,
 		Reviewer:   reviewer,
-		At:         l.clock(),
+		At:         l.now(),
 		Note:       note,
 	}
 	data, err := json.Marshal(e)
@@ -159,7 +215,7 @@ func (l *Loop) Submit(inc *incident.Incident, verdict Verdict, corrected inciden
 	if final != "" && l.learner != nil {
 		learned := inc.Clone()
 		learned.Category = final
-		if err := l.learnOrEnqueue(learned); err != nil {
+		if err := l.learnOrEnqueue(learnTask{inc: learned, reviewer: reviewer}); err != nil {
 			return nil, fmt.Errorf("feedback: learn %s: %w", inc.ID, err)
 		}
 	}
@@ -169,16 +225,18 @@ func (l *Loop) Submit(inc *incident.Incident, verdict Verdict, corrected inciden
 // learnOrEnqueue hands a labelled incident to the background ingest worker
 // when one is running, falling back to an inline learn when the queue is
 // full (backpressure) or ingest is off/closed (the synchronous default).
-func (l *Loop) learnOrEnqueue(learned *incident.Incident) error {
+// Inline learns report their error straight back to the submitter; only
+// deferred ones need the Failure record.
+func (l *Loop) learnOrEnqueue(task learnTask) error {
 	ig := &l.ingest
 	ig.mu.Lock()
 	if ig.queue == nil || ig.closed {
 		ig.mu.Unlock()
-		return l.learner.Learn(learned)
+		return l.learnAndRecord(task, false)
 	}
 	ig.pending++
 	select {
-	case ig.queue <- learned:
+	case ig.queue <- task:
 		ig.mu.Unlock()
 		return nil
 	default:
@@ -186,8 +244,34 @@ func (l *Loop) learnOrEnqueue(learned *incident.Incident) error {
 		// exactly the pre-async behaviour — bounded memory, no lost learns.
 		ig.pending--
 		ig.mu.Unlock()
-		return l.learner.Learn(learned)
+		return l.learnAndRecord(task, false)
 	}
+}
+
+// learnAndRecord runs one learn and maintains the per-incident Failure
+// record: an error is stored (and, for deferred learns, pushed through
+// the notifier — inline failures already reach the submitter as a return
+// value); success clears any stale failure for the incident.
+func (l *Loop) learnAndRecord(task learnTask, deferred bool) error {
+	err := l.learner.Learn(task.inc)
+	ig := &l.ingest
+	ig.mu.Lock()
+	if err != nil {
+		f := Failure{IncidentID: task.inc.ID, Reviewer: task.reviewer, Err: err, At: l.now()}
+		if ig.failures == nil {
+			ig.failures = make(map[string]Failure)
+		}
+		ig.failures[task.inc.ID] = f
+		notify := ig.notify
+		ig.mu.Unlock()
+		if deferred && notify != nil {
+			notify(f)
+		}
+		return err
+	}
+	delete(ig.failures, task.inc.ID)
+	ig.mu.Unlock()
+	return nil
 }
 
 // StartIngest starts the background learn worker with the given queue
@@ -209,7 +293,7 @@ func (l *Loop) StartIngest(queueSize int) error {
 		return fmt.Errorf("feedback: ingest already started")
 	}
 	ig.cond = sync.NewCond(&ig.mu)
-	ig.queue = make(chan *incident.Incident, queueSize)
+	ig.queue = make(chan learnTask, queueSize)
 	ig.done = make(chan struct{})
 	ig.closed = false
 	ig.granted = parallel.Reserve(1)
@@ -217,27 +301,70 @@ func (l *Loop) StartIngest(queueSize int) error {
 	return nil
 }
 
-// ingestWorker drains queued learns until the queue closes.
-func (l *Loop) ingestWorker(queue <-chan *incident.Incident, done chan<- struct{}) {
+// ingestWorker drains queued learns until the queue closes. Failures are
+// recorded per incident and pushed through the notifier immediately (see
+// learnAndRecord) in addition to feeding the Flush error aggregate.
+func (l *Loop) ingestWorker(queue <-chan learnTask, done chan<- struct{}) {
 	defer close(done)
 	ig := &l.ingest
-	for inc := range queue {
-		err := l.learner.Learn(inc)
+	for task := range queue {
+		err := l.learnAndRecord(task, true)
 		ig.mu.Lock()
 		ig.pending--
 		if err != nil {
-			ig.errs = append(ig.errs, fmt.Errorf("feedback: learn %s: %w", inc.ID, err))
+			ig.errs = append(ig.errs, fmt.Errorf("feedback: learn %s: %w", task.inc.ID, err))
 		}
 		ig.cond.Broadcast()
 		ig.mu.Unlock()
 	}
 }
 
+// SetNotifier installs the delivery hook for failed background learns:
+// it is invoked once per deferred failure, as the failure happens, from
+// the ingest worker (keep it fast or hand off). This is how a deployment
+// routes the failure back to the submitting OCE — typically by sending
+// report.RenderLearnFailure's text through the same channel that carries
+// incident notifications. A nil notifier (the default) leaves failures
+// queryable via Failures/FailureFor only.
+func (l *Loop) SetNotifier(fn func(Failure)) {
+	ig := &l.ingest
+	ig.mu.Lock()
+	ig.notify = fn
+	ig.mu.Unlock()
+}
+
+// Failures returns every unresolved learn failure, ordered by incident
+// ID. Unlike Flush's error aggregate this does not clear: a failure
+// stands until the same incident learns successfully (e.g. after the OCE
+// resubmits the verdict).
+func (l *Loop) Failures() []Failure {
+	ig := &l.ingest
+	ig.mu.Lock()
+	out := make([]Failure, 0, len(ig.failures))
+	for _, f := range ig.failures {
+		out = append(out, f)
+	}
+	ig.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].IncidentID < out[j].IncidentID })
+	return out
+}
+
+// FailureFor returns the unresolved learn failure for an incident, if
+// any — the per-incident view an incident report embeds.
+func (l *Loop) FailureFor(incidentID string) (Failure, bool) {
+	ig := &l.ingest
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	f, ok := ig.failures[incidentID]
+	return f, ok
+}
+
 // Flush blocks until every learn submitted before the call has been
 // applied — the read-your-writes barrier for a submitting OCE — and
 // returns (and clears) any errors the background learns accumulated. With
 // ingest off it returns nil immediately: the synchronous path has no
-// deferred work.
+// deferred work. The per-incident Failure records survive a Flush; only
+// the aggregate clears.
 func (l *Loop) Flush() error {
 	ig := &l.ingest
 	ig.mu.Lock()

@@ -9,6 +9,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/handler"
 	"repro/internal/incident"
@@ -108,6 +109,31 @@ func Render(inc *incident.Incident, rep *handler.RunReport, opts Options) string
 	fmt.Fprintf(&b, "    confirm %s\n", inc.ID)
 	fmt.Fprintf(&b, "    correct %s <category>\n", inc.ID)
 	fmt.Fprintf(&b, "    reject  %s\n", inc.ID)
+	return b.String()
+}
+
+// RenderLearnFailure produces the plain-text notification sent to the OCE
+// whose feedback verdict could not be learned back into the incident
+// history (the background ingest worker failed to re-summarize or embed
+// the incident). Without this message the error would only surface to
+// whoever next calls the feedback loop's Flush — which may be nobody. The
+// text tells the reviewer what failed, why, and that their verdict itself
+// is safely recorded; resubmitting after the underlying fault clears
+// re-queues the learn.
+func RenderLearnFailure(incidentID, reviewer string, learnErr error, at time.Time, opts Options) string {
+	opts = opts.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "FEEDBACK LEARN FAILURE %s  %s\n", incidentID, at.Format("2006-01-02 15:04 MST"))
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", 72))
+	fmt.Fprintf(&b, "To:     %s\n", reviewer)
+	fmt.Fprintf(&b, "Your verdict on incident %s was recorded, but feeding it back\n", incidentID)
+	b.WriteString("into the incident history failed — the incident will NOT inform\n")
+	b.WriteString("future predictions until the learn succeeds.\n\n")
+	b.WriteString("ERROR\n")
+	b.WriteString(indentWrap(learnErr.Error(), 66, "  "))
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "Resubmit your verdict to %s once the fault clears:\n", opts.FeedbackAddress)
+	fmt.Fprintf(&b, "    confirm %s\n", incidentID)
 	return b.String()
 }
 

@@ -119,6 +119,85 @@ func BenchmarkTopKDiverse(b *testing.B) {
 	}
 }
 
+// probe benchmark fixtures: an 8-shard IVF-trained store over the seeded
+// clustered corpus, its flat exact twin, and the query set — cached
+// across sub-benchmarks, keyed by corpus size.
+var (
+	probeBenchMu sync.Mutex
+	probeBench   = map[int]*probeFixture{}
+)
+
+type probeFixture struct {
+	flat    *DB
+	sharded *Sharded
+	queries [][]float64
+	qt      time.Time
+}
+
+func probeFixtureFor(b *testing.B, n int) *probeFixture {
+	b.Helper()
+	probeBenchMu.Lock()
+	defer probeBenchMu.Unlock()
+	if f, ok := probeBench[n]; ok {
+		return f
+	}
+	entries, queries := clusteredCorpus(99, n, benchDim, 12)
+	f := &probeFixture{flat: New(benchDim), sharded: NewSharded(benchDim, 8, nil), queries: queries, qt: entries[0].Time}
+	for _, e := range entries {
+		if err := f.flat.Add(e); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.sharded.Add(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.sharded.TrainIVF(0); err != nil {
+		b.Fatal(err)
+	}
+	probeBench[n] = f
+	return f
+}
+
+// BenchmarkTopKProbes is the recall-vs-speedup benchmark for probe-limited
+// serving: 1k/10k/100k-entry IVF stores at probes 1, 2, 4 and all (exact
+// fan-out), measured against the flat oracle. Each run reports recall@5
+// as a benchmark metric and — so the CI bench smoke doubles as the
+// recall gate — FAILS if probes=2 on the seeded 10k corpus ever drops
+// below the pinned 0.9 floor from the acceptance criteria. Results are
+// recorded in BENCH_retrieval.json.
+func BenchmarkTopKProbes(b *testing.B) {
+	const floorN, floorProbes, recallFloor = 10_000, 2, 0.9
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		for _, probes := range []int{1, 2, 4, 0} {
+			name := fmt.Sprintf("probes=%d/n=%d", probes, n)
+			if probes == 0 {
+				name = fmt.Sprintf("probes=all/n=%d", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				f := probeFixtureFor(b, n)
+				if err := f.sharded.SetProbes(probes); err != nil {
+					b.Fatal(err)
+				}
+				defer f.sharded.SetProbes(0)
+				recall := recallAtK(b, f.flat, f.sharded, f.queries, f.qt, 5, 0.3)
+				if n == floorN && probes == floorProbes && recall < recallFloor {
+					b.Fatalf("recall@5 = %.4f at probes=%d on the seeded %d-entry corpus, below the pinned %.2f floor",
+						recall, probes, n, recallFloor)
+				}
+				q := f.queries[0]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := f.sharded.TopK(q, f.qt, 5, 0.3); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// After ResetTimer: it clears custom metrics too.
+				b.ReportMetric(recall, "recall@5")
+			})
+		}
+	}
+}
+
 // BenchmarkShardedAdd measures insert throughput with per-shard locking
 // (the path Learn takes under concurrent ingest).
 func BenchmarkShardedAdd(b *testing.B) {

@@ -3,17 +3,20 @@ package vectordb
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 )
 
-// Partitioner decides which shard of a Sharded index stores an entry.
-// Routing only affects data placement — every query fans out across all
-// shards and searches exactly, so the partitioner changes load balance and
-// parallelism, never results. Implementations must be safe for concurrent
-// Route calls (both shipped partitioners are immutable after construction).
-//
-// A probe-limited mode that searches only the nearest partitions (trading
-// recall for latency, the usual IVF deployment) is a deliberate follow-on;
-// see ROADMAP.md.
+// Partitioner decides which shard of a Sharded index stores an entry. In
+// the default exact serving mode routing only affects data placement —
+// every query fans out across all shards and searches exactly, so the
+// partitioner changes load balance and parallelism, never results. Under
+// probe-limited serving (Sharded.SetProbes) an IVF partitioner's centroid
+// geometry additionally decides which partitions a query searches, so
+// placement then trades recall for latency. Implementations must be safe
+// for concurrent Route calls (both shipped partitioners are immutable
+// after construction) and must return indices in [0, Shards()); the store
+// validates placements and rejects out-of-range routes with an error
+// rather than corrupting itself.
 type Partitioner interface {
 	// Shards returns the number of partitions routed to.
 	Shards() int
@@ -61,6 +64,24 @@ func (p *IVF) Route(e Entry) int {
 		}
 	}
 	return best
+}
+
+// nearestShards returns every shard index ordered by ascending Euclidean
+// distance between the query and the shard's centroid, ties toward the
+// lower index — the probe-selection ranking of the store's approximate
+// serving mode. The ranking uses plain vector distance: centroids carry no
+// timestamp, so the temporal-decay factor of the retrieval similarity
+// cannot participate in partition selection (one reason probe mode is
+// approximate).
+func (p *IVF) nearestShards(query []float64) []int {
+	dists := make([]float64, len(p.centroids))
+	order := make([]int, len(p.centroids))
+	for i, c := range p.centroids {
+		dists[i] = Distance(query, c)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	return order
 }
 
 // Centroids returns a copy of the trained shard centroids.

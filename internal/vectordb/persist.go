@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // snapshot is the gob wire format, shared by every Index implementation:
@@ -81,11 +82,11 @@ func (db *DB) Load(r io.Reader) error {
 
 // Save serializes the sharded store in the same flat snapshot format the
 // flat DB writes, entries sorted by ID for determinism, so a sharded
-// deployment's history loads into a flat store and vice versa.
+// deployment's history loads into a flat store and vice versa. Safe to
+// call mid-rebalance: the snapshot deduplicates entries that are briefly
+// visible in both generations.
 func (s *Sharded) Save(w io.Writer) error {
-	s.mu.RLock()
-	snap := snapshot{Dim: s.dim, Entries: s.allEntriesSortedByID()}
-	s.mu.RUnlock()
+	snap := snapshot{Dim: s.dim, Entries: s.snapshotSortedByID()}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("vectordb: save: %w", err)
 	}
@@ -94,14 +95,33 @@ func (s *Sharded) Save(w io.Writer) error {
 
 // Load replaces the sharded store contents with a snapshot written by any
 // Index implementation's Save, routing every entry through the current
-// partitioner. On any validation error the store is left unchanged.
+// partitioner. On any validation error the store is left unchanged. Load
+// serializes against rebalances and is the one remaining operation that
+// holds the store-wide lock exclusively for its full duration (a wholesale
+// content replacement has no incremental form worth having).
 func (s *Sharded) Load(r io.Reader) error {
 	snap, err := decodeSnapshot(r, s.dim)
 	if err != nil {
 		return err
 	}
+	s.rebMu.Lock()
+	defer s.rebMu.Unlock()
 	s.mu.Lock()
-	s.resetLocked(s.parts, snap.Entries)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	p := s.gen.parts
+	next := &generation{parts: p, shard: newShards(p.Shards(), s.dim)}
+	byID := &sync.Map{}
+	for _, e := range snap.Entries {
+		dst, err := routeTo(p, e)
+		if err != nil {
+			return fmt.Errorf("vectordb: load: %w", err)
+		}
+		sh := next.shard[dst]
+		sh.add(e)
+		byID.Store(e.ID, sh)
+	}
+	s.gen, s.old, s.byID = next, nil, byID
+	s.count.Store(int64(len(snap.Entries)))
+	s.epoch.Add(2)
 	return nil
 }

@@ -11,7 +11,7 @@ import (
 	"repro/internal/parallel"
 )
 
-// Sharded is an exact-search vector store partitioned across N shards, the
+// Sharded is a vector store partitioned across N shards, the
 // scale-oriented Index implementation. Entries route to a shard through a
 // Partitioner (category-hash by default, or a trained IVF coarse
 // quantizer), each shard guards its slice with its own lock, and queries
@@ -20,24 +20,50 @@ import (
 // lock, and a TopK over millions of entries splits into N streaming
 // heap scans that run on every available core.
 //
-// # Merge determinism
+// # Exact vs probe-limited serving
 //
-// Every query searches every shard exactly (the partitioner never prunes),
-// and per-shard candidates merge under the same total retrieval order as
-// the flat store — similarity descending, ties by ascending entry ID — so
-// results are bit-identical to DB's for any shard count, partitioner, and
-// insert interleaving. TopK merges the per-shard bounded heaps through one
-// final size-k heap; TopKDiverse merges the per-shard per-category bests by
+// By default every query searches every shard exactly and per-shard
+// candidates merge under the same total retrieval order as the flat store
+// — similarity descending, ties by ascending entry ID — so results are
+// bit-identical to DB's for any shard count, partitioner, and insert
+// interleaving. TopK merges the per-shard bounded heaps through one final
+// size-k heap; TopKDiverse merges the per-shard per-category bests by
 // keeping each category's best-ranked representative (a commutative,
 // associative reduction under the total order) before the final heap.
 //
-// # Locking
+// SetProbes(p) with p > 0 opts into approximate serving: when the store is
+// routed by a trained IVF quantizer, TopK and TopKDiverse search only the
+// p partitions whose centroids are nearest the query (skipping empty
+// partitions so no probe is wasted), trading recall for a ~shards/p scan
+// reduction. Probe mode silently falls back to exact fan-out whenever its
+// preconditions do not hold: probes <= 0, probes >= the number of
+// (non-empty) shards, a category-hash partitioner (its placement carries
+// no geometry to probe), or a rebalance in flight. Probe selection ranks
+// centroids by plain vector distance — the temporal-decay factor of the
+// similarity is per-entry, not per-centroid — so recall degrades when
+// recency dominates ranking; see the package comment for the full
+// contract.
+//
+// # Locking and rebalance generations
 //
 // A store-wide RWMutex is held shared by every normal operation — Add
 // included, so inserts never serialize against each other on it — and
-// exclusively only by Load and Rebalance/TrainIVF, which re-route entries
-// across shards wholesale. Duplicate-ID rejection is a lock-free
-// LoadOrStore against an ID→shard map.
+// exclusively only by Load and the two brief generation swaps that bracket
+// an incremental rebalance. Rebalance and TrainIVF no longer stop the
+// world: they install a new routing generation (fresh shards under the new
+// partitioner), migrate the old generation shard-at-a-time under per-shard
+// locks, and retire it, while ingest and queries keep flowing throughout.
+// The routing epoch increments at each generation swap; an Add holds the
+// store lock shared across route-and-insert, so a swap (exclusive) can
+// never interleave with it — every in-flight Add lands in the generation
+// its route was computed against. Duplicate-ID rejection is a lock-free
+// LoadOrStore against an ID→shard map that migration keeps current.
+//
+// While a rebalance drains, a migrating entry is briefly visible in both
+// its old and new shard (copy first, clear after — never in neither), and
+// queries scan the old generation to completion before the new one, then
+// deduplicate by ID, so exact results stay bit-identical to the flat
+// reference even mid-rebalance.
 //
 // # Memory layout
 //
@@ -49,15 +75,34 @@ import (
 // sharded store holds its own on a single core (where fan-out cannot help)
 // and pulls ahead of the flat store even before parallelism.
 type Sharded struct {
-	dim   int
-	mu    sync.RWMutex // shared: all ops; exclusive: Load, Rebalance
-	parts Partitioner
-	shard []*shard
-	byID  *sync.Map // entry ID -> shard index
-	count atomic.Int64
+	dim int
+	// mu is shared by all normal ops and exclusive only for Load and the
+	// two brief generation swaps of a rebalance.
+	mu sync.RWMutex
+	// rebMu serializes whole rebalances (and Load against them) so at most
+	// one migration drains at a time.
+	rebMu sync.Mutex
+	// epoch is the routing-generation stamp: it increments when a rebalance
+	// installs its target generation and again when the old generation
+	// retires. Odd = rebalance in flight.
+	epoch  atomic.Uint64
+	probes atomic.Int64
+	gen    *generation // current target: Adds route here
+	old    *generation // non-nil mid-rebalance: shards draining into gen
+	byID   *sync.Map   // entry ID -> *shard (kept current by migration)
+	count  atomic.Int64
 }
 
 var _ Index = (*Sharded)(nil)
+
+// generation is one routing regime: a partitioner and the shards it routes
+// into. A rebalance replaces the store's generation wholesale instead of
+// mutating it, so queries snapshot a consistent (partitioner, shards) pair
+// under the shared lock.
+type generation struct {
+	parts Partitioner
+	shard []*shard
+}
 
 // shard is one partition under its own lock. Entry metadata lives in
 // entries with the Vector field nilled out; the vectors themselves pack
@@ -84,8 +129,8 @@ func NewSharded(dim, shards int, p Partitioner) *Sharded {
 		}
 		p = CategoryHash{N: shards}
 	}
-	s := &Sharded{dim: dim, parts: p, byID: &sync.Map{}}
-	s.shard = newShards(p.Shards(), dim)
+	s := &Sharded{dim: dim, byID: &sync.Map{}}
+	s.gen = &generation{parts: p, shard: newShards(p.Shards(), dim)}
 	return s
 }
 
@@ -103,46 +148,91 @@ func (s *Sharded) Dim() int { return s.dim }
 // Len returns the number of stored entries.
 func (s *Sharded) Len() int { return int(s.count.Load()) }
 
-// NumShards returns the shard count.
+// NumShards returns the shard count of the current routing generation.
 func (s *Sharded) NumShards() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.shard)
+	return len(s.gen.shard)
 }
 
 // Partitioner returns the current routing partitioner.
 func (s *Sharded) Partitioner() Partitioner {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.parts
+	return s.gen.parts
 }
 
-// ShardLens returns the per-shard entry counts (the load-balance view).
+// Epoch returns the routing-generation stamp: it increments when a
+// rebalance installs its target generation and again when the old
+// generation retires, so an odd value means a rebalance is in flight.
+func (s *Sharded) Epoch() uint64 { return s.epoch.Load() }
+
+// Rebalancing reports whether an incremental rebalance is draining.
+func (s *Sharded) Rebalancing() bool { return s.Epoch()%2 == 1 }
+
+// SetProbes sets the probe budget for approximate serving: TopK and
+// TopKDiverse search only the p IVF partitions whose centroids are
+// nearest the query. p = 0 restores exact fan-out; negative values are
+// rejected (a caller that computed a negative budget has a bug that
+// silently going exact would mask). Probe mode only engages under a
+// trained IVF partitioner with more (non-empty) shards than probes — in
+// every other configuration queries stay exact.
+func (s *Sharded) SetProbes(p int) error {
+	if p < 0 {
+		return fmt.Errorf("vectordb: negative probe count %d (use 0 for exact fan-out)", p)
+	}
+	s.probes.Store(int64(p))
+	return nil
+}
+
+// Probes returns the configured probe budget (0 = exact fan-out).
+func (s *Sharded) Probes() int { return int(s.probes.Load()) }
+
+// ShardLens returns the per-shard entry counts of the current routing
+// generation (the load-balance view). Mid-rebalance the counts exclude
+// entries still draining from the old generation, so they may sum below
+// Len until the handoff completes.
 func (s *Sharded) ShardLens() []int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]int, len(s.shard))
-	for i, sh := range s.shard {
-		sh.mu.RLock()
-		out[i] = len(sh.entries)
-		sh.mu.RUnlock()
+	out := make([]int, len(s.gen.shard))
+	for i, sh := range s.gen.shard {
+		out[i] = sh.length()
 	}
 	return out
 }
 
-// Add stores an entry, rejecting dimension mismatches and duplicate IDs.
-// Concurrent Adds contend only on the destination shard's lock.
+// routeTo validates a partitioner's placement of an entry, so a buggy or
+// hostile Partitioner returning an index outside [0, shards) surfaces as a
+// descriptive error instead of corrupting the store.
+func routeTo(p Partitioner, e Entry) (int, error) {
+	dst := p.Route(e)
+	if dst < 0 || dst >= p.Shards() {
+		return 0, fmt.Errorf("vectordb: partitioner %T routed entry %s to shard %d, want [0, %d)",
+			p, e.ID, dst, p.Shards())
+	}
+	return dst, nil
+}
+
+// Add stores an entry, rejecting dimension mismatches, duplicate IDs, and
+// out-of-range partitioner placements. Concurrent Adds contend only on the
+// destination shard's lock; during a rebalance they route through the new
+// generation's partitioner, so nothing lands in a draining shard.
 func (s *Sharded) Add(e Entry) error {
 	if err := validateEntry(s.dim, e); err != nil {
 		return err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	dst := s.parts.Route(e)
-	if _, dup := s.byID.LoadOrStore(e.ID, dst); dup {
+	dst, err := routeTo(s.gen.parts, e)
+	if err != nil {
+		return err
+	}
+	sh := s.gen.shard[dst]
+	if _, dup := s.byID.LoadOrStore(e.ID, sh); dup {
 		return fmt.Errorf("vectordb: duplicate entry ID %s", e.ID)
 	}
-	s.shard[dst].add(e)
+	sh.add(e)
 	s.count.Add(1)
 	return nil
 }
@@ -159,6 +249,13 @@ func (sh *shard) add(e Entry) {
 	sh.mu.Unlock()
 }
 
+// length returns the shard's entry count under its own lock.
+func (sh *shard) length() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.entries)
+}
+
 // row returns entry i's vector view into the backing; valid only under
 // sh.mu.
 func (sh *shard) row(i int) []float64 {
@@ -173,33 +270,90 @@ func (sh *shard) materialize(i int) Entry {
 	return e
 }
 
-// Get returns the entry with the given ID.
+// snapshot returns every entry in the shard, vectors materialized.
+func (sh *shard) snapshot() []Entry {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]Entry, 0, len(sh.entries))
+	for i := range sh.entries {
+		out = append(out, sh.materialize(i))
+	}
+	return out
+}
+
+// clear empties the shard; migration calls it after every entry has been
+// copied into the new generation (and byID repointed), so a query never
+// finds an entry in neither generation.
+func (sh *shard) clear() {
+	sh.mu.Lock()
+	sh.entries, sh.vecs, sh.byID = nil, nil, make(map[string]int)
+	sh.mu.Unlock()
+}
+
+// Get returns the entry with the given ID. If the lookup races a
+// migration (the mapped shard was just drained), it retries against the
+// updated ID→shard mapping; migration repoints the mapping before
+// clearing the source shard, so at most one retry per rebalance is ever
+// needed.
 func (s *Sharded) Get(id string) (Entry, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	v, ok := s.byID.Load(id)
-	if !ok {
-		return Entry{}, false
+	for ok {
+		sh := v.(*shard)
+		sh.mu.RLock()
+		i, found := sh.byID[id]
+		if found {
+			e := sh.materialize(i)
+			sh.mu.RUnlock()
+			return e, true
+		}
+		sh.mu.RUnlock()
+		v2, ok2 := s.byID.Load(id)
+		if !ok2 || v2 == v {
+			return Entry{}, false
+		}
+		v, ok = v2, ok2
 	}
-	sh := s.shard[v.(int)]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	i, ok := sh.byID[id]
-	if !ok {
-		return Entry{}, false
-	}
-	return sh.materialize(i), true
+	return Entry{}, false
 }
 
-// CountByCategory returns how many stored incidents each category has, one
-// locked pass per shard.
+// liveShards returns the shard lists a query must scan, old generation
+// (if draining) separate from the current one; caller holds s.mu.
+func (s *Sharded) liveShards() (draining, current []*shard) {
+	if s.old != nil {
+		draining = s.old.shard
+	}
+	return draining, s.gen.shard
+}
+
+// CountByCategory returns how many stored incidents each category has.
+// The steady-state path is one locked pass per shard; mid-rebalance a
+// migrating entry may sit in two shards at once, so the draining path
+// carries an ID filter through the same pass — no vector materialization
+// or sorting, the tally stays O(n).
 func (s *Sharded) CountByCategory() map[incident.Category]int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[incident.Category]int)
-	for _, sh := range s.shard {
+	draining, current := s.liveShards()
+	if draining == nil {
+		for _, sh := range current {
+			sh.mu.RLock()
+			countCategoriesInto(out, sh.entries)
+			sh.mu.RUnlock()
+		}
+		return out
+	}
+	seen := make(map[string]bool, s.count.Load())
+	for _, sh := range append(append([]*shard(nil), draining...), current...) {
 		sh.mu.RLock()
-		countCategoriesInto(out, sh.entries)
+		for i := range sh.entries {
+			if id := sh.entries[i].ID; !seen[id] {
+				seen[id] = true
+				out[sh.entries[i].Category]++
+			}
+		}
 		sh.mu.RUnlock()
 	}
 	return out
@@ -211,58 +365,167 @@ func (s *Sharded) Categories() []incident.Category {
 	return sortedCategories(s.CountByCategory())
 }
 
+// probeShards returns the shards a probe-limited query searches, or nil
+// when the query must fan out exactly: no probe budget, a partitioner
+// without centroid geometry (category hash), a rebalance in flight
+// (caller passes draining != nil), or a budget that already covers every
+// non-empty shard. Empty partitions are skipped so no probe is wasted on
+// a centroid with nothing behind it (TrainIVF with more shards than
+// distinct vectors leaves such shards). Selection ranks centroids by
+// plain vector distance, ties toward the lower shard index.
+func (s *Sharded) probeShards(g *generation, query []float64) []*shard {
+	p := int(s.probes.Load())
+	if p <= 0 || p >= len(g.shard) {
+		return nil
+	}
+	ivf, ok := g.parts.(*IVF)
+	if !ok {
+		return nil
+	}
+	sel := make([]*shard, 0, p)
+	nonEmpty := 0
+	for _, i := range ivf.nearestShards(query) {
+		if g.shard[i].length() == 0 {
+			continue
+		}
+		nonEmpty++
+		if len(sel) < p {
+			sel = append(sel, g.shard[i])
+		}
+	}
+	if nonEmpty <= p {
+		// The budget covers every populated partition: identical to exact
+		// fan-out, so take the exact path and keep the bit-identity
+		// guarantee trivially.
+		return nil
+	}
+	return sel
+}
+
+// fanTopK runs the per-shard bounded-heap scan over the given shards on
+// the shared worker pool.
+func fanTopK(shards []*shard, query []float64, qt time.Time, k int, alpha float64) ([][]Scored, error) {
+	return parallel.Map(len(shards), 0, func(i int) ([]Scored, error) {
+		return shards[i].topK(query, qt, k, alpha), nil
+	})
+}
+
 // TopK returns the k most similar entries under the paper's temporal-decay
 // similarity, fanning the scan out across shards (each shard streams its
 // entries through a size-k bounded heap) and merging the per-shard heaps
-// through one final size-k heap. Results are bit-identical to DB.TopK.
+// through one final size-k heap. In exact mode (the default) results are
+// bit-identical to DB.TopK, including mid-rebalance: the draining
+// generation is scanned to completion before the target one and the merge
+// deduplicates by ID, so a migrating entry — briefly present in both —
+// counts once and never zero times. With SetProbes under IVF routing only
+// the nearest partitions are scanned (approximate; see the type comment).
 func (s *Sharded) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
 	if err := checkQuery(s.dim, query, k); err != nil {
 		return nil, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	perShard, err := parallel.Map(len(s.shard), 0, func(i int) ([]Scored, error) {
-		return s.shard[i].topK(query, qt, k, alpha), nil
-	})
+	draining, current := s.liveShards()
+
+	h := make(worstFirst, 0, k+1)
+	if draining == nil {
+		shards := current
+		if sel := s.probeShards(s.gen, query); sel != nil {
+			shards = sel
+		}
+		perShard, err := fanTopK(shards, query, qt, k, alpha)
+		if err != nil {
+			return nil, err
+		}
+		for _, scs := range perShard {
+			for _, sc := range scs {
+				h.offer(sc, k)
+			}
+		}
+		return h.drain(), nil
+	}
+
+	// Rebalance in flight: exact over both generations, the draining one
+	// first. Copy-before-clear migration plus this scan order guarantees
+	// every entry is seen at least once; the ID filter collapses the
+	// at-most-twice case.
+	oldRes, err := fanTopK(draining, query, qt, k, alpha)
 	if err != nil {
 		return nil, err
 	}
-	h := make(worstFirst, 0, k+1)
-	for _, scs := range perShard {
+	newRes, err := fanTopK(current, query, qt, k, alpha)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, 2*k)
+	for _, scs := range append(oldRes, newRes...) {
 		for _, sc := range scs {
+			if seen[sc.Entry.ID] {
+				continue
+			}
+			seen[sc.Entry.ID] = true
 			h.offer(sc, k)
 		}
 	}
 	return h.drain(), nil
 }
 
+// fanCategoryBest runs the per-shard per-category scan over the given
+// shards on the shared worker pool.
+func fanCategoryBest(shards []*shard, query []float64, qt time.Time, alpha float64) ([]map[incident.Category]Scored, error) {
+	return parallel.Map(len(shards), 0, func(i int) (map[incident.Category]Scored, error) {
+		return shards[i].categoryBest(query, qt, alpha), nil
+	})
+}
+
 // TopKDiverse returns the k most similar entries with each root-cause
 // category appearing at most once (§4.2.2), fanning out across shards.
 // Each shard finds its per-category best; the merge keeps each category's
-// best across shards — keep-best is commutative and associative under the
-// total retrieval order, so the merged representatives (and therefore the
-// final heap selection) are identical to the flat store's regardless of
-// shard count or routing.
+// best across shards — keep-best is commutative, associative, and
+// idempotent under the total retrieval order, so exact-mode results are
+// identical to the flat store's regardless of shard count, routing, or an
+// in-flight rebalance (a migrating entry seen twice merges with itself).
+// With SetProbes under IVF routing only the nearest partitions are
+// scanned (approximate; see the type comment).
 func (s *Sharded) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
 	if err := checkQuery(s.dim, query, k); err != nil {
 		return nil, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	perShard, err := parallel.Map(len(s.shard), 0, func(i int) (map[incident.Category]Scored, error) {
-		return s.shard[i].categoryBest(query, qt, alpha), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	best := perShard[0]
-	for _, m := range perShard[1:] {
-		for cat, sc := range m {
-			if cur, ok := best[cat]; !ok || ranksAfter(cur, sc) {
-				best[cat] = sc
+	draining, current := s.liveShards()
+
+	best := make(map[incident.Category]Scored)
+	mergeBest := func(perShard []map[incident.Category]Scored) {
+		for _, m := range perShard {
+			for cat, sc := range m {
+				if cur, ok := best[cat]; !ok || ranksAfter(cur, sc) {
+					best[cat] = sc
+				}
 			}
 		}
 	}
+	if draining != nil {
+		// Rebalance in flight: exact over both generations, the draining
+		// one scanned to completion first (same no-miss argument as TopK;
+		// a migrating entry seen twice merges with itself).
+		oldRes, err := fanCategoryBest(draining, query, qt, alpha)
+		if err != nil {
+			return nil, err
+		}
+		mergeBest(oldRes)
+	}
+	shards := current
+	if draining == nil {
+		if sel := s.probeShards(s.gen, query); sel != nil {
+			shards = sel
+		}
+	}
+	perShard, err := fanCategoryBest(shards, query, qt, alpha)
+	if err != nil {
+		return nil, err
+	}
+	mergeBest(perShard)
 	h := make(worstFirst, 0, k+1)
 	for _, sc := range best {
 		h.offer(sc, k)
@@ -313,61 +576,138 @@ func (sh *shard) categoryBest(query []float64, qt time.Time, alpha float64) map[
 	return best
 }
 
-// allEntriesSortedByID snapshots every entry, vectors materialized,
-// ordered by ID — the canonical order for persistence and partitioner
-// training, independent of how concurrent inserts interleaved. Callers
-// hold s.mu (shared or exclusive).
-func (s *Sharded) allEntriesSortedByID() []Entry {
+// entriesSortedByIDLocked snapshots every entry across both generations,
+// vectors materialized, deduplicated by ID and ordered by ID — the
+// canonical order for persistence and partitioner training, independent
+// of how concurrent inserts interleaved. Caller holds s.mu (shared or
+// exclusive); mid-rebalance duplicates (copied but not yet cleared)
+// collapse to one identical copy.
+func (s *Sharded) entriesSortedByIDLocked() []Entry {
 	out := make([]Entry, 0, s.count.Load())
-	for _, sh := range s.shard {
-		sh.mu.RLock()
-		for i := range sh.entries {
-			out = append(out, sh.materialize(i))
-		}
-		sh.mu.RUnlock()
+	draining, current := s.liveShards()
+	for _, sh := range append(append([]*shard(nil), draining...), current...) {
+		out = append(out, sh.snapshot()...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	dedup := out[:0]
+	for i, e := range out {
+		if i > 0 && e.ID == dedup[len(dedup)-1].ID {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	return dedup
 }
 
-// Rebalance re-routes every stored entry under a new partitioner,
-// stopping the world for the duration. Queries before and after return
-// identical results — placement is invisible to exact fan-out search.
+// snapshotSortedByID is entriesSortedByIDLocked under the shared lock.
+func (s *Sharded) snapshotSortedByID() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.entriesSortedByIDLocked()
+}
+
+// Rebalance re-routes every stored entry under a new partitioner without
+// stopping the world: it pre-validates the partitioner's routing over a
+// snapshot (a hostile Partitioner returning out-of-range shard indices is
+// rejected before any state changes), installs the new generation under a
+// brief exclusive swap — from which instant new Adds route through the new
+// partitioner — and then drains the old shards one at a time under
+// per-shard locks while ingest and queries keep flowing. Queries before,
+// during and after return identical results — placement is invisible to
+// exact fan-out search. Concurrent Rebalance/TrainIVF/Load calls
+// serialize; probe-limited serving suspends (exact fan-out) for the
+// duration of the drain.
 func (s *Sharded) Rebalance(p Partitioner) error {
 	if p == nil || p.Shards() < 1 {
 		return fmt.Errorf("vectordb: Rebalance needs a partitioner with at least 1 shard")
 	}
+	s.rebMu.Lock()
+	defer s.rebMu.Unlock()
+
+	// Pre-validate: every stored entry must route in range before the
+	// store commits to the new partitioner. Entries added after this pass
+	// are validated individually on their Add.
+	if err := s.validateRouting(p); err != nil {
+		return fmt.Errorf("vectordb: Rebalance rejected: %w", err)
+	}
+
+	next := &generation{parts: p, shard: newShards(p.Shards(), s.dim)}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	entries := s.allEntriesSortedByID()
-	s.resetLocked(p, entries)
+	s.old = s.gen
+	s.gen = next
+	s.epoch.Add(1)
+	s.mu.Unlock()
+
+	s.drainInto(next)
+
+	s.mu.Lock()
+	s.old = nil
+	s.epoch.Add(1)
+	s.mu.Unlock()
 	return nil
 }
 
-// resetLocked replaces partitioner and contents; caller holds s.mu
-// exclusively. Entries are assumed validated and carry materialized
-// vectors.
-func (s *Sharded) resetLocked(p Partitioner, entries []Entry) {
-	s.parts = p
-	s.shard = newShards(p.Shards(), s.dim)
-	s.byID = &sync.Map{}
-	for _, e := range entries {
-		dst := p.Route(e)
-		s.byID.Store(e.ID, dst)
-		s.shard[dst].add(e)
+// validateRouting checks a candidate partitioner's placement of every
+// stored entry, shard by shard under read locks. Unlike the training
+// snapshot this needs no sorting, deduplication (rebMu is held, so no
+// drain is in flight and no entry is doubled), or vector copies — Route
+// only reads the vector, so each entry is scored through a view into the
+// columnar backing while the shard lock is held.
+func (s *Sharded) validateRouting(p Partitioner) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sh := range s.gen.shard {
+		sh.mu.RLock()
+		for i := range sh.entries {
+			e := sh.entries[i]
+			e.Vector = sh.row(i)
+			if _, err := routeTo(p, e); err != nil {
+				sh.mu.RUnlock()
+				return err
+			}
+		}
+		sh.mu.RUnlock()
 	}
-	s.count.Store(int64(len(entries)))
+	return nil
+}
+
+// drainInto migrates every old-generation shard into the target
+// generation, one shard at a time: snapshot the source under its read
+// lock, copy each entry into its new shard (repointing the ID map as it
+// goes), then clear the source under a brief exclusive lock. Routing runs
+// lock-free, so a slow — or deliberately blocking — partitioner stalls
+// only the rebalance, never ingest or queries. The old generation is
+// append-frozen (Adds route to the new one), so the snapshot is complete.
+func (s *Sharded) drainInto(next *generation) {
+	for _, src := range s.old.shard {
+		for _, e := range src.snapshot() {
+			dst, err := routeTo(next.parts, e)
+			if err != nil {
+				// The partitioner passed pre-validation but misroutes now
+				// (nondeterministic or adversarial). Placement never
+				// affects exact correctness, so park the entry in shard 0
+				// rather than losing it or corrupting the store.
+				dst = 0
+			}
+			nsh := next.shard[dst]
+			nsh.add(e)
+			s.byID.Store(e.ID, nsh)
+		}
+		src.clear()
+	}
 }
 
 // TrainIVF trains an IVF coarse quantizer from the stored vectors (in
-// canonical ID order, so training is deterministic regardless of insert
-// interleaving) and rebalances the store onto it, keeping the current
-// shard count. Call it once enough history has accumulated; entries added
-// afterwards route through the trained centroids.
+// canonical ID order, so training from a quiesced store is deterministic
+// regardless of insert interleaving) and rebalances the store onto it,
+// keeping the current shard count. Training and the subsequent handoff
+// run incrementally — no store-wide exclusive lock beyond the two brief
+// generation swaps — so ingest and queries keep flowing; entries added
+// mid-training are not in the training set but route through the trained
+// centroids once the new generation installs. Call it once enough history
+// has accumulated.
 func (s *Sharded) TrainIVF(iters int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	entries := s.allEntriesSortedByID()
+	entries := s.snapshotSortedByID()
 	if len(entries) == 0 {
 		return fmt.Errorf("vectordb: TrainIVF on an empty store")
 	}
@@ -375,10 +715,9 @@ func (s *Sharded) TrainIVF(iters int) error {
 	for i := range entries {
 		vecs[i] = entries[i].Vector
 	}
-	p, err := TrainIVF(vecs, len(s.shard), iters)
+	p, err := TrainIVF(vecs, s.NumShards(), iters)
 	if err != nil {
 		return err
 	}
-	s.resetLocked(p, entries)
-	return nil
+	return s.Rebalance(p)
 }

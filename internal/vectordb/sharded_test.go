@@ -421,7 +421,7 @@ func TestShardedConcurrentAddQuery(t *testing.T) {
 	// After the storm: still bit-identical to a flat store with the same
 	// contents.
 	flat := New(4)
-	for _, e := range sh.allEntriesSortedByID() {
+	for _, e := range sh.snapshotSortedByID() {
 		must(t, flat.Add(e))
 	}
 	queryGrid(t, "post-hammer", flat, sh, 17, sh.Len(), 4)

@@ -29,6 +29,34 @@
 //
 // NewIndex selects an implementation from Options; both persist the same
 // flat snapshot format, so stores round-trip between implementations.
+//
+// # Exact vs probe-limited retrieval
+//
+// The sharded store serves two contracts, chosen by Sharded.SetProbes
+// (or Options.Probes):
+//
+//   - Exact (probes = 0, the default): every query searches every shard
+//     and results are BIT-IDENTICAL to the flat DB — for any shard count,
+//     partitioner, insert interleaving, and even while an incremental
+//     Rebalance/TrainIVF is draining shards mid-query. All pipeline
+//     goldens assume this mode.
+//   - Probe-limited (probes = p > 0, IVF routing): TopK and TopKDiverse
+//     search only the p partitions whose trained centroids are nearest
+//     the query, skipping empty partitions. This is approximate — a true
+//     neighbour stored in an unprobed partition is missed — in exchange
+//     for scanning roughly p/shards of the corpus. Probe selection ranks
+//     centroids by plain vector distance, so recall additionally degrades
+//     when the temporal-decay factor dominates the ranking (an old
+//     entry's partition can be probed ahead of a recent, slightly farther
+//     one). Whenever probe mode's preconditions fail — category-hash
+//     routing, probes covering every non-empty shard, or a rebalance in
+//     flight — queries silently fall back to the exact contract, so
+//     approximation is strictly opt-in and never degrades below exact.
+//
+// BenchmarkTopKProbes records the recall-vs-speedup trade-off against the
+// flat oracle (see BENCH_retrieval.json), and a pinned recall floor
+// (recall@5 >= 0.9 at probes=2 on the seeded clustered corpus) guards the
+// approximate mode in CI.
 package vectordb
 
 import (
@@ -100,13 +128,27 @@ type Options struct {
 	// Ignored when Shards selects the flat store, unless the partitioner
 	// itself carries a shard count.
 	Partitioner Partitioner
+	// Probes opts the sharded store into probe-limited approximate
+	// serving: queries search only this many IVF partitions nearest the
+	// query (see the package comment's exact-vs-probe contract). 0 keeps
+	// exact fan-out; the knob is dormant until an IVF partitioner is
+	// routing (Sharded.TrainIVF). Ignored by the flat store, which is
+	// always exact; negative values are rejected by Sharded.SetProbes, so
+	// validate before constructing Options.
+	Probes int
 }
 
 // NewIndex builds the Index implementation the options select: a flat DB,
 // or a Sharded store when Shards > 1 (or a partitioner is given).
 func NewIndex(dim int, opts Options) Index {
 	if opts.Shards > 1 || opts.Partitioner != nil {
-		return NewSharded(dim, opts.Shards, opts.Partitioner)
+		s := NewSharded(dim, opts.Shards, opts.Partitioner)
+		if opts.Probes > 0 {
+			// Cannot fail for positive values; negatives are documented as
+			// caller-validated and keep the exact default.
+			_ = s.SetProbes(opts.Probes)
+		}
+		return s
 	}
 	return New(dim)
 }

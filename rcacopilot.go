@@ -108,6 +108,9 @@ type (
 	FeedbackLoop = feedback.Loop
 	// FeedbackEntry is one recorded OCE verdict.
 	FeedbackEntry = feedback.Entry
+	// LearnFailure is one failed background learn, attributed to the OCE
+	// who submitted the verdict (see FeedbackLoop.Failures/SetNotifier).
+	LearnFailure = feedback.Failure
 	// Verdict is an OCE judgement on a prediction.
 	Verdict = feedback.Verdict
 	// ReportOptions tune incident-notification rendering.
@@ -170,6 +173,15 @@ type Config struct {
 	// PartitionCategory (default) or PartitionIVF, which trains a coarse
 	// quantizer from the stored vectors after each AddHistory batch.
 	Partitioner string
+	// Probes opts retrieval into probe-limited approximate serving:
+	// queries search only this many IVF partitions nearest the query
+	// instead of every shard, trading a bounded recall loss for a
+	// ~Shards/Probes scan reduction — the recall/latency knob of a
+	// production deployment serving millions of historical incidents.
+	// Requires Shards > 1 with Partitioner PartitionIVF; dormant (exact)
+	// until the quantizer trains on the first AddHistory batch. 0 keeps
+	// exact fan-out, which is bit-identical to the flat store.
+	Probes int
 	// AsyncLearnQueue, when positive, moves feedback-loop learning off the
 	// hot path: Feedback() verdicts enqueue onto a background ingest
 	// worker with this queue capacity instead of re-summarizing inline.
@@ -216,6 +228,7 @@ func NewSystem(fleet *Fleet, cfg Config) (*System, error) {
 		Context:     cfg.Context,
 		Shards:      cfg.Shards,
 		Partitioner: cfg.Partitioner,
+		Probes:      cfg.Probes,
 	})
 	if err != nil {
 		return nil, err
@@ -354,6 +367,22 @@ func (s *System) Feedback() *FeedbackLoop {
 // feedback instructions.
 func (s *System) RenderReport(inc *Incident, rep *RunReport, opts ReportOptions) string {
 	return report.Render(inc, rep, opts)
+}
+
+// RenderLearnFailure produces the plain-text notification for a failed
+// background learn, addressed to the OCE whose verdict could not be fed
+// back into the incident history. Wire it to the feedback loop's
+// notification hook to close the async error path:
+//
+//	sys.Feedback().SetNotifier(func(f rcacopilot.LearnFailure) {
+//		deliver(f.Reviewer, sys.RenderLearnFailure(f, rcacopilot.ReportOptions{}))
+//	})
+//
+// Failures also stay queryable on the loop (Failures/FailureFor) until
+// the incident learns successfully, so a dashboard can show unresolved
+// learn debt without any Flush.
+func (s *System) RenderLearnFailure(f LearnFailure, opts ReportOptions) string {
+	return report.RenderLearnFailure(f.IncidentID, f.Reviewer, f.Err, f.At, opts)
 }
 
 // GenerateCorpus builds the paper-faithful 653-incident synthetic year
