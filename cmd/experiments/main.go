@@ -9,6 +9,8 @@
 //	experiments -shards 8           # sharded vector index (same results)
 //	experiments -shards 8 -partitioner ivf   # IVF coarse-quantizer routing
 //	experiments -shards 8 -partitioner ivf -probes 2  # approximate serving
+//	experiments -shards 8 -partitioner ivf -recall-target 0.95  # adaptive probe budget
+//	experiments -shards 8 -partitioner ivf -retrain-skew 1.5    # skew-triggered retrain
 //	experiments -parallel-budget 16 # pin the worker budget explicitly
 //	experiments -auto-limit         # latency-driven worker budget
 //
@@ -20,6 +22,11 @@
 // (only the nearest IVF partitions are searched), which trades exactness
 // for scan reduction — tables may then deviate from the goldens by design;
 // the recall floor for that mode is pinned in internal/vectordb.
+// -recall-target replaces the static budget with the recall-SLO
+// auto-tuner (and -retrain-skew enables automatic IVF retraining): tables
+// deviate the same way, and more so early in a run while the controller
+// is still converging from its cold probes=1 start — the SLO describes
+// steady-state serving, not a short evaluation sweep.
 //
 // The experiments fan out on a bounded worker pool (one worker per CPU by
 // default); because the simulated models are order-independent, every
@@ -52,6 +59,9 @@ func main() {
 	shards := flag.Int("shards", 0, "vector-index shard count; 0 or 1 = flat exact store")
 	partitioner := flag.String("partitioner", "", "shard routing: category (default) or ivf")
 	probes := flag.Int("probes", 0, "IVF partitions searched per query (approximate); 0 = exact fan-out")
+	recallTarget := flag.Float64("recall-target", 0, "recall-SLO auto-tuner target in (0,1]; replaces -probes with a controller-owned budget")
+	shadowRate := flag.Float64("shadow-rate", 0, "fraction of queries the auto-tuner shadows exactly; 0 = default 0.05")
+	retrainSkew := flag.Float64("retrain-skew", 0, "auto-retrain the IVF quantizer once max/mean shard skew or centroid drift reaches this ratio (>= 1); 0 = off")
 	parallelBudget := flag.Int("parallel-budget", -1, "pin the process-wide extra-worker budget; -1 = default/auto")
 	autoLimit := flag.Bool("auto-limit", false, "auto-size the worker budget from observed model-call latency")
 	flag.Parse()
@@ -64,6 +74,25 @@ func main() {
 		// builds a pipeline: probe selection needs trained IVF centroids.
 		fatal(fmt.Errorf("-probes %d requires -shards > 1 and -partitioner ivf (got -shards %d -partitioner %q)",
 			*probes, *shards, *partitioner))
+	}
+	if *recallTarget < 0 || *recallTarget > 1 {
+		fatal(fmt.Errorf("-recall-target must be in (0, 1] (0 = off), got %v", *recallTarget))
+	}
+	if *recallTarget > 0 && *probes > 0 {
+		fatal(fmt.Errorf("-recall-target and -probes are mutually exclusive (the auto-tuner owns the probe budget)"))
+	}
+	if *retrainSkew != 0 && *retrainSkew < 1 {
+		fatal(fmt.Errorf("-retrain-skew must be 0 (off) or >= 1, got %v", *retrainSkew))
+	}
+	if (*recallTarget > 0 || *retrainSkew > 0) && (*shards <= 1 || *partitioner != "ivf") {
+		fatal(fmt.Errorf("adaptive serving (-recall-target/-retrain-skew) requires -shards > 1 and -partitioner ivf (got -shards %d -partitioner %q)",
+			*shards, *partitioner))
+	}
+	if *shadowRate < 0 || *shadowRate > 1 {
+		fatal(fmt.Errorf("-shadow-rate must be in (0, 1] (0 = default), got %v", *shadowRate))
+	}
+	if *shadowRate > 0 && *recallTarget == 0 {
+		fatal(fmt.Errorf("-shadow-rate without -recall-target has nothing to tune"))
 	}
 	if *parallelBudget >= 0 {
 		parallel.SetLimit(*parallelBudget)
@@ -94,6 +123,9 @@ func main() {
 		env.Shards = *shards
 		env.Partitioner = *partitioner
 		env.Probes = *probes
+		env.RecallTarget = *recallTarget
+		env.ShadowRate = *shadowRate
+		env.RetrainSkew = *retrainSkew
 		if *shards > 1 {
 			p := *partitioner
 			if p == "" {
@@ -102,6 +134,12 @@ func main() {
 			serving := "exact fan-out"
 			if *probes > 0 {
 				serving = fmt.Sprintf("probe-limited, %d probes (approximate once IVF trains)", *probes)
+			}
+			if *recallTarget > 0 {
+				serving = fmt.Sprintf("adaptive probes, recall SLO %.2f (approximate once IVF trains)", *recallTarget)
+			}
+			if *retrainSkew > 0 {
+				serving += fmt.Sprintf(", auto-retrain at skew %.2f", *retrainSkew)
 			}
 			fmt.Printf("vector index: %d shards (%s routing, %s)\n", *shards, p, serving)
 		}

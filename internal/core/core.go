@@ -159,7 +159,27 @@ type Config struct {
 	// quantizer has trained (until then — and whenever probes cover every
 	// populated shard — retrieval stays exact and bit-identical to the
 	// flat store). 0 keeps exact fan-out; negative values are rejected.
+	// Mutually exclusive with RecallTarget, which makes the budget
+	// controller-owned.
 	Probes int
+	// RecallTarget replaces the static Probes knob with the recall-SLO
+	// auto-tuner: a ShadowRate fraction of live retrievals is shadowed
+	// with an exact fan-out off the hot path, and the effective probe
+	// count grows/shrinks to hold this observed recall@k target (e.g.
+	// 0.95). Requires Shards > 1 with Partitioner PartitionIVF; must be in
+	// (0, 1]. 0 disables. See vectordb.Sharded.EnableAdaptive.
+	RecallTarget float64
+	// ShadowRate is the fraction of live retrievals the auto-tuner
+	// shadows, in (0, 1]; 0 defaults to 0.05. Only meaningful with
+	// RecallTarget.
+	ShadowRate float64
+	// RetrainSkew enables skew-triggered IVF retraining when >= 1: once
+	// per-shard imbalance (max/mean of the shard entry counts) or the
+	// centroid drift of fresh inserts reaches this ratio, the quantizer
+	// retrains automatically (rate-limited, online — ingest and queries
+	// keep flowing). Requires Shards > 1 with Partitioner PartitionIVF.
+	// 0 disables.
+	RetrainSkew float64
 }
 
 func (c Config) withDefaults() Config {
@@ -224,6 +244,31 @@ func New(fleet *transport.Fleet, chat llm.Client, cfg Config) (*Copilot, error) 
 		return nil, fmt.Errorf("core: Probes=%d requires Partitioner=%q (got %q, which has no centroids to probe)",
 			cfg.Probes, PartitionIVF, cfg.Partitioner)
 	}
+	if cfg.RecallTarget < 0 || cfg.RecallTarget > 1 {
+		return nil, fmt.Errorf("core: RecallTarget %v outside (0, 1]", cfg.RecallTarget)
+	}
+	if cfg.ShadowRate < 0 || cfg.ShadowRate > 1 {
+		return nil, fmt.Errorf("core: ShadowRate %v outside (0, 1]", cfg.ShadowRate)
+	}
+	if cfg.ShadowRate > 0 && cfg.RecallTarget == 0 {
+		return nil, fmt.Errorf("core: ShadowRate=%v without RecallTarget (nothing to tune)", cfg.ShadowRate)
+	}
+	if cfg.RetrainSkew != 0 && cfg.RetrainSkew < 1 {
+		return nil, fmt.Errorf("core: RetrainSkew %v must be 0 (off) or >= 1 (a max/mean ratio)", cfg.RetrainSkew)
+	}
+	if cfg.RecallTarget > 0 && cfg.Probes > 0 {
+		return nil, fmt.Errorf("core: RecallTarget=%v and Probes=%d are mutually exclusive (the auto-tuner owns the probe budget; use vectordb.Sharded.SetProbes for a runtime manual override)",
+			cfg.RecallTarget, cfg.Probes)
+	}
+	if adaptive := cfg.RecallTarget > 0 || cfg.RetrainSkew > 0; adaptive {
+		if cfg.Shards <= 1 {
+			return nil, fmt.Errorf("core: adaptive serving (RecallTarget/RetrainSkew) requires a sharded vector store (Shards > 1)")
+		}
+		if cfg.Partitioner != PartitionIVF {
+			return nil, fmt.Errorf("core: adaptive serving (RecallTarget/RetrainSkew) requires Partitioner=%q (got %q)",
+				PartitionIVF, cfg.Partitioner)
+		}
+	}
 	c := &Copilot{
 		cfg:      cfg,
 		fleet:    fleet,
@@ -271,8 +316,15 @@ func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 	c.embedder = e
 	// PartitionIVF also starts on category-hash routing: the quantizer can
 	// only be trained once vectors exist (see trainPartitioner); the probe
-	// budget is likewise dormant until the IVF quantizer routes.
-	c.db = vectordb.NewIndex(e.Dim(), vectordb.Options{Shards: c.cfg.Shards, Probes: c.cfg.Probes})
+	// budget — static or auto-tuned — is likewise dormant until the IVF
+	// quantizer routes.
+	c.db = vectordb.NewIndex(e.Dim(), vectordb.Options{
+		Shards:       c.cfg.Shards,
+		Probes:       c.cfg.Probes,
+		RecallTarget: c.cfg.RecallTarget,
+		ShadowRate:   c.cfg.ShadowRate,
+		RetrainSkew:  c.cfg.RetrainSkew,
+	})
 	return dropped
 }
 

@@ -124,6 +124,77 @@ func TestProbeConfigValidation(t *testing.T) {
 	}
 }
 
+// TestAdaptiveConfigValidation covers the adaptive serving knobs' config
+// surface: out-of-range targets/rates/skews, adaptive without the IVF
+// sharded store, shadow rate without a target, and the Probes/RecallTarget
+// exclusivity are all rejected; a valid adaptive config reaches the index
+// as an installed controller.
+func TestAdaptiveConfigValidation(t *testing.T) {
+	e := getEnv(t)
+	chat := newCopilot(t, Config{}).Chat()
+	bad := []Config{
+		{Shards: 4, Partitioner: PartitionIVF, RecallTarget: 1.5},
+		{Shards: 4, Partitioner: PartitionIVF, RecallTarget: -0.5},
+		{Shards: 4, Partitioner: PartitionIVF, RecallTarget: 0.9, ShadowRate: 2},
+		{Shards: 4, Partitioner: PartitionIVF, ShadowRate: 0.5},
+		{Shards: 4, Partitioner: PartitionIVF, RetrainSkew: 0.5},
+		{Shards: 4, Partitioner: PartitionIVF, RecallTarget: 0.9, Probes: 2},
+		{RecallTarget: 0.9},
+		{Shards: 4, RecallTarget: 0.9},
+		{Shards: 4, RetrainSkew: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(e.corpus.Fleet, chat, cfg); err == nil {
+			t.Fatalf("case %d: config %+v must be rejected", i, cfg)
+		}
+	}
+	c := newCopilot(t, Config{Shards: 4, Partitioner: PartitionIVF, RecallTarget: 0.95, ShadowRate: 0.5, RetrainSkew: 2})
+	s, ok := c.Index().(*vectordb.Sharded)
+	if !ok {
+		t.Fatalf("index is %T", c.Index())
+	}
+	if s.AdaptiveTuner() == nil {
+		t.Fatal("adaptive config must install a controller on the index")
+	}
+	if s.Probes() != 1 {
+		t.Fatalf("controller-seeded probe budget = %d, want 1", s.Probes())
+	}
+}
+
+// TestAdaptiveCopilotPredicts runs the full Learn/Predict path with the
+// auto-tuner live: the pipeline must work end to end while shadow
+// sampling and skew checks run behind retrieval.
+func TestAdaptiveCopilotPredicts(t *testing.T) {
+	e := getEnv(t)
+	c := newCopilot(t, Config{Shards: 4, Partitioner: PartitionIVF, RecallTarget: 0.9, ShadowRate: 1, RetrainSkew: 3})
+	incs := e.corpus.Incidents[:40]
+	clones := make([]*incident.Incident, len(incs))
+	for i, in := range incs {
+		clones[i] = in.Clone()
+	}
+	if err := c.LearnBatch(clones, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Index().(*vectordb.Sharded)
+	if _, ok := s.Partitioner().(*vectordb.IVF); !ok {
+		t.Fatalf("partitioner is %T, want trained IVF", s.Partitioner())
+	}
+	probe := e.corpus.Incidents[41].Clone()
+	probe.Summary, probe.Predicted = "", ""
+	res, err := c.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Category == "" {
+		t.Fatal("adaptive Predict returned no category")
+	}
+	tn := s.AdaptiveTuner()
+	tn.Quiesce()
+	if p := s.Probes(); p < 1 || p > 4 {
+		t.Fatalf("effective probe budget %d outside [1, 4]", p)
+	}
+}
+
 // TestProbeCopilotPredicts runs the full Learn/Predict path under
 // probe-limited serving: the prediction pipeline must work end to end on
 // the approximate index (no golden equality — probe mode is approximate

@@ -56,7 +56,8 @@ func RunDesignAblation(e *Env) ([]AblationRow, error) {
 // runWithScale re-runs the pipeline with a different embedding scale.
 func runWithScale(e *Env, scale float64) (F1Scores, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
-	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes})
+	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
+		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew})
 	if err != nil {
 		return F1Scores{}, err
 	}
@@ -74,7 +75,8 @@ func runWithScale(e *Env, scale float64) (F1Scores, error) {
 // constraint exists to prevent.
 func runNoDiversity(e *Env) (F1Scores, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
-	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes})
+	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
+		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew})
 	if err != nil {
 		return F1Scores{}, err
 	}

@@ -41,6 +41,16 @@ type Env struct {
 	// 0 keeps exact fan-out — the mode every golden assumes; probe runs
 	// are for the recall/latency trade-off experiments.
 	Probes int
+	// RecallTarget enables the recall-SLO auto-tuner on every pipeline the
+	// harness builds (adaptive probe serving; requires Shards > 1 and the
+	// IVF partitioner). 0 keeps whatever Probes selects.
+	RecallTarget float64
+	// ShadowRate is the auto-tuner's shadow-query sampling fraction
+	// (0 = the 0.05 default). Only meaningful with RecallTarget.
+	ShadowRate float64
+	// RetrainSkew enables skew-triggered IVF retraining (>= 1) on every
+	// pipeline the harness builds. 0 disables.
+	RetrainSkew float64
 
 	ftOnce      sync.Once
 	ft          *fasttext.Model

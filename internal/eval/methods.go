@@ -308,6 +308,7 @@ func RunPipeline(e *Env, opts PipelineOptions) (*PipelineRun, error) {
 	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{
 		K: opts.K, Alpha: opts.Alpha, Context: opts.Context,
 		Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
+		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew,
 	})
 	if err != nil {
 		return nil, err

@@ -46,12 +46,28 @@
 // the message body). Flush still aggregates and clears the pending error
 // list for read-your-writes callers; the Failure record persists until
 // the same incident later learns successfully.
+//
+// # Learn-failure retry queue
+//
+// Recording and notifying a failure still leaves the learn undone until
+// the OCE resubmits. StartRetry closes that gap: every recorded Failure
+// keeps its learn task and is redriven automatically with exponential
+// backoff (doubling from a base delay up to a cap, plus deterministic
+// per-incident jitter so an outage's failures don't redrive in lockstep),
+// so a transient embedder outage self-heals once the dependency
+// recovers. A successful redrive clears the Failure exactly as a
+// resubmitted verdict would; after a bounded number of attempts the
+// failure stops consuming learner calls and stands until manually
+// resubmitted. The schedule runs off the loop's injectable clock
+// (SetClock), with RedriveDue as the explicit pump for tests and
+// simulations.
 package feedback
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -136,7 +152,81 @@ type Loop struct {
 		// later successful learn for the incident clears it.
 		failures map[string]Failure
 		notify   func(Failure)
+		// retry holds the redrive schedule per failed incident (nil map =
+		// retrying off); guarded by the same mutex as failures.
+		retry     map[string]*retryState
+		retryCfg  RetryConfig
+		retryOn   bool
+		retryStop chan struct{}
+		retryDone chan struct{}
 	}
+}
+
+// retryState schedules one failed learn's redrives.
+type retryState struct {
+	task learnTask
+	// attempts counts learn attempts made so far (the original failed
+	// learn is attempt 1).
+	attempts int
+	// next is when the next redrive is due, per the loop's clock; zero
+	// while retrying is off (scheduled lazily by StartRetry).
+	next time.Time
+	// inflight marks a redrive in progress, so overlapping RedriveDue
+	// calls never double-learn one incident.
+	inflight bool
+}
+
+// RetryConfig parameterizes the learn-failure retry queue (StartRetry).
+type RetryConfig struct {
+	// Base is the delay before the first redrive; subsequent redrives
+	// double it. Default 30 s.
+	Base time.Duration
+	// Cap bounds the exponential backoff. Default 10 min.
+	Cap time.Duration
+	// MaxAttempts bounds total learn attempts per failure (the original
+	// failed learn counts as the first); once exhausted, the Failure
+	// record stands until the OCE resubmits. Default 8; negative means
+	// unlimited.
+	MaxAttempts int
+	// Poll is how often the background worker checks for due redrives.
+	// Default Base/2. Tests that drive a fake clock skip the worker and
+	// call RedriveDue directly instead.
+	Poll time.Duration
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Base <= 0 {
+		c.Base = 30 * time.Second
+	}
+	if c.Cap <= 0 {
+		c.Cap = 10 * time.Minute
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Poll <= 0 {
+		c.Poll = c.Base / 2
+	}
+	return c
+}
+
+// backoffDelay returns the delay before attempt n+1 given n attempts so
+// far: Base doubled per extra attempt, capped, plus up to 25% of
+// deterministic jitter derived from (incident, attempt) — so a burst of
+// failures from one embedder outage doesn't redrive in lockstep, and
+// tests get reproducible schedules.
+func (c RetryConfig) backoffDelay(incidentID string, attempts int) time.Duration {
+	d := c.Base
+	for i := 1; i < attempts && d < c.Cap; i++ {
+		d *= 2
+	}
+	if d > c.Cap {
+		d = c.Cap
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s/%d", incidentID, attempts)
+	jitter := time.Duration(uint64(d) / 4 * uint64(h.Sum32()%1000) / 1000)
+	return d + jitter
 }
 
 // New returns a Loop persisting entries to the given store (a fresh
@@ -251,7 +341,9 @@ func (l *Loop) learnOrEnqueue(task learnTask) error {
 // learnAndRecord runs one learn and maintains the per-incident Failure
 // record: an error is stored (and, for deferred learns, pushed through
 // the notifier — inline failures already reach the submitter as a return
-// value); success clears any stale failure for the incident.
+// value); success clears any stale failure for the incident. Every
+// recorded failure also keeps its learn task, so the retry queue
+// (StartRetry) can redrive it without the OCE resubmitting.
 func (l *Loop) learnAndRecord(task learnTask, deferred bool) error {
 	err := l.learner.Learn(task.inc)
 	ig := &l.ingest
@@ -262,6 +354,14 @@ func (l *Loop) learnAndRecord(task learnTask, deferred bool) error {
 			ig.failures = make(map[string]Failure)
 		}
 		ig.failures[task.inc.ID] = f
+		if ig.retry == nil {
+			ig.retry = make(map[string]*retryState)
+		}
+		st := &retryState{task: task, attempts: 1}
+		if ig.retryOn {
+			st.next = f.At.Add(ig.retryCfg.backoffDelay(task.inc.ID, st.attempts))
+		}
+		ig.retry[task.inc.ID] = st
 		notify := ig.notify
 		ig.mu.Unlock()
 		if deferred && notify != nil {
@@ -270,6 +370,7 @@ func (l *Loop) learnAndRecord(task learnTask, deferred bool) error {
 		return err
 	}
 	delete(ig.failures, task.inc.ID)
+	delete(ig.retry, task.inc.ID)
 	ig.mu.Unlock()
 	return nil
 }
@@ -359,6 +460,138 @@ func (l *Loop) FailureFor(incidentID string) (Failure, bool) {
 	return f, ok
 }
 
+// StartRetry starts the learn-failure retry queue: recorded Failures —
+// including those recorded before the call — are redriven automatically
+// with exponential backoff (doubling from cfg.Base up to cfg.Cap, plus
+// deterministic per-incident jitter), so a transient embedder outage
+// self-heals without every OCE resubmitting their verdict. A successful
+// redrive clears the Failure exactly as a resubmitted learn would; after
+// cfg.MaxAttempts total attempts the failure stops redriving and stands
+// until the OCE resubmits. A background worker polls the schedule every
+// cfg.Poll; deployments driving a simulated clock (SetClock) can skip the
+// worker's cadence and call RedriveDue directly. Stopped by Close.
+func (l *Loop) StartRetry(cfg RetryConfig) error {
+	if l.learner == nil {
+		return fmt.Errorf("feedback: StartRetry on a record-only loop (no learner)")
+	}
+	cfg = cfg.withDefaults()
+	ig := &l.ingest
+	ig.mu.Lock()
+	if ig.retryOn {
+		ig.mu.Unlock()
+		return fmt.Errorf("feedback: retry already started")
+	}
+	ig.retryCfg = cfg
+	ig.retryOn = true
+	// Failures recorded before retry was on have no schedule yet: their
+	// first redrive is due one backoff from now.
+	now := l.now()
+	for id, st := range ig.retry {
+		if st.next.IsZero() {
+			st.next = now.Add(cfg.backoffDelay(id, st.attempts))
+		}
+	}
+	ig.retryStop = make(chan struct{})
+	ig.retryDone = make(chan struct{})
+	stop, done := ig.retryStop, ig.retryDone
+	ig.mu.Unlock()
+	go l.retryWorker(cfg.Poll, stop, done)
+	return nil
+}
+
+// retryWorker polls the redrive schedule until Close.
+func (l *Loop) retryWorker(poll time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			l.RedriveDue()
+		}
+	}
+}
+
+// RedriveDue redrives every recorded failure whose backoff has elapsed
+// per the loop's clock and returns how many learns were attempted. On
+// another failure the attempt count and Failure record update and the
+// next redrive backs off further (no notification — the OCE was told
+// when the failure was recorded); on success the failure clears exactly
+// as a resubmitted learn would. The background StartRetry worker calls
+// this on its poll cadence; tests drive it directly against SetClock.
+func (l *Loop) RedriveDue() int {
+	ig := &l.ingest
+	now := l.now()
+	ig.mu.Lock()
+	if !ig.retryOn {
+		ig.mu.Unlock()
+		return 0
+	}
+	cfg := ig.retryCfg
+	var due []*retryState
+	for _, st := range ig.retry {
+		if !st.inflight && !st.next.IsZero() && !st.next.After(now) {
+			st.inflight = true
+			due = append(due, st)
+		}
+	}
+	ig.mu.Unlock()
+	// Deterministic redrive order for tests and logs.
+	sort.Slice(due, func(i, j int) bool { return due[i].task.inc.ID < due[j].task.inc.ID })
+
+	for _, st := range due {
+		err := l.learner.Learn(st.task.inc)
+		id := st.task.inc.ID
+		ig.mu.Lock()
+		st.inflight = false
+		if cur, ok := ig.retry[id]; !ok || cur != st {
+			// While this redrive ran, a concurrent Submit for the same
+			// incident recorded a newer verdict's outcome (replacing the
+			// schedule) or learned successfully (clearing it). The newer
+			// state owns the incident's failure record and backoff — this
+			// redrive's stale result must not clobber or clear it.
+			ig.mu.Unlock()
+			continue
+		}
+		if err == nil {
+			delete(ig.failures, id)
+			delete(ig.retry, id)
+			ig.mu.Unlock()
+			continue
+		}
+		st.attempts++
+		ig.failures[id] = Failure{IncidentID: id, Reviewer: st.task.reviewer, Err: err, At: l.now()}
+		if cfg.MaxAttempts >= 0 && st.attempts >= cfg.MaxAttempts {
+			// Exhausted: the Failure record stands, but the queue stops
+			// spending learner calls on it.
+			delete(ig.retry, id)
+		} else {
+			st.next = l.now().Add(cfg.backoffDelay(id, st.attempts))
+		}
+		ig.mu.Unlock()
+	}
+	return len(due)
+}
+
+// RetryBacklog returns how many failures currently await a redrive.
+func (l *Loop) RetryBacklog() int {
+	ig := &l.ingest
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	if !ig.retryOn {
+		return 0
+	}
+	n := 0
+	for _, st := range ig.retry {
+		if !st.next.IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
 // Flush blocks until every learn submitted before the call has been
 // applied — the read-your-writes barrier for a submitting OCE — and
 // returns (and clears) any errors the background learns accumulated. With
@@ -377,13 +610,22 @@ func (l *Loop) Flush() error {
 	return err
 }
 
-// Close stops the ingest worker after draining the queue, returns its slot
-// to the shared budget, and reports any remaining async learn errors.
-// Submissions after Close learn synchronously again; Close on a loop that
-// never started ingest is a no-op.
+// Close stops the retry worker and the ingest worker (after draining the
+// queue), returns the ingest slot to the shared budget, and reports any
+// remaining async learn errors. Submissions after Close learn
+// synchronously again; Close on a loop that never started either worker
+// is a no-op.
 func (l *Loop) Close() error {
 	ig := &l.ingest
 	ig.mu.Lock()
+	if ig.retryOn {
+		ig.retryOn = false
+		close(ig.retryStop)
+		retryDone := ig.retryDone
+		ig.mu.Unlock()
+		<-retryDone
+		ig.mu.Lock()
+	}
 	if ig.queue == nil || ig.closed {
 		ig.mu.Unlock()
 		return nil

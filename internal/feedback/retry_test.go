@@ -1,0 +1,358 @@
+package feedback
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/incident"
+)
+
+// flakyLearner fails until healed — the transient-embedder-outage shape
+// the retry queue exists for. Concurrency-safe.
+type flakyLearner struct {
+	mu      sync.Mutex
+	healthy bool
+	learned []*incident.Incident
+	calls   int
+}
+
+func (f *flakyLearner) Learn(inc *incident.Incident) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if !f.healthy {
+		return errFail
+	}
+	f.learned = append(f.learned, inc)
+	return nil
+}
+
+func (f *flakyLearner) heal() {
+	f.mu.Lock()
+	f.healthy = true
+	f.mu.Unlock()
+}
+
+func (f *flakyLearner) learnedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.learned)
+}
+
+// fakeClock is a SetClock-driven manual clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// retryLoop builds a loop over a flaky learner with a manual clock and
+// retrying on (base 1 min, cap 8 min, no background worker cadence
+// relied upon — tests pump RedriveDue directly).
+func retryLoop(t *testing.T, learner *flakyLearner, maxAttempts int) (*Loop, *fakeClock) {
+	t.Helper()
+	lp := New(nil, learner)
+	clock := &fakeClock{now: time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)}
+	lp.SetClock(clock.Now)
+	err := lp.StartRetry(RetryConfig{
+		Base:        time.Minute,
+		Cap:         8 * time.Minute,
+		MaxAttempts: maxAttempts,
+		Poll:        time.Hour, // the worker's own cadence is irrelevant here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lp.Close() })
+	return lp, clock
+}
+
+func TestStartRetryValidation(t *testing.T) {
+	if err := New(nil, nil).StartRetry(RetryConfig{}); err == nil {
+		t.Fatal("StartRetry on a record-only loop must fail")
+	}
+	lp := New(nil, &flakyLearner{})
+	if err := lp.StartRetry(RetryConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	defer lp.Close()
+	if err := lp.StartRetry(RetryConfig{}); err == nil {
+		t.Fatal("double StartRetry must fail")
+	}
+}
+
+// TestRetryHealsTransientOutage: a failed learn redrives on the backoff
+// schedule and succeeds once the embedder recovers — without the OCE
+// resubmitting. Success clears the Failure record exactly like a
+// resubmitted learn.
+func TestRetryHealsTransientOutage(t *testing.T) {
+	learner := &flakyLearner{}
+	lp, clock := retryLoop(t, learner, 8)
+
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce", ""); err == nil {
+		t.Fatal("Submit during the outage must surface the inline learn error")
+	}
+	if _, ok := lp.FailureFor("INC-1"); !ok {
+		t.Fatal("failed learn must be recorded")
+	}
+	if got := lp.RetryBacklog(); got != 1 {
+		t.Fatalf("RetryBacklog = %d, want 1", got)
+	}
+
+	// Before the backoff elapses nothing redrives.
+	if n := lp.RedriveDue(); n != 0 {
+		t.Fatalf("RedriveDue before backoff = %d, want 0", n)
+	}
+
+	// First redrive: embedder still down — attempts climb, failure stays.
+	clock.advance(2 * time.Minute) // past base + max 25% jitter
+	if n := lp.RedriveDue(); n != 1 {
+		t.Fatalf("RedriveDue after backoff = %d, want 1", n)
+	}
+	if _, ok := lp.FailureFor("INC-1"); !ok {
+		t.Fatal("failure must persist while the outage lasts")
+	}
+
+	// Outage ends; the next due redrive self-heals.
+	learner.heal()
+	clock.advance(3 * time.Minute) // past the doubled backoff + jitter
+	if n := lp.RedriveDue(); n != 1 {
+		t.Fatalf("RedriveDue after heal = %d, want 1", n)
+	}
+	if _, ok := lp.FailureFor("INC-1"); ok {
+		t.Fatal("successful redrive must clear the failure")
+	}
+	if got := lp.RetryBacklog(); got != 0 {
+		t.Fatalf("RetryBacklog after heal = %d, want 0", got)
+	}
+	if got := learner.learnedCount(); got != 1 {
+		t.Fatalf("learned %d incidents, want 1", got)
+	}
+	// Nothing left to redrive.
+	clock.advance(time.Hour)
+	if n := lp.RedriveDue(); n != 0 {
+		t.Fatalf("RedriveDue on empty backlog = %d, want 0", n)
+	}
+}
+
+// TestRetryBackoffDoublesAndCaps: the gap between consecutive redrives
+// doubles from Base and never exceeds Cap (+25% jitter), driven entirely
+// by the injected clock.
+func TestRetryBackoffDoublesAndCaps(t *testing.T) {
+	learner := &flakyLearner{}
+	lp, clock := retryLoop(t, learner, -1) // unlimited attempts
+
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce", ""); err == nil {
+		t.Fatal("want inline learn error")
+	}
+	// Attempt n has backoff min(Base·2^(n-1), Cap) plus < 25% jitter.
+	// Advancing by exactly the un-jittered delay must NOT trigger;
+	// advancing by 1.25x must.
+	base, cap := time.Minute, 8*time.Minute
+	delay := base
+	for attempt := 1; attempt <= 6; attempt++ {
+		clock.advance(delay)
+		if n := lp.RedriveDue(); n != 0 {
+			t.Fatalf("attempt %d: redrove before jitter elapsed", attempt)
+		}
+		clock.advance(delay / 4)
+		if n := lp.RedriveDue(); n != 1 {
+			t.Fatalf("attempt %d: RedriveDue = %d after full backoff window, want 1", attempt, n)
+		}
+		delay *= 2
+		if delay > cap {
+			delay = cap
+		}
+	}
+}
+
+// TestRetryExhaustsAttempts: after MaxAttempts total learn attempts the
+// queue stops redriving but the Failure record stands for the OCE.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	learner := &flakyLearner{}
+	lp, clock := retryLoop(t, learner, 3)
+
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce", ""); err == nil {
+		t.Fatal("want inline learn error")
+	}
+	// Attempt 1 was the inline learn; redrives 2 and 3 exhaust the budget.
+	for i := 0; i < 2; i++ {
+		clock.advance(time.Hour)
+		if n := lp.RedriveDue(); n != 1 {
+			t.Fatalf("redrive %d: RedriveDue = %d, want 1", i+1, n)
+		}
+	}
+	if got := lp.RetryBacklog(); got != 0 {
+		t.Fatalf("RetryBacklog after exhaustion = %d, want 0", got)
+	}
+	clock.advance(time.Hour)
+	if n := lp.RedriveDue(); n != 0 {
+		t.Fatalf("exhausted failure redrove anyway (%d)", n)
+	}
+	if _, ok := lp.FailureFor("INC-1"); !ok {
+		t.Fatal("exhausted failure record must stand until resubmitted")
+	}
+	// A resubmitted verdict still heals it the manual way.
+	learner.heal()
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lp.FailureFor("INC-1"); ok {
+		t.Fatal("resubmitted learn must clear the failure")
+	}
+}
+
+// TestRetryCoversPreexistingFailures: failures recorded before StartRetry
+// get scheduled when the queue starts (the deployment-restart shape).
+func TestRetryCoversPreexistingFailures(t *testing.T) {
+	learner := &flakyLearner{}
+	lp := New(nil, learner)
+	clock := &fakeClock{now: time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)}
+	lp.SetClock(clock.Now)
+
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce", ""); err == nil {
+		t.Fatal("want inline learn error")
+	}
+	if err := lp.StartRetry(RetryConfig{Base: time.Minute, Poll: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	defer lp.Close()
+	if got := lp.RetryBacklog(); got != 1 {
+		t.Fatalf("RetryBacklog = %d after StartRetry, want the pre-existing failure scheduled", got)
+	}
+	learner.heal()
+	clock.advance(2 * time.Minute)
+	if n := lp.RedriveDue(); n != 1 {
+		t.Fatalf("RedriveDue = %d, want 1", n)
+	}
+	if _, ok := lp.FailureFor("INC-1"); ok {
+		t.Fatal("pre-existing failure must heal via the retry queue")
+	}
+}
+
+// scriptedLearner drives a precise interleaving: call 1 (the original
+// submit) fails; call 2 (the redrive) signals started, parks on the gate,
+// then succeeds; later calls fail.
+type scriptedLearner struct {
+	mu      sync.Mutex
+	calls   int
+	started chan struct{}
+	gate    chan struct{}
+}
+
+func (s *scriptedLearner) Learn(inc *incident.Incident) error {
+	s.mu.Lock()
+	s.calls++
+	n := s.calls
+	s.mu.Unlock()
+	switch n {
+	case 1:
+		return errFail
+	case 2:
+		s.started <- struct{}{}
+		<-s.gate
+		return nil
+	default:
+		return errFail
+	}
+}
+
+// TestRedriveDoesNotClobberNewerVerdict: a verdict resubmitted while a
+// redrive for the incident's OLD verdict is in flight owns the failure
+// record — the stale redrive's success must not erase the new verdict's
+// Failure or its retry schedule.
+func TestRedriveDoesNotClobberNewerVerdict(t *testing.T) {
+	learner := &scriptedLearner{started: make(chan struct{}), gate: make(chan struct{})}
+	lp := New(nil, learner)
+	clock := &fakeClock{now: time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)}
+	lp.SetClock(clock.Now)
+	if err := lp.StartRetry(RetryConfig{Base: time.Minute, Poll: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { lp.Close() }()
+
+	// Original verdict fails inline (learner call 1) and schedules.
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce-1", ""); err == nil {
+		t.Fatal("want inline learn error")
+	}
+	clock.advance(2 * time.Minute)
+
+	// The redrive (learner call 2) parks mid-Learn...
+	done := make(chan int)
+	go func() { done <- lp.RedriveDue() }()
+	<-learner.started
+
+	// ...while the OCE resubmits an updated verdict, which fails too
+	// (learner call 3) and replaces the incident's failure + schedule.
+	if _, err := lp.Submit(predicted("INC-1", "NetworkDropIssue"), VerdictConfirm, "", "oce-2", ""); err == nil {
+		t.Fatal("want inline learn error on the resubmit")
+	}
+
+	// The stale redrive now completes successfully: it must NOT clear the
+	// newer verdict's record.
+	close(learner.gate)
+	if n := <-done; n != 1 {
+		t.Fatalf("RedriveDue = %d, want 1", n)
+	}
+	f, ok := lp.FailureFor("INC-1")
+	if !ok {
+		t.Fatal("stale redrive success erased the newer verdict's failure record")
+	}
+	if f.Reviewer != "oce-2" {
+		t.Fatalf("surviving failure belongs to %q, want the resubmitting oce-2", f.Reviewer)
+	}
+	if got := lp.RetryBacklog(); got != 1 {
+		t.Fatalf("RetryBacklog = %d, want the newer verdict still scheduled", got)
+	}
+}
+
+// TestRetryWithAsyncIngest: the retry queue composes with the background
+// ingest worker — deferred failures join the schedule and heal without
+// any Flush or resubmit.
+func TestRetryWithAsyncIngest(t *testing.T) {
+	learner := &flakyLearner{}
+	lp := New(nil, learner)
+	clock := &fakeClock{now: time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)}
+	lp.SetClock(clock.Now)
+	if err := lp.StartIngest(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.StartRetry(RetryConfig{Base: time.Minute, Poll: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	defer lp.Close()
+
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce", ""); err != nil {
+		t.Fatal(err) // deferred: Submit itself succeeds
+	}
+	// Drain the deferred learn (it fails and records).
+	if err := lp.Flush(); err == nil {
+		t.Fatal("Flush must surface the deferred learn error")
+	}
+	if got := lp.RetryBacklog(); got != 1 {
+		t.Fatalf("RetryBacklog = %d, want 1", got)
+	}
+	learner.heal()
+	clock.advance(2 * time.Minute)
+	if n := lp.RedriveDue(); n != 1 {
+		t.Fatalf("RedriveDue = %d, want 1", n)
+	}
+	if _, ok := lp.FailureFor("INC-1"); ok {
+		t.Fatal("deferred failure must heal via the retry queue")
+	}
+	if got := learner.learnedCount(); got != 1 {
+		t.Fatalf("learned %d, want 1", got)
+	}
+}

@@ -198,6 +198,142 @@ func BenchmarkTopKProbes(b *testing.B) {
 	}
 }
 
+// time-spread benchmark fixture: a 10-shard IVF store over the seeded
+// time-spread corpus (timestamps spanning the decay horizon, recency
+// anti-correlated with proximity) and its flat exact twin.
+var (
+	tsBenchMu sync.Mutex
+	tsBench   *probeFixture
+)
+
+func timeSpreadFixture(b *testing.B) *probeFixture {
+	b.Helper()
+	tsBenchMu.Lock()
+	defer tsBenchMu.Unlock()
+	if tsBench != nil {
+		return tsBench
+	}
+	const n, dim, pairs, shards = 10_000, 16, 3, 10
+	entries, queries, qt := timeSpreadCorpus(8, n, dim, pairs)
+	f := &probeFixture{flat: New(dim), sharded: NewSharded(dim, shards, nil), queries: queries, qt: qt}
+	for _, e := range entries {
+		if err := f.flat.Add(e); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.sharded.Add(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.sharded.TrainIVF(0); err != nil {
+		b.Fatal(err)
+	}
+	tsBench = f
+	return f
+}
+
+// BenchmarkTopKProbesTimeSpread extends the probe recall gate to the
+// time-spread corpus, where distance-only probe ranking probes
+// stale-but-near partitions and the true temporal-decay neighbours live
+// in recent-but-farther ones. Each ranking × probe-budget cell reports
+// recall@5 against the flat oracle; the time-aware cells FAIL the run if
+// (a) time-aware recall ever drops below the pinned 0.9 floor at
+// probes=2, or (b) time-aware ranking stops beating distance-only at the
+// same budget — the CI bench job runs this alongside the original
+// BenchmarkTopKProbes gate. The adaptive cell additionally runs the
+// recall-SLO auto-tuner from cold (no manual Probes config) and FAILS if
+// the converged controller does not hold recall@5 >= 0.95; its timed
+// loop includes live shadow sampling, so the ns/op is the honest cost of
+// adaptive serving. Results are recorded in BENCH_retrieval.json.
+func BenchmarkTopKProbesTimeSpread(b *testing.B) {
+	const k, alpha, floor, slo = 5, 0.3, 0.9, 0.95
+	for _, probes := range []int{1, 2} {
+		for _, mode := range []struct {
+			name string
+			rank int
+		}{{"distance", ProbeRankDistance}, {"timeaware", ProbeRankTimeAware}} {
+			b.Run(fmt.Sprintf("rank=%s/probes=%d", mode.name, probes), func(b *testing.B) {
+				f := timeSpreadFixture(b)
+				if err := f.sharded.SetProbes(probes); err != nil {
+					b.Fatal(err)
+				}
+				defer f.sharded.SetProbes(0)
+				defer f.sharded.SetProbeRanking(ProbeRankTimeAware)
+				if err := f.sharded.SetProbeRanking(ProbeRankDistance); err != nil {
+					b.Fatal(err)
+				}
+				distRecall := recallAtK(b, f.flat, f.sharded, f.queries, f.qt, k, alpha)
+				if err := f.sharded.SetProbeRanking(mode.rank); err != nil {
+					b.Fatal(err)
+				}
+				recall := distRecall
+				if mode.rank == ProbeRankTimeAware {
+					recall = recallAtK(b, f.flat, f.sharded, f.queries, f.qt, k, alpha)
+					if probes == 2 && recall < floor {
+						b.Fatalf("time-aware recall@5 = %.4f at probes=%d, below the pinned %.2f floor", recall, probes, floor)
+					}
+					if recall <= distRecall {
+						b.Fatalf("time-aware recall@5 (%.4f) no longer beats distance-only (%.4f) at probes=%d",
+							recall, distRecall, probes)
+					}
+				}
+				q := f.queries[0]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := f.sharded.TopK(q, f.qt, k, alpha); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(recall, "recall@5")
+			})
+		}
+	}
+	b.Run("adaptive", func(b *testing.B) {
+		f := timeSpreadFixture(b)
+		tn, err := f.sharded.EnableAdaptive(AutoConfig{RecallTarget: slo, ShadowRate: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			tn.Quiesce()
+			f.sharded.DisableAdaptive()
+			f.sharded.SetProbes(0)
+		}()
+		var recall float64
+		for pass := 0; pass < 12; pass++ {
+			recall = recallAtK(b, f.flat, f.sharded, f.queries, f.qt, k, alpha)
+			tn.Quiesce()
+			if recall >= slo {
+				break
+			}
+		}
+		if recall < slo {
+			b.Fatalf("auto-tuner recall@5 = %.4f at probes=%d, never reached the %.2f SLO", recall, f.sharded.Probes(), slo)
+		}
+		q := f.queries[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.sharded.TopK(q, f.qt, k, alpha); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		tn.Quiesce()
+		b.ReportMetric(recall, "recall@5")
+		b.ReportMetric(float64(f.sharded.Probes()), "probes")
+	})
+	b.Run("exact", func(b *testing.B) {
+		f := timeSpreadFixture(b)
+		q := f.queries[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.sharded.TopK(q, f.qt, k, alpha); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(1.0, "recall@5")
+	})
+}
+
 // BenchmarkShardedAdd measures insert throughput with per-shard locking
 // (the path Learn takes under concurrent ingest).
 func BenchmarkShardedAdd(b *testing.B) {

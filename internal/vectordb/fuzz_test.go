@@ -1,0 +1,88 @@
+package vectordb
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProbeEquivalence cross-checks probe-limited serving against two
+// oracles on fuzzed (corpus seed, shard count, probe budget, query)
+// tuples:
+//
+//   - when the store reports the exact fallback (probes = 0, budget
+//     covering every populated partition, ...), results must be
+//     bit-identical to the flat reference;
+//   - when probe mode engages, results must be bit-identical to a flat
+//     store built from exactly the probed partitions' entries — i.e.
+//     probe-limited search is exact search restricted to the selected
+//     partitions, never a third behaviour.
+//
+// The seeds double as regression tests on every plain `go test` run; CI
+// additionally runs a short coverage-guided session (-fuzz).
+func FuzzProbeEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(1), 1.0, 2.0, 3.0, 4.0)
+	f.Add(int64(99), uint8(8), uint8(2), 10.0, 0.0, -3.0, 7.5)
+	f.Add(int64(7), uint8(2), uint8(0), 0.0, 0.0, 0.0, 0.0)
+	f.Add(int64(123), uint8(6), uint8(5), -2.0, 19.0, 4.0, 11.0)
+	f.Fuzz(func(t *testing.T, seed int64, shardsB, probesB uint8, qa, qb, qc, qd float64) {
+		const n, dim, clusters, k = 60, 4, 3, 5
+		shards := 2 + int(shardsB%7)             // 2..8
+		probes := int(probesB % uint8(shards+2)) // 0..shards+1
+		query := []float64{qa, qb, qc, qd}
+		for _, x := range query {
+			if math.IsNaN(x) || math.Abs(x) > 1e6 {
+				return // non-finite similarity has no defined ordering
+			}
+		}
+
+		entries, _ := clusteredCorpus(seed, n, dim, clusters)
+		qt := entries[0].Time
+		flat := New(dim)
+		sh := NewSharded(dim, shards, nil)
+		for _, e := range entries {
+			must(t, flat.Add(e))
+			must(t, sh.Add(e))
+		}
+		if err := sh.TrainIVF(0); err != nil {
+			t.Fatal(err)
+		}
+		must(t, sh.SetProbes(probes))
+
+		// Recover the partition selection the query will see (in-package
+		// white-box access; the store is quiescent, so this is the same
+		// selection TopK computes).
+		sh.mu.RLock()
+		sel := sh.probeShards(sh.gen, query, qt, 0.3)
+		sh.mu.RUnlock()
+
+		oracle := flat
+		if sel != nil {
+			oracle = New(dim)
+			for _, probed := range sel {
+				for _, e := range probed.snapshot() {
+					must(t, oracle.Add(e))
+				}
+			}
+		}
+
+		got, err := sh.TopK(query, qt, k, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.TopK(query, qt, k, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameScored(t, "TopK", got, want)
+
+		gotD, err := sh.TopKDiverse(query, qt, k, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, err := oracle.TopKDiverse(query, qt, k, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameScored(t, "TopKDiverse", gotD, wantD)
+	})
+}

@@ -49,6 +49,11 @@ func (c CategoryHash) Route(e Entry) int {
 // already stored (Sharded.TrainIVF) once enough history has accumulated.
 type IVF struct {
 	centroids [][]float64
+	// distortion is the mean assignment distance (vector to its nearest
+	// centroid) over the training set — the quantization-quality baseline
+	// the adaptive controller's drift detector compares fresh inserts
+	// against (see Sharded.EnableAdaptive).
+	distortion float64
 }
 
 // Shards implements Partitioner.
@@ -66,23 +71,37 @@ func (p *IVF) Route(e Entry) int {
 	return best
 }
 
-// nearestShards returns every shard index ordered by ascending Euclidean
-// distance between the query and the shard's centroid, ties toward the
-// lower index — the probe-selection ranking of the store's approximate
-// serving mode. The ranking uses plain vector distance: centroids carry no
-// timestamp, so the temporal-decay factor of the retrieval similarity
-// cannot participate in partition selection (one reason probe mode is
-// approximate).
-func (p *IVF) nearestShards(query []float64) []int {
+// centroidDists returns the Euclidean distance from the query to every
+// shard centroid, indexed by shard — the raw geometry both probe rankings
+// (distance-only and time-aware) are built from.
+func (p *IVF) centroidDists(query []float64) []float64 {
 	dists := make([]float64, len(p.centroids))
-	order := make([]int, len(p.centroids))
 	for i, c := range p.centroids {
 		dists[i] = Distance(query, c)
+	}
+	return dists
+}
+
+// nearestShards returns every shard index ordered by ascending Euclidean
+// distance between the query and the shard's centroid, ties toward the
+// lower index — the distance-only probe-selection ranking. Centroids carry
+// no timestamp, so under this ranking the temporal-decay factor of the
+// retrieval similarity cannot participate in partition selection; the
+// store's time-aware ranking (the default) folds each partition's
+// newest-entry timestamp back in (see Sharded.SetProbeRanking).
+func (p *IVF) nearestShards(query []float64) []int {
+	dists := p.centroidDists(query)
+	order := make([]int, len(dists))
+	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
 	return order
 }
+
+// Distortion returns the mean training-set assignment distance (0 for a
+// quantizer not produced by TrainIVF).
+func (p *IVF) Distortion() float64 { return p.distortion }
 
 // Centroids returns a copy of the trained shard centroids.
 func (p *IVF) Centroids() [][]float64 {
@@ -127,7 +146,9 @@ func TrainIVF(vectors [][]float64, shards, iters int) (*IVF, error) {
 	}
 
 	assign := make([]int, len(vectors))
+	var distortion float64
 	for it := 0; it < iters; it++ {
+		distortion = 0
 		for i, v := range vectors {
 			best, bestDist := 0, Distance(v, centroids[0])
 			for c := 1; c < shards; c++ {
@@ -136,6 +157,7 @@ func TrainIVF(vectors [][]float64, shards, iters int) (*IVF, error) {
 				}
 			}
 			assign[i] = best
+			distortion += bestDist
 		}
 		sums := make([][]float64, shards)
 		counts := make([]int, shards)
@@ -158,5 +180,10 @@ func TrainIVF(vectors [][]float64, shards, iters int) (*IVF, error) {
 			}
 		}
 	}
-	return &IVF{centroids: centroids}, nil
+	// The recorded distortion is the assignment cost against the
+	// penultimate centroids (assignments are not recomputed after the last
+	// mean update) — the standard Lloyd bookkeeping, and exactly what the
+	// drift detector needs: a baseline for "how far is a typical in-corpus
+	// vector from its centroid".
+	return &IVF{centroids: centroids, distortion: distortion / float64(len(vectors))}, nil
 }

@@ -2,6 +2,7 @@ package vectordb
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -48,6 +49,75 @@ func clusteredCorpus(seed int64, n, dim, numClusters int) ([]Entry, [][]float64)
 		queries[q] = v
 	}
 	return entries, queries
+}
+
+// timeSpreadCorpus builds a corpus whose timestamps span the temporal-decay
+// horizon with recency anti-correlated with proximity — the workload where
+// distance-only probe ranking fails and time-aware ranking recovers. It
+// lays out `pairs` spatial cluster pairs: each pair has an "old" blob
+// (timestamps ~60 days before the query time, decayed to irrelevance at
+// alpha 0.3) and a "recent" blob (within the last two days) offset a fixed
+// distance away. Queries land between the two blobs but nearer the OLD
+// one, so the true temporal-decay top-k comes from the recent blob while
+// the nearest centroid is the old blob's: a probe ranking that only sees
+// centroid distance probes the wrong partition.
+func timeSpreadCorpus(seed int64, n, dim, pairs int) (entries []Entry, queries [][]float64, qt time.Time) {
+	rng := rand.New(rand.NewSource(seed))
+	qt = time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	const sep = 8.0   // old->recent center offset; >> noise norm so IVF separates the blobs
+	const sigma = 0.3 // per-coordinate blob noise
+	type pair struct{ oldC, newC, dir []float64 }
+	ps := make([]pair, pairs)
+	for i := range ps {
+		c := make([]float64, dim)
+		for j := range c {
+			c[j] = rng.Float64() * 20
+		}
+		dir := make([]float64, dim)
+		var norm float64
+		for j := range dir {
+			dir[j] = rng.NormFloat64()
+			norm += dir[j] * dir[j]
+		}
+		norm = math.Sqrt(norm)
+		newC := make([]float64, dim)
+		for j := range dir {
+			dir[j] /= norm
+			newC[j] = c[j] + sep*dir[j]
+		}
+		ps[i] = pair{oldC: c, newC: newC, dir: dir}
+	}
+	entries = make([]Entry, n)
+	for i := range entries {
+		p := ps[rng.Intn(pairs)]
+		center, age := p.oldC, 58+rng.Intn(4) // old blob: ~60 days stale
+		if rng.Intn(2) == 0 {
+			center, age = p.newC, rng.Intn(2) // recent blob: fresh
+		}
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = center[j] + rng.NormFloat64()*sigma
+		}
+		entries[i] = Entry{
+			ID:       fmt.Sprintf("INC-%06d", i),
+			Vector:   v,
+			Category: "cat-0",
+			Time:     qt.AddDate(0, 0, -age),
+		}
+	}
+	queries = make([][]float64, 100)
+	for q := range queries {
+		p := ps[rng.Intn(pairs)]
+		v := make([]float64, dim)
+		for j := range v {
+			// 35% of the way from the old blob toward the recent one:
+			// nearer the old centroid, but the decayed old entries lose to
+			// the recent ones under the similarity.
+			v[j] = p.oldC[j] + 0.35*sep*p.dir[j] + rng.NormFloat64()*sigma
+		}
+		queries[q] = v
+	}
+	return entries, queries, qt
 }
 
 // recallAtK measures |approx ∩ exact| / |exact| averaged over queries.
@@ -207,6 +277,45 @@ func TestProbeSkipsEmptyPartitions(t *testing.T) {
 	// probes=1 against 2 populated partitions: the probed partition is the
 	// {9,9,9} cluster, which contains the entire true top-4.
 	sameScored(t, "probe-skips-empty", got, want)
+}
+
+// TestTimeAwareProbeRanking is the time-aware golden: on the seeded
+// time-spread corpus (timestamps spanning the decay horizon, recency
+// anti-correlated with proximity), distance-only probe ranking at
+// probes=1 probes the stale-but-near partition and misses the true
+// neighbours, while the default time-aware ranking recovers them. The
+// same floor is enforced on every CI bench run by
+// BenchmarkTopKProbesTimeSpread.
+func TestTimeAwareProbeRanking(t *testing.T) {
+	const n, dim, pairs, shards, k = 2000, 16, 3, 10, 5
+	entries, queries, qt := timeSpreadCorpus(8, n, dim, pairs)
+
+	flat := New(dim)
+	sh := NewSharded(dim, shards, nil)
+	for _, e := range entries {
+		must(t, flat.Add(e))
+		must(t, sh.Add(e))
+	}
+	if err := sh.TrainIVF(0); err != nil {
+		t.Fatal(err)
+	}
+	must(t, sh.SetProbes(1))
+
+	must(t, sh.SetProbeRanking(ProbeRankDistance))
+	distOnly := recallAtK(t, flat, sh, queries, qt, k, 0.3)
+	must(t, sh.SetProbeRanking(ProbeRankTimeAware))
+	timeAware := recallAtK(t, flat, sh, queries, qt, k, 0.3)
+
+	t.Logf("recall@%d at probes=1: distance-only %.4f, time-aware %.4f", k, distOnly, timeAware)
+	if timeAware < 0.9 {
+		t.Fatalf("time-aware recall@%d = %.4f, below the pinned 0.9 floor", k, timeAware)
+	}
+	if timeAware <= distOnly {
+		t.Fatalf("time-aware ranking (%.4f) must beat distance-only (%.4f) on the time-spread corpus", timeAware, distOnly)
+	}
+	if distOnly > 0.5 {
+		t.Fatalf("distance-only recall@%d = %.4f; the corpus no longer separates the rankings (want <= 0.5)", k, distOnly)
+	}
 }
 
 // TestProbeModePrunes proves probe mode actually restricts the search

@@ -2,6 +2,7 @@ package vectordb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -87,11 +88,29 @@ type Sharded struct {
 	// retires. Odd = rebalance in flight.
 	epoch  atomic.Uint64
 	probes atomic.Int64
-	gen    *generation // current target: Adds route here
-	old    *generation // non-nil mid-rebalance: shards draining into gen
-	byID   *sync.Map   // entry ID -> *shard (kept current by migration)
-	count  atomic.Int64
+	// probeRank selects how probe-limited queries rank partitions:
+	// ProbeRankTimeAware (default) or ProbeRankDistance.
+	probeRank atomic.Int64
+	// tuner is the adaptive serving controller, nil until EnableAdaptive.
+	tuner atomic.Pointer[Tuner]
+	gen   *generation // current target: Adds route here
+	old   *generation // non-nil mid-rebalance: shards draining into gen
+	byID  *sync.Map   // entry ID -> *shard (kept current by migration)
+	count atomic.Int64
 }
+
+// Probe-ranking modes for SetProbeRanking.
+const (
+	// ProbeRankTimeAware ranks partitions by centroid distance blended
+	// with the temporal-decay term of the retrieval similarity, evaluated
+	// at each partition's newest-entry timestamp — the default, so a
+	// recent-but-farther partition can out-rank a stale-but-near one.
+	ProbeRankTimeAware = iota
+	// ProbeRankDistance ranks partitions by plain centroid distance,
+	// ignoring recency (the pre-adaptive behaviour; kept for comparison
+	// benchmarks).
+	ProbeRankDistance
+)
 
 var _ Index = (*Sharded)(nil)
 
@@ -115,6 +134,10 @@ type shard struct {
 	entries []Entry
 	vecs    []float64
 	byID    map[string]int
+	// newest is the latest entry timestamp in the shard — the per-partition
+	// recency summary time-aware probe ranking folds into partition
+	// selection. Zero when the shard is empty.
+	newest time.Time
 }
 
 // NewSharded returns an empty sharded store for vectors of the given
@@ -171,22 +194,50 @@ func (s *Sharded) Epoch() uint64 { return s.epoch.Load() }
 func (s *Sharded) Rebalancing() bool { return s.Epoch()%2 == 1 }
 
 // SetProbes sets the probe budget for approximate serving: TopK and
-// TopKDiverse search only the p IVF partitions whose centroids are
-// nearest the query. p = 0 restores exact fan-out; negative values are
-// rejected (a caller that computed a negative budget has a bug that
-// silently going exact would mask). Probe mode only engages under a
-// trained IVF partitioner with more (non-empty) shards than probes — in
-// every other configuration queries stay exact.
+// TopKDiverse search only the p IVF partitions ranked nearest the query.
+// p = 0 restores exact fan-out; negative values are rejected (a caller
+// that computed a negative budget has a bug that silently going exact
+// would mask). Probe mode only engages under a trained IVF partitioner
+// with more (non-empty) shards than probes — in every other configuration
+// queries stay exact.
+//
+// With the adaptive controller running (EnableAdaptive), SetProbes is the
+// manual override: it pins the budget and pauses the auto-tuner's
+// adjustments until EnableAdaptive is called again.
 func (s *Sharded) SetProbes(p int) error {
 	if p < 0 {
 		return fmt.Errorf("vectordb: negative probe count %d (use 0 for exact fan-out)", p)
+	}
+	if t := s.tuner.Load(); t != nil {
+		// Pause-and-pin atomically with any in-flight controller decision,
+		// so the manual value can never be overwritten after the fact.
+		t.pinProbes(p)
+		return nil
 	}
 	s.probes.Store(int64(p))
 	return nil
 }
 
-// Probes returns the configured probe budget (0 = exact fan-out).
+// Probes returns the effective probe budget (0 = exact fan-out). Under
+// the adaptive controller this is the budget the SLO loop currently
+// holds, so it moves as the controller adjusts.
 func (s *Sharded) Probes() int { return int(s.probes.Load()) }
+
+// SetProbeRanking selects how probe-limited queries rank candidate
+// partitions: ProbeRankTimeAware (the default — centroid distance blended
+// with each partition's newest-entry recency under the query's
+// temporal-decay coefficient) or ProbeRankDistance (plain centroid
+// distance). Exact fan-out is unaffected.
+func (s *Sharded) SetProbeRanking(mode int) error {
+	if mode != ProbeRankTimeAware && mode != ProbeRankDistance {
+		return fmt.Errorf("vectordb: unknown probe ranking mode %d", mode)
+	}
+	s.probeRank.Store(int64(mode))
+	return nil
+}
+
+// ProbeRanking returns the active probe-ranking mode.
+func (s *Sharded) ProbeRanking() int { return int(s.probeRank.Load()) }
 
 // ShardLens returns the per-shard entry counts of the current routing
 // generation (the load-balance view). Mid-rebalance the counts exclude
@@ -234,6 +285,9 @@ func (s *Sharded) Add(e Entry) error {
 	}
 	sh.add(e)
 	s.count.Add(1)
+	if t := s.tuner.Load(); t != nil {
+		t.noteAdd()
+	}
 	return nil
 }
 
@@ -246,6 +300,9 @@ func (sh *shard) add(e Entry) {
 	sh.byID[e.ID] = len(sh.entries)
 	sh.entries = append(sh.entries, e)
 	sh.vecs = append(sh.vecs, vec...)
+	if e.Time.After(sh.newest) {
+		sh.newest = e.Time
+	}
 	sh.mu.Unlock()
 }
 
@@ -254,6 +311,14 @@ func (sh *shard) length() int {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return len(sh.entries)
+}
+
+// stats returns the shard's entry count and newest-entry timestamp in one
+// locked read — what probe ranking consumes per candidate partition.
+func (sh *shard) stats() (n int, newest time.Time) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.entries), sh.newest
 }
 
 // row returns entry i's vector view into the backing; valid only under
@@ -287,6 +352,7 @@ func (sh *shard) snapshot() []Entry {
 func (sh *shard) clear() {
 	sh.mu.Lock()
 	sh.entries, sh.vecs, sh.byID = nil, nil, make(map[string]int)
+	sh.newest = time.Time{}
 	sh.mu.Unlock()
 }
 
@@ -371,9 +437,16 @@ func (s *Sharded) Categories() []incident.Category {
 // (caller passes draining != nil), or a budget that already covers every
 // non-empty shard. Empty partitions are skipped so no probe is wasted on
 // a centroid with nothing behind it (TrainIVF with more shards than
-// distinct vectors leaves such shards). Selection ranks centroids by
-// plain vector distance, ties toward the lower shard index.
-func (s *Sharded) probeShards(g *generation, query []float64) []*shard {
+// distinct vectors leaves such shards).
+//
+// Under ProbeRankTimeAware (the default) populated partitions rank by the
+// same functional form the retrieval similarity uses — 1/(1+d)·e^(−α·Δt)
+// — with d the query-to-centroid distance and Δt the age of the
+// partition's NEWEST entry relative to the query time, so a partition
+// holding recent incidents can out-rank a stale partition whose centroid
+// is nearer. Under ProbeRankDistance the ranking is plain centroid
+// distance. Both break ties toward the lower shard index.
+func (s *Sharded) probeShards(g *generation, query []float64, qt time.Time, alpha float64) []*shard {
 	p := int(s.probes.Load())
 	if p <= 0 || p >= len(g.shard) {
 		return nil
@@ -382,22 +455,36 @@ func (s *Sharded) probeShards(g *generation, query []float64) []*shard {
 	if !ok {
 		return nil
 	}
-	sel := make([]*shard, 0, p)
-	nonEmpty := 0
-	for _, i := range ivf.nearestShards(query) {
-		if g.shard[i].length() == 0 {
+
+	type cand struct {
+		idx   int
+		score float64
+	}
+	dists := ivf.centroidDists(query)
+	timeAware := s.probeRank.Load() == ProbeRankTimeAware && alpha != 0
+	cands := make([]cand, 0, len(g.shard))
+	for i, sh := range g.shard {
+		n, newest := sh.stats()
+		if n == 0 {
 			continue
 		}
-		nonEmpty++
-		if len(sel) < p {
-			sel = append(sel, g.shard[i])
+		score := -dists[i] // distance-only: nearer ranks higher
+		if timeAware {
+			days := math.Abs(qt.Sub(newest).Hours()) / 24
+			score = 1 / (1 + dists[i]) * math.Exp(-alpha*days)
 		}
+		cands = append(cands, cand{idx: i, score: score})
 	}
-	if nonEmpty <= p {
+	if len(cands) <= p {
 		// The budget covers every populated partition: identical to exact
 		// fan-out, so take the exact path and keep the bit-identity
 		// guarantee trivially.
 		return nil
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+	sel := make([]*shard, p)
+	for i := range sel {
+		sel[i] = g.shard[cands[i].idx]
 	}
 	return sel
 }
@@ -420,6 +507,16 @@ func fanTopK(shards []*shard, query []float64, qt time.Time, k int, alpha float6
 // counts once and never zero times. With SetProbes under IVF routing only
 // the nearest partitions are scanned (approximate; see the type comment).
 func (s *Sharded) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return s.topK(query, qt, k, alpha, false)
+}
+
+// exactTopK is TopK with probe selection forced off — the oracle path the
+// adaptive controller's shadow queries measure observed recall against.
+func (s *Sharded) exactTopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return s.topK(query, qt, k, alpha, true)
+}
+
+func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forceExact bool) ([]Scored, error) {
 	if err := checkQuery(s.dim, query, k); err != nil {
 		return nil, err
 	}
@@ -430,8 +527,11 @@ func (s *Sharded) TopK(query []float64, qt time.Time, k int, alpha float64) ([]S
 	h := make(worstFirst, 0, k+1)
 	if draining == nil {
 		shards := current
-		if sel := s.probeShards(s.gen, query); sel != nil {
-			shards = sel
+		probed := false
+		if !forceExact {
+			if sel := s.probeShards(s.gen, query, qt, alpha); sel != nil {
+				shards, probed = sel, true
+			}
 		}
 		perShard, err := fanTopK(shards, query, qt, k, alpha)
 		if err != nil {
@@ -442,7 +542,13 @@ func (s *Sharded) TopK(query []float64, qt time.Time, k int, alpha float64) ([]S
 				h.offer(sc, k)
 			}
 		}
-		return h.drain(), nil
+		out := h.drain()
+		if !forceExact {
+			if t := s.tuner.Load(); t != nil {
+				t.observeQuery(query, qt, k, alpha, out, probed, false)
+			}
+		}
+		return out, nil
 	}
 
 	// Rebalance in flight: exact over both generations, the draining one
@@ -488,6 +594,16 @@ func fanCategoryBest(shards []*shard, query []float64, qt time.Time, alpha float
 // With SetProbes under IVF routing only the nearest partitions are
 // scanned (approximate; see the type comment).
 func (s *Sharded) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return s.topKDiverse(query, qt, k, alpha, false)
+}
+
+// exactTopKDiverse is TopKDiverse with probe selection forced off (the
+// shadow-query oracle path).
+func (s *Sharded) exactTopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return s.topKDiverse(query, qt, k, alpha, true)
+}
+
+func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float64, forceExact bool) ([]Scored, error) {
 	if err := checkQuery(s.dim, query, k); err != nil {
 		return nil, err
 	}
@@ -516,9 +632,10 @@ func (s *Sharded) TopKDiverse(query []float64, qt time.Time, k int, alpha float6
 		mergeBest(oldRes)
 	}
 	shards := current
-	if draining == nil {
-		if sel := s.probeShards(s.gen, query); sel != nil {
-			shards = sel
+	probed := false
+	if draining == nil && !forceExact {
+		if sel := s.probeShards(s.gen, query, qt, alpha); sel != nil {
+			shards, probed = sel, true
 		}
 	}
 	perShard, err := fanCategoryBest(shards, query, qt, alpha)
@@ -530,7 +647,13 @@ func (s *Sharded) TopKDiverse(query []float64, qt time.Time, k int, alpha float6
 	for _, sc := range best {
 		h.offer(sc, k)
 	}
-	return h.drain(), nil
+	out := h.drain()
+	if draining == nil && !forceExact {
+		if t := s.tuner.Load(); t != nil {
+			t.observeQuery(query, qt, k, alpha, out, probed, true)
+		}
+	}
+	return out, nil
 }
 
 // topK streams one shard's columnar rows through a bounded heap and

@@ -41,22 +41,71 @@
 //     Rebalance/TrainIVF is draining shards mid-query. All pipeline
 //     goldens assume this mode.
 //   - Probe-limited (probes = p > 0, IVF routing): TopK and TopKDiverse
-//     search only the p partitions whose trained centroids are nearest
-//     the query, skipping empty partitions. This is approximate — a true
-//     neighbour stored in an unprobed partition is missed — in exchange
-//     for scanning roughly p/shards of the corpus. Probe selection ranks
-//     centroids by plain vector distance, so recall additionally degrades
-//     when the temporal-decay factor dominates the ranking (an old
-//     entry's partition can be probed ahead of a recent, slightly farther
-//     one). Whenever probe mode's preconditions fail — category-hash
-//     routing, probes covering every non-empty shard, or a rebalance in
-//     flight — queries silently fall back to the exact contract, so
-//     approximation is strictly opt-in and never degrades below exact.
+//     search only the p partitions ranked nearest the query, skipping
+//     empty partitions. This is approximate — a true neighbour stored in
+//     an unprobed partition is missed — in exchange for scanning roughly
+//     p/shards of the corpus. Whenever probe mode's preconditions fail —
+//     category-hash routing, probes covering every non-empty shard, or a
+//     rebalance in flight — queries silently fall back to the exact
+//     contract, so approximation is strictly opt-in and never degrades
+//     below exact.
+//
+// # Time-aware probe ranking
+//
+// Each partition maintains a recency summary (its newest-entry
+// timestamp). By default (Sharded.SetProbeRanking, ProbeRankTimeAware)
+// probe selection ranks partitions by the similarity's own functional
+// form — 1/(1+d)·e^(−α·Δt) — with d the query-to-centroid distance and Δt
+// the age of the partition's newest entry, so a partition holding recent
+// incidents can out-rank a stale partition whose centroid is nearer;
+// under the paper's temporal-decay retrieval that is exactly when the
+// true neighbours live in the farther partition. ProbeRankDistance
+// restores plain centroid-distance ranking (recall then degrades when
+// recency dominates, since centroids carry no timestamp). On a corpus
+// whose entries share one timestamp the two rankings coincide.
+//
+// # Adaptive serving (Sharded.EnableAdaptive)
+//
+// The serving controller closes the loop on probe quality, so one config
+// serves both head and tail queries instead of shipping a hand-picked
+// probe count:
+//
+//   - Recall-SLO auto-tuning: a Tuner samples a configurable fraction of
+//     live TopK/TopKDiverse queries and shadows each sampled probe-limited
+//     query with an exact fan-out OFF the hot path — the served result
+//     returns immediately; the shadow runs on its own goroutine holding
+//     one slot of the shared internal/parallel budget, at most one in
+//     flight. Observed recall@k accumulates in a window; each full window
+//     moves the effective probe budget one step — below target grows,
+//     comfortably above target shrinks, with hysteresis (the controller
+//     remembers the last failing budget and will not shrink back onto it
+//     until a retrain changes the geometry). Queries that fell back to
+//     exact feed free recall=1 samples, which is how the controller
+//     discovers it can shrink an over-provisioned budget. Convergence: the
+//     budget rises until either the SLO holds or probes cover every
+//     populated partition — at which point serving is exact and recall is
+//     1 by construction — so the target is always eventually met.
+//     SetProbes is the manual override: it pins the budget and pauses the
+//     controller until EnableAdaptive is called again.
+//   - Skew-triggered retraining: every RetrainCheckEvery-th Add schedules
+//     an asynchronous check of shard imbalance (max/mean of ShardLens) and
+//     centroid drift (mean centroid distance of each shard's newest rows
+//     vs the quantizer's training distortion); when either ratio reaches
+//     RetrainSkew, the incremental TrainIVF runs automatically,
+//     rate-limited by MinRetrainInterval. Ingest and queries keep flowing
+//     throughout — retraining reuses the generation-based online
+//     rebalance.
+//
+// Shadow queries and retrain checks never run while a rebalance drains
+// (those queries are exact already), and Tuner.Quiesce is the barrier
+// that waits out in-flight shadow/retrain work where determinism matters.
 //
 // BenchmarkTopKProbes records the recall-vs-speedup trade-off against the
 // flat oracle (see BENCH_retrieval.json), and a pinned recall floor
 // (recall@5 >= 0.9 at probes=2 on the seeded clustered corpus) guards the
-// approximate mode in CI.
+// approximate mode in CI; BenchmarkTopKProbesTimeSpread does the same for
+// time-aware ranking and the auto-tuner on a corpus whose timestamps span
+// the decay horizon.
 package vectordb
 
 import (
@@ -136,6 +185,19 @@ type Options struct {
 	// always exact; negative values are rejected by Sharded.SetProbes, so
 	// validate before constructing Options.
 	Probes int
+	// RecallTarget enables the recall-SLO auto-tuner on the sharded store:
+	// shadow queries measure observed recall@k and the effective probe
+	// budget is grown/shrunk to hold this target (see
+	// Sharded.EnableAdaptive). 0 disables; ignored by the flat store.
+	RecallTarget float64
+	// ShadowRate is the fraction of live queries the auto-tuner shadows
+	// with an exact fan-out (default 0.05 when RecallTarget is set).
+	ShadowRate float64
+	// RetrainSkew enables skew-triggered IVF retraining when >= 1: once
+	// max/mean of the per-shard entry counts — or the centroid-drift ratio
+	// of fresh inserts — reaches this value, TrainIVF is kicked
+	// automatically, rate-limited. 0 disables; ignored by the flat store.
+	RetrainSkew float64
 }
 
 // NewIndex builds the Index implementation the options select: a flat DB,
@@ -147,6 +209,16 @@ func NewIndex(dim int, opts Options) Index {
 			// Cannot fail for positive values; negatives are documented as
 			// caller-validated and keep the exact default.
 			_ = s.SetProbes(opts.Probes)
+		}
+		if opts.RecallTarget > 0 || opts.RetrainSkew > 0 {
+			// Cannot fail: the only invalid shapes (out-of-range fractions,
+			// a sub-1 skew ratio) are documented as caller-validated, and
+			// core.Config rejects them before Options is built.
+			_, _ = s.EnableAdaptive(AutoConfig{
+				RecallTarget: opts.RecallTarget,
+				ShadowRate:   opts.ShadowRate,
+				RetrainSkew:  opts.RetrainSkew,
+			})
 		}
 		return s
 	}

@@ -180,8 +180,28 @@ type Config struct {
 	// production deployment serving millions of historical incidents.
 	// Requires Shards > 1 with Partitioner PartitionIVF; dormant (exact)
 	// until the quantizer trains on the first AddHistory batch. 0 keeps
-	// exact fan-out, which is bit-identical to the flat store.
+	// exact fan-out, which is bit-identical to the flat store. Mutually
+	// exclusive with RecallTarget.
 	Probes int
+	// RecallTarget enables adaptive probe serving instead of a static
+	// Probes knob: the store shadows a ShadowRate fraction of live
+	// retrievals with an exact fan-out off the hot path, measures observed
+	// recall@K, and grows/shrinks the effective probe count to hold this
+	// target (e.g. 0.95) — so one deployment config serves head and tail
+	// queries without hand-tuning. Requires Shards > 1 with Partitioner
+	// PartitionIVF. 0 disables.
+	RecallTarget float64
+	// ShadowRate is the fraction of live retrievals shadowed for the
+	// recall SLO, in (0, 1]; 0 defaults to 0.05. Only meaningful with
+	// RecallTarget.
+	ShadowRate float64
+	// RetrainSkew, when >= 1, retrains the IVF quantizer automatically
+	// (online, rate-limited) once per-shard imbalance or centroid drift
+	// reaches this ratio — so a corpus that grows and drifts as incidents
+	// stream in keeps balanced partitions without anyone scheduling
+	// retrains. Requires Shards > 1 with Partitioner PartitionIVF. 0
+	// disables.
+	RetrainSkew float64
 	// AsyncLearnQueue, when positive, moves feedback-loop learning off the
 	// hot path: Feedback() verdicts enqueue onto a background ingest
 	// worker with this queue capacity instead of re-summarizing inline.
@@ -222,13 +242,16 @@ func NewSystem(fleet *Fleet, cfg Config) (*System, error) {
 		}
 	}
 	cop, err := core.New(fleet, chat, core.Config{
-		Team:        cfg.Team,
-		K:           cfg.K,
-		Alpha:       cfg.Alpha,
-		Context:     cfg.Context,
-		Shards:      cfg.Shards,
-		Partitioner: cfg.Partitioner,
-		Probes:      cfg.Probes,
+		Team:         cfg.Team,
+		K:            cfg.K,
+		Alpha:        cfg.Alpha,
+		Context:      cfg.Context,
+		Shards:       cfg.Shards,
+		Partitioner:  cfg.Partitioner,
+		Probes:       cfg.Probes,
+		RecallTarget: cfg.RecallTarget,
+		ShadowRate:   cfg.ShadowRate,
+		RetrainSkew:  cfg.RetrainSkew,
 	})
 	if err != nil {
 		return nil, err

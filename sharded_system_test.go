@@ -60,6 +60,62 @@ func TestSystemShardedMatchesFlat(t *testing.T) {
 	}
 }
 
+// TestSystemAdaptiveServing exercises the Config.RecallTarget/ShadowRate/
+// RetrainSkew wiring end to end: the adaptive controller must be live on
+// the system's index after AddHistory (trained IVF, probe budget within
+// [1, shards]), and the full pipeline must predict while shadow sampling
+// runs behind retrieval.
+func TestSystemAdaptiveServing(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{
+		Seed: 2, Shards: 7, Partitioner: PartitionIVF,
+		RecallTarget: 0.95, ShadowRate: 1, RetrainSkew: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := c.Incidents[:150]
+	if err := sys.TrainEmbedding(history); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHistory(history); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := sys.Copilot().Index().(*vectordb.Sharded)
+	if !ok {
+		t.Fatalf("adaptive system runs on %T", sys.Copilot().Index())
+	}
+	tn := s.AdaptiveTuner()
+	if tn == nil {
+		t.Fatal("adaptive config must install a controller")
+	}
+	if _, ok := s.Partitioner().(*vectordb.IVF); !ok {
+		t.Fatalf("partitioner is %T after AddHistory, want trained IVF", s.Partitioner())
+	}
+	probe := c.Incidents[200].Clone()
+	probe.Summary, probe.Predicted, probe.Explanation = "", "", ""
+	res, err := sys.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Category == "" {
+		t.Fatal("adaptive Predict returned no category")
+	}
+	tn.Quiesce()
+	if p := s.Probes(); p < 1 || p > 7 {
+		t.Fatalf("effective probe budget %d outside [1, 7]", p)
+	}
+	// Bad adaptive configs must be rejected at the facade too.
+	if _, err := NewSystem(c.Fleet, Config{Seed: 2, RecallTarget: 0.95}); err == nil {
+		t.Fatal("RecallTarget without an IVF sharded store must fail")
+	}
+	if _, err := NewSystem(c.Fleet, Config{
+		Seed: 2, Shards: 7, Partitioner: PartitionIVF, RecallTarget: 0.95, Probes: 2,
+	}); err == nil {
+		t.Fatal("RecallTarget and Probes together must fail")
+	}
+}
+
 // TestSystemAsyncLearnQueue exercises the Config.AsyncLearnQueue wiring:
 // feedback verdicts land in the history only after Flush, and the history
 // grows by exactly the confirmed count.
