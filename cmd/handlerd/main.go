@@ -13,28 +13,45 @@
 //	GET  /api/handlers/{alert}?team=T[&version=N]  one handler (or a version)
 //	POST /api/handlers     save a handler (JSON body) as a new version
 //	GET  /api/versions/{alert}?team=T     version count
+//
+// The HTTP front is the shared hardened server (internal/httpd): header/
+// read/write/idle timeouts, bounded strict JSON bodies, and graceful
+// shutdown — SIGTERM lets in-flight requests complete instead of killing
+// them. The full serving surface, incident submission included, is
+// cmd/rcacopilotd; handlerd remains the minimal CRUD-only deployment.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/handler"
+	"repro/internal/httpd"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	team := flag.String("bootstrap-team", "Transport", "team to install the builtin handler suite for")
+	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown budget after SIGTERM")
 	flag.Parse()
 
 	srv, err := newServer(*team)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
 	log.Printf("handlerd listening on %s (builtins installed for team %s)", *addr, *team)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	if err := httpd.Serve(ctx, httpd.NewServer(*addr, srv), *grace, nil); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("handlerd: drained and stopped")
 }
 
 func newServer(bootstrapTeam string) (http.Handler, error) {
@@ -44,5 +61,5 @@ func newServer(bootstrapTeam string) (http.Handler, error) {
 			return nil, fmt.Errorf("bootstrap: %w", err)
 		}
 	}
-	return NewAPI(reg), nil
+	return httpd.NewHandlerAPI(reg), nil
 }

@@ -1,0 +1,140 @@
+// Command rcacopilotd is the unified RCACopilot serving daemon: one
+// hardened HTTP/JSON service carrying the whole on-call loop that the
+// library exposes piecemeal —
+//
+//	POST /api/incidents           submit an incident; 202 + assigned id
+//	GET  /api/incidents           submission statuses
+//	GET  /api/incidents/{id}      one handling result
+//	GET  /api/incidents/stream    results as server-sent events
+//	POST /api/feedback            OCE verdict (confirm/correct/reject)
+//	GET  /api/retrieve?q=...      nearest historical incidents
+//	GET  /metrics                 serving, admission, retrieval, feedback, cost
+//	/api/handlers, /api/ops, ...  handler construction (same API as handlerd)
+//
+// Incidents are handled by System.HandleStream on the shared worker
+// budget; per-team token buckets plus a budget-derived in-flight bound
+// (internal/httpd.TeamLimiter) keep admission matched to processing
+// capacity. The front door is the shared hardened server
+// (internal/httpd): slowloris-safe timeouts and strict bounded JSON
+// bodies. SIGTERM/SIGINT drains gracefully — new submissions are refused,
+// every admitted incident completes and is published, feedback is flushed
+// — bounded by -grace.
+//
+// Startup builds the simulated deployment: generate the synthetic corpus,
+// train the FastText embedding, ingest -history incidents. -shards and
+// -recall-target opt retrieval into the sharded store and adaptive probe
+// serving, whose live recall/probe state then shows in /metrics.
+//
+//	rcacopilotd -addr :8080 -seed 1 -history 300
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/feedback"
+	"repro/internal/httpd"
+
+	rcacopilot "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", rcacopilot.ModelGPT4, "chat model: gpt-4 or gpt-3.5-turbo")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	days := flag.Int("days", 365, "simulated corpus span in days")
+	history := flag.Int("history", 300, "historical incidents to ingest at startup")
+	shards := flag.Int("shards", 0, "vector-store shards (0 = flat exact store)")
+	recall := flag.Float64("recall-target", 0, "adaptive probe serving recall SLO (0 disables; needs -shards > 1)")
+	retrainSkew := flag.Float64("retrain-skew", 0, "auto-retrain the IVF quantizer at this imbalance ratio (0 disables)")
+	learnQueue := flag.Int("learn-queue", 64, "async feedback-learn queue depth (0 = learn inline)")
+	retry := flag.Bool("retry", true, "run the learn-failure retry queue")
+	rate := flag.Float64("rate", 5, "sustained per-team submissions/second")
+	burst := flag.Float64("burst", 10, "per-team submission burst")
+	queue := flag.Int("queue", 64, "submission queue depth")
+	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown budget after SIGTERM")
+	flag.Parse()
+
+	if err := run(config{
+		addr: *addr, model: *model, seed: *seed, days: *days, history: *history,
+		shards: *shards, recall: *recall, retrainSkew: *retrainSkew,
+		learnQueue: *learnQueue, retry: *retry,
+		rate: *rate, burst: *burst, queue: *queue, grace: *grace,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "rcacopilotd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr                string
+	model               string
+	seed                int64
+	days, history       int
+	shards              int
+	recall, retrainSkew float64
+	learnQueue          int
+	retry               bool
+	rate, burst         float64
+	queue               int
+	grace               time.Duration
+}
+
+func run(c config) error {
+	log.Printf("rcacopilotd: generating corpus (seed %d, %d days)", c.seed, c.days)
+	spec := rcacopilot.CorpusSpec{
+		Seed: c.seed, Start: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		Days: c.days, RecurrenceWithin20: 0.938, Team: "Transport",
+	}
+	corpus, err := rcacopilot.GenerateCorpusSpec(spec)
+	if err != nil {
+		return err
+	}
+	cfg := rcacopilot.Config{
+		Model: c.model, Seed: c.seed,
+		Shards:          c.shards,
+		RecallTarget:    c.recall,
+		RetrainSkew:     c.retrainSkew,
+		AsyncLearnQueue: c.learnQueue,
+	}
+	if c.recall > 0 || c.retrainSkew >= 1 {
+		cfg.Partitioner = rcacopilot.PartitionIVF
+	}
+	sys, err := rcacopilot.NewSystem(corpus.Fleet, cfg)
+	if err != nil {
+		return err
+	}
+	n := c.history
+	if n <= 0 || n > len(corpus.Incidents) {
+		n = len(corpus.Incidents)
+	}
+	log.Printf("rcacopilotd: training embedding and ingesting %d/%d incidents", n, len(corpus.Incidents))
+	if err := sys.TrainEmbedding(corpus.Incidents[:n]); err != nil {
+		return err
+	}
+	if err := sys.AddHistory(corpus.Incidents[:n]); err != nil {
+		return err
+	}
+	if c.retry {
+		if err := sys.Feedback().StartRetry(feedback.RetryConfig{}); err != nil {
+			return err
+		}
+	}
+
+	d := newDaemon(sys, httpd.LimitConfig{Rate: c.rate, Burst: c.burst}, c.queue)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	log.Printf("rcacopilotd: listening on %s (%d historical incidents, %d categories)",
+		c.addr, sys.Copilot().Index().Len(), len(sys.Copilot().Index().Categories()))
+	if err := httpd.Serve(ctx, httpd.NewServer(c.addr, d), c.grace, d.drain); err != nil {
+		return err
+	}
+	log.Print("rcacopilotd: drained and stopped")
+	return nil
+}

@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"time"
 
@@ -516,6 +517,40 @@ func (c *Copilot) LearnBatch(incs []*incident.Incident, workers int) error {
 	// With IVF routing the quantizer trains from whatever is stored after
 	// the batch lands, so bulk history loads end with balanced shards.
 	return c.trainPartitioner(db)
+}
+
+// Retrieve embeds free text and returns the k nearest historical
+// incidents under the temporal-decay similarity anchored at the given
+// time — the raw vector-DB read an OCE dashboard or the serving daemon's
+// /api/retrieve endpoint issues, without running the prediction stage.
+// diverse applies the §4.2.2 category-diversity constraint (each category
+// at most once). k <= 0 uses the configured K; a zero at uses the current
+// wall clock.
+func (c *Copilot) Retrieve(text string, at time.Time, k int, diverse bool) ([]vectordb.Scored, error) {
+	embedder, db := c.retriever()
+	if embedder == nil {
+		return nil, fmt.Errorf("core: no embedder attached (call SetEmbedder)")
+	}
+	if strings.TrimSpace(text) == "" {
+		return nil, fmt.Errorf("core: empty retrieval query")
+	}
+	if k <= 0 {
+		k = c.cfg.K
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	query, err := embedder.Embed(text)
+	if err != nil {
+		return nil, fmt.Errorf("core: embed retrieval query: %w", err)
+	}
+	if db.Len() == 0 {
+		return nil, nil
+	}
+	if diverse {
+		return db.TopKDiverse(query, at, k, c.cfg.Alpha)
+	}
+	return db.TopK(query, at, k, c.cfg.Alpha)
 }
 
 // Predict runs the prediction stage for a collected incident: embed the

@@ -174,6 +174,10 @@ type retryState struct {
 	// inflight marks a redrive in progress, so overlapping RedriveDue
 	// calls never double-learn one incident.
 	inflight bool
+	// exhausted marks a failure whose MaxAttempts ran out: the record is
+	// kept (so dashboards still see the attempt count) but never
+	// rescheduled, not even by a fresh StartRetry.
+	exhausted bool
 }
 
 // RetryConfig parameterizes the learn-failure retry queue (StartRetry).
@@ -487,7 +491,7 @@ func (l *Loop) StartRetry(cfg RetryConfig) error {
 	// first redrive is due one backoff from now.
 	now := l.now()
 	for id, st := range ig.retry {
-		if st.next.IsZero() {
+		if st.next.IsZero() && !st.exhausted {
 			st.next = now.Add(cfg.backoffDelay(id, st.attempts))
 		}
 	}
@@ -565,8 +569,11 @@ func (l *Loop) RedriveDue() int {
 		ig.failures[id] = Failure{IncidentID: id, Reviewer: st.task.reviewer, Err: err, At: l.now()}
 		if cfg.MaxAttempts >= 0 && st.attempts >= cfg.MaxAttempts {
 			// Exhausted: the Failure record stands, but the queue stops
-			// spending learner calls on it.
-			delete(ig.retry, id)
+			// spending learner calls on it. The schedule entry is kept —
+			// unschedulable — so RetrySchedule still reports the attempt
+			// count; a resubmitted verdict replaces it with a fresh state.
+			st.next = time.Time{}
+			st.exhausted = true
 		} else {
 			st.next = l.now().Add(cfg.backoffDelay(id, st.attempts))
 		}
@@ -590,6 +597,53 @@ func (l *Loop) RetryBacklog() int {
 		}
 	}
 	return n
+}
+
+// RetryItem is the observable state of one unresolved learn failure's
+// self-heal schedule: how many learn attempts have been spent and when the
+// next redrive is due — what an OCE dashboard shows next to the Failure
+// list.
+type RetryItem struct {
+	// IncidentID identifies the incident whose learn keeps failing.
+	IncidentID string
+	// Reviewer is the OCE whose verdict queued the learn.
+	Reviewer string
+	// Attempts counts learn attempts made so far (the original failed
+	// learn is attempt 1). 0 when the failure predates the retry queue's
+	// task tracking (it then has no schedule entry).
+	Attempts int
+	// NextDue is when the next redrive fires per the loop's clock; zero
+	// while retrying is off or the failure is exhausted.
+	NextDue time.Time
+	// Exhausted reports that MaxAttempts ran out: the failure stands until
+	// the OCE resubmits, and no further redrives will be spent on it.
+	Exhausted bool
+	// Err is the most recent learn error.
+	Err error
+	// At is when the failure was last recorded.
+	At time.Time
+}
+
+// RetrySchedule returns one RetryItem per unresolved learn failure,
+// ordered by incident ID — the retry queue's full observable state,
+// exported alongside RetryBacklog through report.RenderRetryQueue and the
+// serving daemon's /metrics.
+func (l *Loop) RetrySchedule() []RetryItem {
+	ig := &l.ingest
+	ig.mu.Lock()
+	out := make([]RetryItem, 0, len(ig.failures))
+	for id, f := range ig.failures {
+		it := RetryItem{IncidentID: id, Reviewer: f.Reviewer, Err: f.Err, At: f.At}
+		if st, ok := ig.retry[id]; ok {
+			it.Attempts = st.attempts
+			it.NextDue = st.next
+			it.Exhausted = st.exhausted
+		}
+		out = append(out, it)
+	}
+	ig.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].IncidentID < out[j].IncidentID })
+	return out
 }
 
 // Flush blocks until every learn submitted before the call has been

@@ -356,3 +356,64 @@ func TestRetryWithAsyncIngest(t *testing.T) {
 		t.Fatalf("learned %d, want 1", got)
 	}
 }
+
+// TestRetryScheduleObservability: RetrySchedule must expose each
+// unresolved failure's attempt count, next-due time and exhaustion — the
+// state the serving daemon's /metrics and report.RenderRetryQueue render.
+func TestRetryScheduleObservability(t *testing.T) {
+	learner := &flakyLearner{}
+	lp, clock := retryLoop(t, learner, 2)
+
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce-a", ""); err == nil {
+		t.Fatal("Submit during the outage must surface the inline learn error")
+	}
+	items := lp.RetrySchedule()
+	if len(items) != 1 {
+		t.Fatalf("schedule = %+v, want 1 item", items)
+	}
+	it := items[0]
+	if it.IncidentID != "INC-1" || it.Reviewer != "oce-a" {
+		t.Fatalf("item = %+v", it)
+	}
+	if it.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (the failed inline learn)", it.Attempts)
+	}
+	if it.NextDue.IsZero() || !it.NextDue.After(clock.Now()) {
+		t.Fatalf("NextDue = %v, want a future redrive", it.NextDue)
+	}
+	if it.Exhausted || it.Err == nil {
+		t.Fatalf("item = %+v, want live failure with its error", it)
+	}
+
+	// Exhaust the budget (MaxAttempts=2: one redrive left). The record
+	// must survive as exhausted with no schedule, not disappear.
+	clock.advance(2 * time.Minute)
+	if n := lp.RedriveDue(); n != 1 {
+		t.Fatalf("RedriveDue = %d, want 1", n)
+	}
+	items = lp.RetrySchedule()
+	if len(items) != 1 {
+		t.Fatalf("schedule after exhaustion = %+v, want the exhausted record", items)
+	}
+	it = items[0]
+	if !it.Exhausted || it.Attempts != 2 || !it.NextDue.IsZero() {
+		t.Fatalf("exhausted item = %+v", it)
+	}
+	if got := lp.RetryBacklog(); got != 0 {
+		t.Fatalf("RetryBacklog counts exhausted items: %d", got)
+	}
+	// No further redrives are spent on it.
+	clock.advance(time.Hour)
+	if n := lp.RedriveDue(); n != 0 {
+		t.Fatalf("RedriveDue on exhausted backlog = %d, want 0", n)
+	}
+
+	// A resubmitted verdict requeues it; success clears the schedule.
+	learner.heal()
+	if _, err := lp.Submit(predicted("INC-1", "DiskFull"), VerdictConfirm, "", "oce-a", ""); err != nil {
+		t.Fatalf("resubmit after heal: %v", err)
+	}
+	if items := lp.RetrySchedule(); len(items) != 0 {
+		t.Fatalf("schedule after successful resubmit = %+v, want empty", items)
+	}
+}

@@ -1,10 +1,23 @@
 package handler
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/incident"
 	"repro/internal/kvstore"
+)
+
+// Sentinel errors the registry wraps into its lookup failures, so HTTP
+// front ends pick status codes with errors.Is instead of matching error
+// text.
+var (
+	// ErrNotFound reports that no handler is registered for the requested
+	// team/alert type.
+	ErrNotFound = errors.New("no handler registered")
+	// ErrNoVersion reports that the handler exists but the requested
+	// version does not.
+	ErrNoVersion = errors.New("no such handler version")
 )
 
 // Registry stores handlers in the versioned kvstore, keyed by alert type,
@@ -53,7 +66,7 @@ func (r *Registry) Match(team string, inc *incident.Incident) (*Handler, error) 
 func (r *Registry) Latest(team string, alertType incident.AlertType) (*Handler, error) {
 	data, ok := r.store.Get(handlerKey(team, alertType))
 	if !ok {
-		return nil, fmt.Errorf("handler: no handler registered for team %s alert type %q", team, alertType)
+		return nil, fmt.Errorf("handler: team %s alert type %q: %w", team, alertType, ErrNotFound)
 	}
 	return Unmarshal(data)
 }
@@ -62,7 +75,7 @@ func (r *Registry) Latest(team string, alertType incident.AlertType) (*Handler, 
 func (r *Registry) Version(team string, alertType incident.AlertType, version int) (*Handler, error) {
 	data, ok := r.store.GetVersion(handlerKey(team, alertType), version)
 	if !ok {
-		return nil, fmt.Errorf("handler: team %s alert type %q has no version %d", team, alertType, version)
+		return nil, fmt.Errorf("handler: team %s alert type %q version %d: %w", team, alertType, version, ErrNoVersion)
 	}
 	return Unmarshal(data)
 }

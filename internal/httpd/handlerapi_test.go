@@ -1,4 +1,4 @@
-package main
+package httpd
 
 import (
 	"bytes"
@@ -14,11 +14,11 @@ import (
 
 func testServer(t *testing.T) http.Handler {
 	t.Helper()
-	srv, err := newServer("Transport")
-	if err != nil {
+	reg := handler.NewRegistry(nil)
+	if _, err := reg.InstallBuiltins("Transport"); err != nil {
 		t.Fatal(err)
 	}
-	return srv
+	return NewHandlerAPI(reg)
 }
 
 func do(t *testing.T, srv http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
@@ -68,9 +68,22 @@ func TestListAndGetHandlers(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("get status %d: %s", rec.Code, rec.Body.String())
 	}
-	rec = do(t, srv, "GET", "/api/handlers/NoSuchAlert", nil)
+}
+
+// TestGetStatusViaSentinelErrors is the regression test for the brittle
+// string-matched 404 mapping: both registry sentinels must map to 404
+// through errors.Is — for a missing handler and for a missing version of
+// an existing handler.
+func TestGetStatusViaSentinelErrors(t *testing.T) {
+	srv := testServer(t)
+
+	rec := do(t, srv, "GET", "/api/handlers/NoSuchAlert", nil)
 	if rec.Code != http.StatusNotFound {
-		t.Fatalf("missing handler status %d", rec.Code)
+		t.Fatalf("unknown alert status = %d, want 404", rec.Code)
+	}
+	rec = do(t, srv, "GET", "/api/handlers/"+string(transport.AlertDiskSpaceLow)+"?version=99", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing version status = %d, want 404: %s", rec.Code, rec.Body.String())
 	}
 }
 
@@ -126,6 +139,63 @@ func TestSaveRejectsInvalidHandler(t *testing.T) {
 	rec = do(t, srv, "POST", "/api/handlers", []byte(`{not json`))
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("malformed body status %d", rec.Code)
+	}
+}
+
+// TestSaveRejectsUnknownFields is the regression test for the silent
+// field-dropping decode: a misspelled field in a handler document must
+// 400, not save a handler missing the field the author thought they set.
+func TestSaveRejectsUnknownFields(t *testing.T) {
+	srv := testServer(t)
+	h, err := handler.Builtin(transport.AlertDiskSpaceLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["enabeld"] = true // typo of "enabled"
+	mangled, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, srv, "POST", "/api/handlers", mangled)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown-field status = %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestSaveRejectsOversizedBody is the regression test for the unbounded
+// body decode: a body over the MaxBody bound must 413, not be read to the
+// end and parsed.
+func TestSaveRejectsOversizedBody(t *testing.T) {
+	srv := testServer(t)
+	big := append([]byte(`{"name":"`), bytes.Repeat([]byte("x"), int(MaxBody)+1024)...)
+	big = append(big, []byte(`"}`)...)
+	rec := do(t, srv, "POST", "/api/handlers", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", rec.Code)
+	}
+}
+
+func TestSaveRejectsTrailingData(t *testing.T) {
+	srv := testServer(t)
+	h, err := handler.Builtin(transport.AlertDiskSpaceLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, srv, "POST", "/api/handlers", append(body, []byte(`{"second":"doc"}`)...))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("trailing-data status = %d, want 400: %s", rec.Code, rec.Body.String())
 	}
 }
 

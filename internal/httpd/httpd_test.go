@@ -1,0 +1,247 @@
+package httpd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewServerHasTimeouts(t *testing.T) {
+	srv := NewServer(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout != DefaultReadHeaderTimeout ||
+		srv.ReadTimeout != DefaultReadTimeout ||
+		srv.WriteTimeout != DefaultWriteTimeout ||
+		srv.IdleTimeout != DefaultIdleTimeout {
+		t.Fatalf("server missing hardened timeouts: %+v", srv)
+	}
+}
+
+// TestServeGracefulShutdown is the regression test for the old
+// log.Fatal(http.ListenAndServe(...)) front door: cancelling the context
+// must run the drain hook, let an in-flight request complete, and return
+// nil rather than tearing the process down.
+func TestServeGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+
+	srv := NewServer(addr, mux)
+	ctx, cancel := context.WithCancel(context.Background())
+	drained := false
+	served := make(chan error, 1)
+	go func() {
+		served <- Serve(ctx, srv, 5*time.Second, func(context.Context) { drained = true })
+	}()
+
+	// Wait for the listener, then park a request in the handler.
+	var resp *http.Response
+	got := make(chan error, 1)
+	go func() {
+		for i := 0; i < 100; i++ {
+			r, err := http.Get("http://" + addr + "/slow")
+			if err == nil {
+				resp = r
+				got <- nil
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		got <- errors.New("server never came up")
+	}()
+	select {
+	case <-inHandler:
+	case err := <-got:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached handler")
+	}
+
+	// Trigger shutdown while the request is in flight, then release it.
+	cancel()
+	time.Sleep(50 * time.Millisecond) // let Shutdown begin waiting
+	close(release)
+
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "done" {
+		t.Fatalf("in-flight request body = %q, want it to complete", body)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after shutdown")
+	}
+	if !drained {
+		t.Fatal("drain hook did not run")
+	}
+}
+
+func TestServeListenError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Binding the same port again must fail fast, not hang.
+	srv := NewServer(ln.Addr().String(), http.NewServeMux())
+	if err := Serve(context.Background(), srv, time.Second, nil); err == nil {
+		t.Fatal("Serve on an occupied port returned nil")
+	}
+}
+
+func TestDecodeJSON(t *testing.T) {
+	type doc struct {
+		Name string `json:"name"`
+	}
+	cases := []struct {
+		name    string
+		body    string
+		max     int64
+		wantErr error
+	}{
+		{"valid", `{"name":"ok"}`, 0, nil},
+		{"malformed", `{oops`, 0, ErrBadBody},
+		{"unknown field", `{"name":"ok","extra":1}`, 0, ErrBadBody},
+		{"trailing data", `{"name":"ok"}{"name":"again"}`, 0, ErrBadBody},
+		{"wrong type", `{"name":42}`, 0, ErrBadBody},
+		{"too large", `{"name":"` + strings.Repeat("x", 256) + `"}`, 64, ErrBodyTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest("POST", "/", strings.NewReader(tc.body))
+			var v doc
+			err := DecodeJSON(httptest.NewRecorder(), req, tc.max, &v)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("DecodeJSON: %v", err)
+				}
+				if v.Name != "ok" {
+					t.Fatalf("decoded %+v", v)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("DecodeJSON err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestWriteDecodeErrStatus(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteDecodeErr(rec, fmt.Errorf("wrap: %w", ErrBodyTooLarge))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("too-large status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	WriteDecodeErr(rec, fmt.Errorf("wrap: %w", ErrBadBody))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad-body status = %d", rec.Code)
+	}
+}
+
+func TestTeamLimiterRate(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewTeamLimiter(LimitConfig{
+		Rate: 1, Burst: 2, MaxInflight: -1,
+		Now: func() time.Time { return now },
+	})
+
+	for i := 0; i < 2; i++ {
+		release, err := l.Admit("Transport")
+		if err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+		release()
+	}
+	if _, err := l.Admit("Transport"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-burst err = %v, want ErrRateLimited", err)
+	}
+	// Another team has its own bucket.
+	if _, err := l.Admit("Networking"); err != nil {
+		t.Fatalf("other team: %v", err)
+	}
+	// A second of refill buys Transport one more token.
+	now = now.Add(time.Second)
+	if _, err := l.Admit("Transport"); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if l.RetryAfter() < 1 {
+		t.Fatalf("RetryAfter = %d", l.RetryAfter())
+	}
+
+	stats := l.Stats()
+	if len(stats) != 2 || stats[0].Team != "Networking" || stats[1].Team != "Transport" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[1].Accepted != 3 || stats[1].RejectedRate != 1 {
+		t.Fatalf("transport stats = %+v", stats[1])
+	}
+}
+
+func TestTeamLimiterInflightBound(t *testing.T) {
+	l := NewTeamLimiter(LimitConfig{Rate: 1000, Burst: 1000, MaxInflight: 2})
+
+	r1, err := l.Admit("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Admit("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Inflight() != 2 {
+		t.Fatalf("inflight = %d", l.Inflight())
+	}
+	if _, err := l.Admit("C"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("at bound err = %v, want ErrOverloaded", err)
+	}
+
+	// Releasing frees a slot; double release must not free two.
+	r1()
+	r1()
+	if l.Inflight() != 1 {
+		t.Fatalf("inflight after release = %d", l.Inflight())
+	}
+	r3, err := l.Admit("C")
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r3()
+	r2()
+	if l.Inflight() != 0 {
+		t.Fatalf("inflight at end = %d", l.Inflight())
+	}
+}
+
+func TestTeamLimiterBudgetDerivedBound(t *testing.T) {
+	l := NewTeamLimiter(LimitConfig{})
+	if b := l.MaxInflightBound(); b < 2 {
+		t.Fatalf("budget-derived bound = %d, want >= 2", b)
+	}
+}

@@ -1,0 +1,180 @@
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Admission failure classes, separated so the submit endpoint maps them
+// to 429 (client should slow down) vs 503 (server is saturated or
+// draining) with errors.Is.
+var (
+	// ErrRateLimited reports that the team's token bucket is empty.
+	ErrRateLimited = errors.New("team rate limit exceeded")
+	// ErrOverloaded reports that the in-flight bound — drawn from the
+	// shared worker budget — is reached.
+	ErrOverloaded = errors.New("serving capacity exhausted")
+)
+
+// LimitConfig parameterizes a TeamLimiter.
+type LimitConfig struct {
+	// Rate is the sustained per-team admission rate in incidents/second.
+	// Default 5.
+	Rate float64
+	// Burst is the per-team token-bucket depth. Default 10.
+	Burst float64
+	// MaxInflight bounds incidents admitted but not yet completed across
+	// all teams. 0 derives the bound from the shared internal/parallel
+	// worker budget (Configured()+1 pipeline workers, ×2 so a queue's
+	// worth of work is ready when a worker frees up) — admission tracks
+	// the budget even as AutoTune resizes it. Negative disables the
+	// bound.
+	MaxInflight int
+	// Now overrides the bucket clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+func (c LimitConfig) withDefaults() LimitConfig {
+	if c.Rate <= 0 {
+		c.Rate = 5
+	}
+	if c.Burst <= 0 {
+		c.Burst = 10
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// TeamLimiter is per-team admission control for the incident-serving
+// daemon: each team spends from its own token bucket (sustained Rate,
+// depth Burst), and total admitted-but-unfinished incidents are bounded
+// by the shared internal/parallel worker budget — the same budget the
+// pipeline's workers draw from, so admission and processing capacity
+// cannot drift apart. Safe for concurrent use.
+type TeamLimiter struct {
+	cfg LimitConfig
+
+	mu       sync.Mutex
+	teams    map[string]*teamState
+	inflight int
+}
+
+// teamState is one team's bucket plus its accounting.
+type teamState struct {
+	tokens float64
+	last   time.Time
+
+	accepted     uint64
+	rejectedRate uint64
+	rejectedLoad uint64
+}
+
+// TeamStats is one team's admission accounting snapshot.
+type TeamStats struct {
+	Team         string  `json:"team"`
+	Accepted     uint64  `json:"accepted"`
+	RejectedRate uint64  `json:"rejectedRate"`
+	RejectedLoad uint64  `json:"rejectedLoad"`
+	Tokens       float64 `json:"tokens"`
+}
+
+// NewTeamLimiter builds a limiter from cfg (zero value: defaults).
+func NewTeamLimiter(cfg LimitConfig) *TeamLimiter {
+	return &TeamLimiter{cfg: cfg.withDefaults(), teams: make(map[string]*teamState)}
+}
+
+// maxInflight resolves the in-flight bound at admission time, so a
+// SetLimit/AutoTune resize is reflected immediately.
+func (l *TeamLimiter) maxInflight() int {
+	if l.cfg.MaxInflight != 0 {
+		return l.cfg.MaxInflight
+	}
+	return 2 * (parallel.Configured() + 1)
+}
+
+// Admit charges one incident to the team. On success it returns a release
+// function the caller MUST invoke when the incident completes (or is
+// rejected downstream), freeing its in-flight slot. On failure it returns
+// a wrapped ErrRateLimited — with the wait the client should back off,
+// retrievable via RetryAfter — or ErrOverloaded.
+func (l *TeamLimiter) Admit(team string) (release func(), err error) {
+	now := l.cfg.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	ts := l.teams[team]
+	if ts == nil {
+		ts = &teamState{tokens: l.cfg.Burst, last: now}
+		l.teams[team] = ts
+	}
+	// Refill since last touch, capped at the burst depth.
+	ts.tokens = math.Min(l.cfg.Burst, ts.tokens+now.Sub(ts.last).Seconds()*l.cfg.Rate)
+	ts.last = now
+
+	if ts.tokens < 1 {
+		ts.rejectedRate++
+		wait := time.Duration((1 - ts.tokens) / l.cfg.Rate * float64(time.Second))
+		return nil, fmt.Errorf("%w: team %s, retry in %s", ErrRateLimited, team, wait.Round(time.Millisecond))
+	}
+	if m := l.maxInflight(); m > 0 && l.inflight >= m {
+		ts.rejectedLoad++
+		return nil, fmt.Errorf("%w: %d incidents in flight (budget-derived bound %d)", ErrOverloaded, l.inflight, m)
+	}
+	ts.tokens--
+	ts.accepted++
+	l.inflight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.inflight--
+			l.mu.Unlock()
+		})
+	}, nil
+}
+
+// RetryAfter extracts the whole-second backoff hint for a rate-limit
+// rejection: at the configured rate, one token is 1/Rate seconds away at
+// most. Returned in whole seconds (minimum 1) for the Retry-After header.
+func (l *TeamLimiter) RetryAfter() int {
+	s := int(math.Ceil(1 / l.cfg.Rate))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Inflight returns how many admitted incidents have not yet released.
+func (l *TeamLimiter) Inflight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// MaxInflightBound returns the currently effective in-flight bound (<= 0
+// means unbounded).
+func (l *TeamLimiter) MaxInflightBound() int { return l.maxInflight() }
+
+// Stats snapshots per-team admission accounting, sorted by team.
+func (l *TeamLimiter) Stats() []TeamStats {
+	l.mu.Lock()
+	out := make([]TeamStats, 0, len(l.teams))
+	for team, ts := range l.teams {
+		out = append(out, TeamStats{
+			Team: team, Accepted: ts.accepted,
+			RejectedRate: ts.rejectedRate, RejectedLoad: ts.rejectedLoad,
+			Tokens: ts.tokens,
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Team < out[j].Team })
+	return out
+}

@@ -79,6 +79,12 @@ func DefaultLimit() int { return runtime.GOMAXPROCS(0) - 1 }
 // process-wide.
 func Limit() int { return int(budget.Load()) }
 
+// Configured returns the process-wide extra-worker limit the pool refills
+// to as grants return — SetLimit's last value (or the startup default) —
+// independent of outstanding reservations. Admission controllers size
+// against this rather than Limit, whose value dips as work is in flight.
+func Configured() int { return int(configured.Load()) }
+
 // SetLimit resets the process-wide extra-worker budget and returns the
 // previous configured value. The default (GOMAXPROCS−1) is right for the
 // CPU-bound simulated substrates; deployments whose LLM and telemetry

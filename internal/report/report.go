@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/feedback"
 	"repro/internal/handler"
 	"repro/internal/incident"
 )
@@ -134,6 +135,42 @@ func RenderLearnFailure(incidentID, reviewer string, learnErr error, at time.Tim
 	b.WriteString("\n\n")
 	fmt.Fprintf(&b, "Resubmit your verdict to %s once the fault clears:\n", opts.FeedbackAddress)
 	fmt.Fprintf(&b, "    confirm %s\n", incidentID)
+	return b.String()
+}
+
+// RenderRetryQueue renders the feedback loop's self-heal schedule: every
+// unresolved learn failure with its attempt count and next redrive time —
+// the dashboard view that sits next to the Failure list, so an OCE sees
+// not just that a learn is failing but when the system will try again (or
+// that it has given up and needs a resubmitted verdict). now anchors the
+// "due in" column; pass the loop's clock reading.
+func RenderRetryQueue(now time.Time, items []feedback.RetryItem, opts Options) string {
+	opts = opts.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "LEARN RETRY QUEUE  %s\n", now.Format("2006-01-02 15:04 MST"))
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", 72))
+	if len(items) == 0 {
+		b.WriteString("  (no unresolved learn failures)\n")
+		return b.String()
+	}
+	for _, it := range items {
+		fmt.Fprintf(&b, "%s  reviewer=%s  attempts=%d\n", it.IncidentID, it.Reviewer, it.Attempts)
+		switch {
+		case it.Exhausted:
+			fmt.Fprintf(&b, "  EXHAUSTED — resubmit the verdict to %s to requeue\n", opts.FeedbackAddress)
+		case it.NextDue.IsZero():
+			b.WriteString("  not scheduled (retry queue off)\n")
+		case it.NextDue.After(now):
+			fmt.Fprintf(&b, "  next redrive %s (in %s)\n",
+				it.NextDue.Format("2006-01-02 15:04:05 MST"), it.NextDue.Sub(now).Round(time.Second))
+		default:
+			fmt.Fprintf(&b, "  next redrive %s (due now)\n", it.NextDue.Format("2006-01-02 15:04:05 MST"))
+		}
+		if it.Err != nil {
+			b.WriteString(indentWrap("error: "+it.Err.Error(), 66, "  "))
+			b.WriteString("\n")
+		}
+	}
 	return b.String()
 }
 

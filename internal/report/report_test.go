@@ -1,10 +1,12 @@
 package report
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/feedback"
 	"repro/internal/handler"
 	"repro/internal/incident"
 )
@@ -116,5 +118,45 @@ func TestParseFeedbackCommand(t *testing.T) {
 		if _, _, _, err := ParseFeedbackCommand(bad); err == nil {
 			t.Errorf("ParseFeedbackCommand(%q) should fail", bad)
 		}
+	}
+}
+
+func TestRenderRetryQueue(t *testing.T) {
+	now := time.Date(2022, 11, 21, 12, 0, 0, 0, time.UTC)
+	items := []feedback.RetryItem{
+		{
+			IncidentID: "INC-1", Reviewer: "oce-a", Attempts: 2,
+			NextDue: now.Add(90 * time.Second),
+			Err:     errors.New("embedder unavailable"),
+			At:      now.Add(-time.Minute),
+		},
+		{
+			IncidentID: "INC-2", Reviewer: "oce-b", Attempts: 8, Exhausted: true,
+			Err: errors.New("dimension mismatch"), At: now.Add(-time.Hour),
+		},
+		{
+			IncidentID: "INC-3", Reviewer: "oce-c", Attempts: 1,
+			NextDue: now.Add(-time.Second), At: now.Add(-time.Minute),
+		},
+		{IncidentID: "INC-4", Reviewer: "oce-d", At: now},
+	}
+	out := RenderRetryQueue(now, items, Options{})
+	for _, want := range []string{
+		"LEARN RETRY QUEUE",
+		"INC-1  reviewer=oce-a  attempts=2",
+		"next redrive 2022-11-21 12:01:30 UTC (in 1m30s)",
+		"error: embedder unavailable",
+		"EXHAUSTED — resubmit the verdict",
+		"(due now)",
+		"not scheduled (retry queue off)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	empty := RenderRetryQueue(now, nil, Options{})
+	if !strings.Contains(empty, "no unresolved learn failures") {
+		t.Fatalf("empty rendering:\n%s", empty)
 	}
 }

@@ -117,6 +117,11 @@ type Tuner struct {
 
 	mu     sync.Mutex
 	window []float64
+	// recallSum/recallN accumulate every recall sample ever observed —
+	// shadow comparisons plus free exact-fallback samples — for the
+	// ObservedRecall metrics export.
+	recallSum float64
+	recallN   int
 	// lastBad is the highest probe count recently observed missing the
 	// target — the shrink path never steps back onto it, which is the
 	// hysteresis that stops grow/shrink oscillation. Reset when a retrain
@@ -173,6 +178,20 @@ func (t *Tuner) Retrains() int { return int(t.retrains.Load()) }
 // Paused reports whether a manual SetProbes has overridden the
 // controller.
 func (t *Tuner) Paused() bool { return t.paused.Load() }
+
+// ObservedRecall returns the mean recall@k across every sample the
+// controller has observed — shadow comparisons plus the free recall=1
+// samples exact-fallback queries feed — and the sample count. (0, 0)
+// before any sample arrives. This is the shadow-recall figure a serving
+// dashboard puts next to the probe budget.
+func (t *Tuner) ObservedRecall() (mean float64, samples int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.recallN == 0 {
+		return 0, 0
+	}
+	return t.recallSum / float64(t.recallN), t.recallN
+}
 
 // observeQuery is the per-query hook TopK/TopKDiverse call on the serving
 // path (never mid-rebalance). probed reports whether the result came from
@@ -240,6 +259,8 @@ func (t *Tuner) observeQuery(query []float64, qt time.Time, k int, alpha float64
 // → shrink one probe, but never back onto a budget recently seen failing.
 func (t *Tuner) observe(recall float64) {
 	t.mu.Lock()
+	t.recallSum += recall
+	t.recallN++
 	t.window = append(t.window, recall)
 	if len(t.window) < t.cfg.Window {
 		t.mu.Unlock()

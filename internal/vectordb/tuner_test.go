@@ -471,3 +471,56 @@ func TestProbeAutoTuneProperty(t *testing.T) {
 		queryGrid(t, name+" override-exact", flat, sh, seed, n, dim)
 	}
 }
+
+// TestObservedRecall: the tuner must report the running mean of every
+// shadow-measured recall sample — the /metrics recall gauge — across
+// window resets, and (0, 0) before any shadow lands.
+func TestObservedRecall(t *testing.T) {
+	sh := NewSharded(2, 4, nil)
+	tn, err := sh.EnableAdaptive(AutoConfig{RecallTarget: 0.9, ShadowRate: 1, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean, n := tn.ObservedRecall(); mean != 0 || n != 0 {
+		t.Fatalf("ObservedRecall before samples = %v, %d", mean, n)
+	}
+	// Feed samples straight into the controller; the mean must span
+	// window boundaries (Window=2), not reset with them.
+	for _, r := range []float64{1, 0.5, 0.5, 1} {
+		tn.observe(r)
+	}
+	mean, n := tn.ObservedRecall()
+	if n != 4 {
+		t.Fatalf("samples = %d, want 4", n)
+	}
+	if mean != 0.75 {
+		t.Fatalf("mean = %v, want 0.75", mean)
+	}
+}
+
+// TestObservedRecallFromLiveShadows: end to end through TopK — with
+// ShadowRate 1 every probed query is shadowed, so samples accumulate and
+// the mean lands in [0, 1].
+func TestObservedRecallFromLiveShadows(t *testing.T) {
+	_, sh, q := twoBlobStore(t)
+	tn, err := sh.EnableAdaptive(AutoConfig{RecallTarget: 0.5, ShadowRate: 1, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := sh.TopK(q, time.Time{}, 8, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn.Quiesce()
+	mean, n := tn.ObservedRecall()
+	if n == 0 {
+		t.Fatal("no recall samples after shadowed queries")
+	}
+	if mean < 0 || mean > 1 {
+		t.Fatalf("mean recall = %v", mean)
+	}
+	if tn.Shadows() != n {
+		t.Fatalf("Shadows() = %d, samples = %d", tn.Shadows(), n)
+	}
+}

@@ -57,6 +57,7 @@ package rcacopilot
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -70,6 +71,7 @@ import (
 	"repro/internal/prompt"
 	"repro/internal/report"
 	"repro/internal/transport"
+	"repro/internal/vectordb"
 )
 
 // Re-exported core types, so library users work entirely through this
@@ -115,6 +117,12 @@ type (
 	Verdict = feedback.Verdict
 	// ReportOptions tune incident-notification rendering.
 	ReportOptions = report.Options
+	// Retrieved is one vector-DB retrieval hit: the stored historical
+	// incident with its distance and temporal-decay similarity.
+	Retrieved = vectordb.Scored
+	// RetryItem is one unresolved learn failure's self-heal schedule entry
+	// (see FeedbackLoop.RetrySchedule).
+	RetryItem = feedback.RetryItem
 )
 
 // Feedback verdicts.
@@ -383,6 +391,24 @@ func (s *System) Feedback() *FeedbackLoop {
 		}
 	})
 	return s.loop
+}
+
+// Retrieve embeds free text and returns the k nearest historical
+// incidents under temporal-decay similarity anchored at the fleet's
+// current virtual time — the read API behind the serving daemon's
+// /api/retrieve endpoint. diverse applies the category-diversity
+// constraint Predict uses for its demonstrations; k <= 0 uses the
+// configured K.
+func (s *System) Retrieve(text string, k int, diverse bool) ([]Retrieved, error) {
+	return s.copilot.Retrieve(text, s.fleet.Clock().Now(), k, diverse)
+}
+
+// RenderRetryQueue renders the feedback loop's learn-failure self-heal
+// schedule — per-incident attempt counts and next redrive times — next to
+// which a dashboard shows the Failures list. The rendering is anchored at
+// the wall clock the retry queue itself runs on.
+func (s *System) RenderRetryQueue(opts ReportOptions) string {
+	return report.RenderRetryQueue(time.Now(), s.Feedback().RetrySchedule(), opts)
 }
 
 // RenderReport produces the plain-text incident notification for a handled

@@ -225,3 +225,91 @@ func TestSeverityAliasesUsable(t *testing.T) {
 		t.Fatal("severity String broken through alias")
 	}
 }
+
+// TestSystemRetrieve: the serving daemon's read API — free text in,
+// nearest historical incidents out, anchored at the fleet's virtual now.
+func TestSystemRetrieve(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Untrained: no embedder yet.
+	if _, err := sys.Retrieve("delivery queue stuck", 3, false); err == nil {
+		t.Fatal("Retrieve before TrainEmbedding must fail")
+	}
+
+	history := c.Incidents[:100]
+	if err := sys.TrainEmbedding(history); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trained but empty store: no hits, no error.
+	hits, err := sys.Retrieve("delivery queue stuck", 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("hits from empty store: %d", len(hits))
+	}
+
+	if err := sys.AddHistory(history); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Retrieve("   ", 3, false); err == nil {
+		t.Fatal("blank query must fail")
+	}
+
+	query := history[10].DiagnosticText()
+	hits, err = sys.Retrieve(query, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 {
+		t.Fatalf("hits = %d, want 3", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Similarity > hits[i-1].Similarity {
+			t.Fatalf("hits not ordered by similarity: %v then %v",
+				hits[i-1].Similarity, hits[i].Similarity)
+		}
+	}
+
+	// k <= 0 falls back to the configured K.
+	hits, err = sys.Retrieve(query, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("default-k hits = %d, want K=5", len(hits))
+	}
+
+	// Diverse retrieval returns distinct categories.
+	hits, err = sys.Retrieve(query, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Category]bool{}
+	for _, h := range hits {
+		if seen[h.Entry.Category] {
+			t.Fatalf("diverse retrieval repeated category %s", h.Entry.Category)
+		}
+		seen[h.Entry.Category] = true
+	}
+}
+
+// TestRenderRetryQueueThroughSystem: the System-level wrapper renders the
+// feedback loop's live schedule.
+func TestRenderRetryQueueThroughSystem(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sys.RenderRetryQueue(ReportOptions{})
+	if !strings.Contains(out, "LEARN RETRY QUEUE") ||
+		!strings.Contains(out, "no unresolved learn failures") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

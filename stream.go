@@ -40,6 +40,12 @@ type StreamResult struct {
 // Each incident's outcome is identical to what HandleIncident would produce
 // for it: per-incident errors arrive as StreamResult.Err instead of
 // terminating the stream.
+//
+// HandleStream is the engine behind cmd/rcacopilotd's incident-serving
+// endpoints: the daemon feeds POST /api/incidents submissions into in,
+// fans results out to SSE subscribers, and drains by closing in — the
+// returned channel's close is the signal that every in-flight incident
+// has been emitted, which is what makes a graceful SIGTERM drain lossless.
 func (s *System) HandleStream(ctx context.Context, in <-chan *Incident) <-chan StreamResult {
 	if ctx == nil {
 		ctx = context.Background()
