@@ -11,6 +11,7 @@
 //	experiments -shards 8 -partitioner ivf -probes 2  # approximate serving
 //	experiments -shards 8 -partitioner ivf -recall-target 0.95  # adaptive probe budget
 //	experiments -shards 8 -partitioner ivf -retrain-skew 1.5    # skew-triggered retrain
+//	experiments -shards 8 -partitioner ivf -probes 2 -quantized  # int8 two-stage scan
 //	experiments -parallel-budget 16 # pin the worker budget explicitly
 //	experiments -auto-limit         # latency-driven worker budget
 //
@@ -49,6 +50,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/parallel"
+	"repro/internal/vectordb"
 )
 
 func main() {
@@ -56,12 +58,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus and model seed")
 	teamsN := flag.Int("team-incidents", 20, "incidents per team for table4")
 	workers := flag.Int("workers", 0, "worker-pool size; 0 = one per CPU, 1 = sequential")
-	shards := flag.Int("shards", 0, "vector-index shard count; 0 or 1 = flat exact store")
+	shards := flag.Int("shards", 0, "vector-index shard count; 0 = one per CPU, 1 = flat exact store")
 	partitioner := flag.String("partitioner", "", "shard routing: category (default) or ivf")
 	probes := flag.Int("probes", 0, "IVF partitions searched per query (approximate); 0 = exact fan-out")
 	recallTarget := flag.Float64("recall-target", 0, "recall-SLO auto-tuner target in (0,1]; replaces -probes with a controller-owned budget")
 	shadowRate := flag.Float64("shadow-rate", 0, "fraction of queries the auto-tuner shadows exactly; 0 = default 0.05")
 	retrainSkew := flag.Float64("retrain-skew", 0, "auto-retrain the IVF quantizer once max/mean shard skew or centroid drift reaches this ratio (>= 1); 0 = off")
+	quantized := flag.Bool("quantized", false, "two-stage probe scan: int8 candidate collection + exact re-rank (requires probe-limited serving)")
+	overfetch := flag.Int("overfetch", 0, "quantized candidate pool per probed shard, K×overfetch; 0 = default 4")
 	parallelBudget := flag.Int("parallel-budget", -1, "pin the process-wide extra-worker budget; -1 = default/auto")
 	autoLimit := flag.Bool("auto-limit", false, "auto-size the worker budget from observed model-call latency")
 	flag.Parse()
@@ -93,6 +97,15 @@ func main() {
 	}
 	if *shadowRate > 0 && *recallTarget == 0 {
 		fatal(fmt.Errorf("-shadow-rate without -recall-target has nothing to tune"))
+	}
+	if *overfetch < 0 {
+		fatal(fmt.Errorf("-overfetch must be >= 0 (0 = default), got %d", *overfetch))
+	}
+	if *overfetch > 0 && !*quantized {
+		fatal(fmt.Errorf("-overfetch without -quantized has nothing to overfetch"))
+	}
+	if *quantized && *probes == 0 && *recallTarget == 0 {
+		fatal(fmt.Errorf("-quantized requires probe-limited serving (-probes > 0 or -recall-target > 0); exact fan-out never uses the int8 sidecar"))
 	}
 	if *parallelBudget >= 0 {
 		parallel.SetLimit(*parallelBudget)
@@ -126,6 +139,8 @@ func main() {
 		env.RecallTarget = *recallTarget
 		env.ShadowRate = *shadowRate
 		env.RetrainSkew = *retrainSkew
+		env.Quantized = *quantized
+		env.Overfetch = *overfetch
 		if *shards > 1 {
 			p := *partitioner
 			if p == "" {
@@ -140,6 +155,13 @@ func main() {
 			}
 			if *retrainSkew > 0 {
 				serving += fmt.Sprintf(", auto-retrain at skew %.2f", *retrainSkew)
+			}
+			if *quantized {
+				of := *overfetch
+				if of == 0 {
+					of = vectordb.DefaultOverfetch
+				}
+				serving += fmt.Sprintf(", int8 two-stage scan (overfetch %d)", of)
 			}
 			fmt.Printf("vector index: %d shards (%s routing, %s)\n", *shards, p, serving)
 		}

@@ -557,6 +557,14 @@ func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
 		retrieval["shards"] = sh.NumShards()
 		retrieval["probes"] = sh.Probes()
 		retrieval["rebalancing"] = sh.Rebalancing()
+		if sh.QuantizedEnabled() {
+			retrieval["quantized"] = map[string]any{
+				"enabled":   true,
+				"overfetch": sh.Overfetch(),
+				"scans":     sh.QuantizedScans(),
+				"rescales":  sh.Rescales(),
+			}
+		}
 		if t := sh.AdaptiveTuner(); t != nil {
 			mean, n := t.ObservedRecall()
 			retrieval["adaptive"] = map[string]any{

@@ -50,9 +50,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	days := flag.Int("days", 365, "simulated corpus span in days")
 	history := flag.Int("history", 300, "historical incidents to ingest at startup")
-	shards := flag.Int("shards", 0, "vector-store shards (0 = flat exact store)")
+	shards := flag.Int("shards", 0, "vector-store shards (0 = one per CPU, 1 = flat exact store)")
 	recall := flag.Float64("recall-target", 0, "adaptive probe serving recall SLO (0 disables; needs -shards > 1)")
 	retrainSkew := flag.Float64("retrain-skew", 0, "auto-retrain the IVF quantizer at this imbalance ratio (0 disables)")
+	quantized := flag.Bool("quantized", false, "two-stage probe scan: int8 candidate collection + exact re-rank (needs -recall-target)")
+	overfetch := flag.Int("overfetch", 0, "quantized candidate pool per probed shard, K×overfetch (0 = default 4)")
 	learnQueue := flag.Int("learn-queue", 64, "async feedback-learn queue depth (0 = learn inline)")
 	retry := flag.Bool("retry", true, "run the learn-failure retry queue")
 	rate := flag.Float64("rate", 5, "sustained per-team submissions/second")
@@ -64,6 +66,7 @@ func main() {
 	if err := run(config{
 		addr: *addr, model: *model, seed: *seed, days: *days, history: *history,
 		shards: *shards, recall: *recall, retrainSkew: *retrainSkew,
+		quantized: *quantized, overfetch: *overfetch,
 		learnQueue: *learnQueue, retry: *retry,
 		rate: *rate, burst: *burst, queue: *queue, grace: *grace,
 	}); err != nil {
@@ -79,6 +82,8 @@ type config struct {
 	days, history       int
 	shards              int
 	recall, retrainSkew float64
+	quantized           bool
+	overfetch           int
 	learnQueue          int
 	retry               bool
 	rate, burst         float64
@@ -101,6 +106,8 @@ func run(c config) error {
 		Shards:          c.shards,
 		RecallTarget:    c.recall,
 		RetrainSkew:     c.retrainSkew,
+		Quantized:       c.quantized,
+		Overfetch:       c.overfetch,
 		AsyncLearnQueue: c.learnQueue,
 	}
 	if c.recall > 0 || c.retrainSkew >= 1 {

@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -145,9 +146,10 @@ type Config struct {
 	// within the model context window (default 768 tokens).
 	PromptReserve int
 	// Shards partitions the vector store into this many shards with
-	// parallel query fan-out; 0 or 1 keeps the flat exact store. Results
-	// are bit-identical either way — sharding changes scaling, not
-	// retrieval semantics.
+	// parallel query fan-out. 0 (unset) defaults to runtime.NumCPU(), so a
+	// stock deployment scales with the machine; an explicit 1 keeps the
+	// flat exact store. Results are bit-identical either way — sharding
+	// changes scaling, not retrieval semantics.
 	Shards int
 	// Partitioner selects shard routing when Shards > 1:
 	// PartitionCategory (default) or PartitionIVF.
@@ -181,6 +183,21 @@ type Config struct {
 	// keep flowing). Requires Shards > 1 with Partitioner PartitionIVF.
 	// 0 disables.
 	RetrainSkew float64
+	// Quantized enables the two-stage quantized probe scan: probe-limited
+	// queries walk a per-shard int8 sidecar to collect K×Overfetch
+	// candidates, then re-rank exactly against the full-precision vectors.
+	// Requires probe-limited serving to be configured (Probes > 0 or
+	// RecallTarget > 0, with Shards > 1 and Partitioner PartitionIVF) —
+	// exact fan-out never touches the sidecar, so quantization without a
+	// probe budget would silently never engage. See
+	// vectordb.Sharded.EnableQuantized.
+	Quantized bool
+	// Overfetch scales the stage-one candidate pool: each probed shard
+	// contributes its K×Overfetch best quantized candidates to the exact
+	// re-rank. 0 defaults to vectordb.DefaultOverfetch; negative values
+	// are rejected, as is a nonzero Overfetch without Quantized. Only
+	// meaningful with Quantized.
+	Overfetch int
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +218,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Partitioner == "" {
 		c.Partitioner = PartitionCategory
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
 	}
 	return c
 }
@@ -270,6 +290,26 @@ func New(fleet *transport.Fleet, chat llm.Client, cfg Config) (*Copilot, error) 
 				PartitionIVF, cfg.Partitioner)
 		}
 	}
+	if cfg.Overfetch < 0 {
+		return nil, fmt.Errorf("core: negative Overfetch %d (use 0 for the default)", cfg.Overfetch)
+	}
+	if cfg.Overfetch > 0 && !cfg.Quantized {
+		return nil, fmt.Errorf("core: Overfetch=%d without Quantized (nothing to overfetch)", cfg.Overfetch)
+	}
+	if cfg.Quantized {
+		// The int8 sidecar only serves probe-limited queries: without a
+		// probe budget (static or SLO-owned) the flag would silently never
+		// engage, masking a misconfiguration.
+		if cfg.Probes == 0 && cfg.RecallTarget == 0 {
+			return nil, fmt.Errorf("core: Quantized requires probe-limited serving (Probes > 0 or RecallTarget > 0); exact fan-out never uses the sidecar")
+		}
+		if cfg.Shards <= 1 {
+			return nil, fmt.Errorf("core: Quantized requires a sharded vector store (Shards > 1)")
+		}
+		if cfg.Partitioner != PartitionIVF {
+			return nil, fmt.Errorf("core: Quantized requires Partitioner=%q (got %q)", PartitionIVF, cfg.Partitioner)
+		}
+	}
 	c := &Copilot{
 		cfg:      cfg,
 		fleet:    fleet,
@@ -325,6 +365,8 @@ func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 		RecallTarget: c.cfg.RecallTarget,
 		ShadowRate:   c.cfg.ShadowRate,
 		RetrainSkew:  c.cfg.RetrainSkew,
+		Quantized:    c.cfg.Quantized,
+		Overfetch:    c.cfg.Overfetch,
 	})
 	return dropped
 }

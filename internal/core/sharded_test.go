@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/incident"
@@ -13,12 +14,12 @@ import (
 // equivalence contract.
 func TestShardedCopilotMatchesFlat(t *testing.T) {
 	e := getEnv(t)
-	flat := newCopilot(t, Config{})
+	flat := newCopilot(t, Config{Shards: 1})
 	sharded := newCopilot(t, Config{Shards: 7})
 	ivf := newCopilot(t, Config{Shards: 5, Partitioner: PartitionIVF})
 
 	if _, ok := flat.Index().(*vectordb.DB); !ok {
-		t.Fatalf("default index is %T, want flat", flat.Index())
+		t.Fatalf("Shards=1 index is %T, want flat", flat.Index())
 	}
 	if _, ok := sharded.Index().(*vectordb.Sharded); !ok {
 		t.Fatalf("Shards=7 index is %T, want sharded", sharded.Index())
@@ -108,7 +109,7 @@ func TestProbeConfigValidation(t *testing.T) {
 	if _, err := New(e.corpus.Fleet, chat, Config{Shards: 4, Probes: -1}); err == nil {
 		t.Fatal("negative probes must fail")
 	}
-	if _, err := New(e.corpus.Fleet, chat, Config{Probes: 2}); err == nil {
+	if _, err := New(e.corpus.Fleet, chat, Config{Shards: 1, Probes: 2}); err == nil {
 		t.Fatal("probes without shards must fail")
 	}
 	if _, err := New(e.corpus.Fleet, chat, Config{Shards: 4, Probes: 2}); err == nil {
@@ -139,7 +140,7 @@ func TestAdaptiveConfigValidation(t *testing.T) {
 		{Shards: 4, Partitioner: PartitionIVF, ShadowRate: 0.5},
 		{Shards: 4, Partitioner: PartitionIVF, RetrainSkew: 0.5},
 		{Shards: 4, Partitioner: PartitionIVF, RecallTarget: 0.9, Probes: 2},
-		{RecallTarget: 0.9},
+		{Shards: 1, RecallTarget: 0.9},
 		{Shards: 4, RecallTarget: 0.9},
 		{Shards: 4, RetrainSkew: 1.5},
 	}
@@ -222,5 +223,62 @@ func TestProbeCopilotPredicts(t *testing.T) {
 	}
 	if res.Category == "" {
 		t.Fatal("probe-limited Predict returned no category")
+	}
+}
+
+// TestShardsDefaultToNumCPU pins the Shards default: an unset Shards scales
+// the store to the machine (runtime.NumCPU()), while an explicit Shards: 1
+// still selects the flat exact DB — the opt-out is one knob, not a magic
+// zero.
+func TestShardsDefaultToNumCPU(t *testing.T) {
+	def := newCopilot(t, Config{})
+	if got, want := def.Config().Shards, runtime.NumCPU(); got != want {
+		t.Fatalf("default Shards = %d, want runtime.NumCPU() = %d", got, want)
+	}
+	if runtime.NumCPU() > 1 {
+		if _, ok := def.Index().(*vectordb.Sharded); !ok {
+			t.Fatalf("default index on a %d-CPU machine is %T, want sharded", runtime.NumCPU(), def.Index())
+		}
+	}
+	flat := newCopilot(t, Config{Shards: 1})
+	if _, ok := flat.Index().(*vectordb.DB); !ok {
+		t.Fatalf("Shards=1 index is %T, want flat *vectordb.DB", flat.Index())
+	}
+}
+
+// TestQuantizedConfigValidation covers the two-stage quantization knobs'
+// config surface: quantization without probe-limited serving (or without
+// the IVF sharded store), negative overfetch, and overfetch without
+// quantization are rejected; a valid config reaches the index with the
+// sidecar enabled and the overfetch factor applied.
+func TestQuantizedConfigValidation(t *testing.T) {
+	e := getEnv(t)
+	chat := newCopilot(t, Config{}).Chat()
+	bad := []Config{
+		{Shards: 4, Partitioner: PartitionIVF, Quantized: true},
+		{Shards: 1, Probes: 0, Quantized: true},
+		{Shards: 4, Partitioner: PartitionIVF, Probes: 2, Overfetch: -1},
+		{Shards: 4, Partitioner: PartitionIVF, Probes: 2, Overfetch: 8},
+		{Shards: 4, Probes: 2, Quantized: true},
+	}
+	for i, cfg := range bad {
+		if _, err := New(e.corpus.Fleet, chat, cfg); err == nil {
+			t.Fatalf("case %d: config %+v must be rejected", i, cfg)
+		}
+	}
+	c := newCopilot(t, Config{Shards: 4, Partitioner: PartitionIVF, Probes: 2, Quantized: true, Overfetch: 6})
+	s, ok := c.Index().(*vectordb.Sharded)
+	if !ok {
+		t.Fatalf("index is %T", c.Index())
+	}
+	if !s.QuantizedEnabled() {
+		t.Fatal("quantized config must enable the sidecar on the index")
+	}
+	if s.Overfetch() != 6 {
+		t.Fatalf("Overfetch = %d on the index, want 6", s.Overfetch())
+	}
+	// SLO-owned probe budget also counts as probe-limited serving.
+	if _, err := New(e.corpus.Fleet, chat, Config{Shards: 4, Partitioner: PartitionIVF, RecallTarget: 0.9, Quantized: true}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -57,7 +57,8 @@ func RunDesignAblation(e *Env) ([]AblationRow, error) {
 func runWithScale(e *Env, scale float64) (F1Scores, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
 	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
-		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew})
+		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew,
+		Quantized: e.Quantized, Overfetch: e.Overfetch})
 	if err != nil {
 		return F1Scores{}, err
 	}
@@ -76,7 +77,8 @@ func runWithScale(e *Env, scale float64) (F1Scores, error) {
 func runNoDiversity(e *Env) (F1Scores, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
 	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
-		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew})
+		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew,
+		Quantized: e.Quantized, Overfetch: e.Overfetch})
 	if err != nil {
 		return F1Scores{}, err
 	}

@@ -29,9 +29,10 @@ type Env struct {
 	Workers int
 
 	// Shards selects the sharded vector index for every pipeline the
-	// harness builds (0 or 1 = the flat exact store). Sharded retrieval is
-	// bit-identical to flat, so the Table-2/3/Fig-12 goldens reproduce on
-	// either index; only retrieval scaling changes.
+	// harness builds (0 = one shard per CPU, the core default; an explicit
+	// 1 = the flat exact store). Sharded retrieval is bit-identical to
+	// flat, so the Table-2/3/Fig-12 goldens reproduce on either index; only
+	// retrieval scaling changes.
 	Shards int
 	// Partitioner selects shard routing when Shards > 1 (see
 	// core.PartitionCategory / core.PartitionIVF; empty = category hash).
@@ -51,6 +52,15 @@ type Env struct {
 	// RetrainSkew enables skew-triggered IVF retraining (>= 1) on every
 	// pipeline the harness builds. 0 disables.
 	RetrainSkew float64
+	// Quantized enables the two-stage int8 probe scan (candidate collection
+	// on the quantized sidecar, exact re-rank at full precision) on every
+	// pipeline the harness builds. Requires probe-limited serving (Probes
+	// or RecallTarget) on the IVF sharded index.
+	Quantized bool
+	// Overfetch scales the quantized stage's candidate pool (K×Overfetch
+	// per probed shard; 0 = the vectordb default). Only meaningful with
+	// Quantized.
+	Overfetch int
 
 	ftOnce      sync.Once
 	ft          *fasttext.Model

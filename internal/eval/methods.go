@@ -309,6 +309,7 @@ func RunPipeline(e *Env, opts PipelineOptions) (*PipelineRun, error) {
 		K: opts.K, Alpha: opts.Alpha, Context: opts.Context,
 		Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
 		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew,
+		Quantized: e.Quantized, Overfetch: e.Overfetch,
 	})
 	if err != nil {
 		return nil, err

@@ -5,29 +5,37 @@ import (
 	"testing"
 )
 
-// FuzzProbeEquivalence cross-checks probe-limited serving against two
-// oracles on fuzzed (corpus seed, shard count, probe budget, query)
-// tuples:
+// FuzzProbeEquivalence cross-checks probe-limited serving — including the
+// two-stage quantized scan — against oracles on fuzzed (corpus seed,
+// shard count, probe budget, overfetch, query) tuples:
 //
 //   - when the store reports the exact fallback (probes = 0, budget
 //     covering every populated partition, ...), results must be
-//     bit-identical to the flat reference;
-//   - when probe mode engages, results must be bit-identical to a flat
-//     store built from exactly the probed partitions' entries — i.e.
-//     probe-limited search is exact search restricted to the selected
-//     partitions, never a third behaviour.
+//     bit-identical to the flat reference — quantization enabled or not,
+//     the int8 stage must never leak into exact fan-out;
+//   - when probe mode engages and k×overfetch covers every probed
+//     partition, the quantized two-stage results must be bit-identical to
+//     a flat store built from exactly the probed partitions' entries —
+//     candidate collection plus exact re-rank degenerates to exact search
+//     restricted to the selection;
+//   - when the candidate budget does NOT cover the probed partitions, the
+//     result is approximate but must stay sane: correct length, every hit
+//     from a probed partition with its exact (distance, similarity)
+//     re-ranked scores, in the standard retrieval order — and never a
+//     panic at any dim/overfetch/corpus shape.
 //
 // The seeds double as regression tests on every plain `go test` run; CI
 // additionally runs a short coverage-guided session (-fuzz).
 func FuzzProbeEquivalence(f *testing.F) {
-	f.Add(int64(1), uint8(4), uint8(1), 1.0, 2.0, 3.0, 4.0)
-	f.Add(int64(99), uint8(8), uint8(2), 10.0, 0.0, -3.0, 7.5)
-	f.Add(int64(7), uint8(2), uint8(0), 0.0, 0.0, 0.0, 0.0)
-	f.Add(int64(123), uint8(6), uint8(5), -2.0, 19.0, 4.0, 11.0)
-	f.Fuzz(func(t *testing.T, seed int64, shardsB, probesB uint8, qa, qb, qc, qd float64) {
+	f.Add(int64(1), uint8(4), uint8(1), uint8(200), 1.0, 2.0, 3.0, 4.0)
+	f.Add(int64(99), uint8(8), uint8(2), uint8(0), 10.0, 0.0, -3.0, 7.5)
+	f.Add(int64(7), uint8(2), uint8(0), uint8(3), 0.0, 0.0, 0.0, 0.0)
+	f.Add(int64(123), uint8(6), uint8(5), uint8(1), -2.0, 19.0, 4.0, 11.0)
+	f.Fuzz(func(t *testing.T, seed int64, shardsB, probesB, overB uint8, qa, qb, qc, qd float64) {
 		const n, dim, clusters, k = 60, 4, 3, 5
 		shards := 2 + int(shardsB%7)             // 2..8
 		probes := int(probesB % uint8(shards+2)) // 0..shards+1
+		overfetch := 1 + int(overB)              // 1..256: small starves the re-rank, large covers every shard
 		query := []float64{qa, qb, qc, qd}
 		for _, x := range query {
 			if math.IsNaN(x) || math.Abs(x) > 1e6 {
@@ -47,20 +55,32 @@ func FuzzProbeEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 		must(t, sh.SetProbes(probes))
+		if err := sh.EnableQuantized(overfetch); err != nil {
+			t.Fatal(err)
+		}
 
 		// Recover the partition selection the query will see (in-package
 		// white-box access; the store is quiescent, so this is the same
-		// selection TopK computes).
+		// selection TopK computes), and whether the candidate budget covers
+		// every probed partition.
 		sh.mu.RLock()
 		sel := sh.probeShards(sh.gen, query, qt, 0.3)
 		sh.mu.RUnlock()
+		covered := true
+		for _, probed := range sel {
+			if probed.length() > k*overfetch {
+				covered = false
+			}
+		}
 
 		oracle := flat
+		probedIDs := make(map[string]bool)
 		if sel != nil {
 			oracle = New(dim)
 			for _, probed := range sel {
 				for _, e := range probed.snapshot() {
 					must(t, oracle.Add(e))
+					probedIDs[e.ID] = true
 				}
 			}
 		}
@@ -69,20 +89,55 @@ func FuzzProbeEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := oracle.TopK(query, qt, k, 0.3)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sameScored(t, "TopK", got, want)
-
 		gotD, err := sh.TopKDiverse(query, qt, k, 0.3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantD, err := oracle.TopKDiverse(query, qt, k, 0.3)
+		if sel == nil || covered {
+			want, err := oracle.TopK(query, qt, k, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameScored(t, "TopK", got, want)
+			wantD, err := oracle.TopKDiverse(query, qt, k, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameScored(t, "TopKDiverse", gotD, wantD)
+			return
+		}
+
+		// Undercovered candidate budget: approximate within the selection.
+		// Length must match the restricted oracle's, every hit must come
+		// from a probed partition carrying its exact re-ranked scores, and
+		// the ordering must be the standard retrieval order.
+		want, err := oracle.TopK(query, qt, k, 0.3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sameScored(t, "TopKDiverse", gotD, wantD)
+		if len(got) != len(want) {
+			t.Fatalf("undercovered TopK returned %d results, oracle has %d", len(got), len(want))
+		}
+		for i, sc := range got {
+			if !probedIDs[sc.Entry.ID] {
+				t.Fatalf("rank %d entry %s is outside the probed partitions", i, sc.Entry.ID)
+			}
+			d, s := Similarity(query, qt, sc.Entry, 0.3)
+			if sc.Distance != d || sc.Similarity != s {
+				t.Fatalf("rank %d entry %s carries approximate scores (%v, %v), want exact (%v, %v)",
+					i, sc.Entry.ID, sc.Distance, sc.Similarity, d, s)
+			}
+			if i > 0 && ranksAfter(got[i-1], sc) {
+				t.Fatalf("results out of retrieval order at rank %d", i)
+			}
+		}
+		for i, sc := range gotD {
+			if !probedIDs[sc.Entry.ID] {
+				t.Fatalf("diverse rank %d entry %s is outside the probed partitions", i, sc.Entry.ID)
+			}
+			if i > 0 && ranksAfter(gotD[i-1], sc) {
+				t.Fatalf("diverse results out of retrieval order at rank %d", i)
+			}
+		}
 	})
 }

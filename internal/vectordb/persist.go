@@ -2,9 +2,11 @@ package vectordb
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // snapshot is the gob wire format, shared by every Index implementation:
@@ -18,14 +20,43 @@ type snapshot struct {
 	Entries []Entry
 }
 
+// tunerState is the versioned serving-state trailer Sharded.Save appends
+// after the snapshot on the same gob stream: the converged probe budget,
+// the controller's hysteresis floor and retrain clock, and the lifetime
+// recall aggregate — so a redeploy resumes at the converged SLO instead
+// of re-learning it from cold. The trailer is strictly additive to the
+// PR-0 wire format: a flat DB.Save file simply ends after the snapshot
+// (Load treats the clean EOF as "no trailer"), and DB.Load never reads
+// past the snapshot, so files round-trip freely across implementations
+// and versions.
+type tunerState struct {
+	Version     int
+	Probes      int
+	LastBad     int
+	LastRetrain time.Time
+	RecallSum   float64
+	RecallN     int
+}
+
+// tunerStateVersion is the current trailer version; Load accepts any
+// version >= 1 (gob ignores unknown future fields).
+const tunerStateVersion = 1
+
 // decodeSnapshot reads and fully validates a snapshot against the
 // receiving store's dimensionality BEFORE any store state changes, so a
 // mismatched or corrupt file is rejected with a descriptive error instead
 // of corrupting the store: the store keeps its previous contents on every
 // error path.
 func decodeSnapshot(r io.Reader, dim int) (snapshot, error) {
+	return decodeSnapshotFrom(gob.NewDecoder(r), dim)
+}
+
+// decodeSnapshotFrom is decodeSnapshot over a caller-owned decoder, so
+// Sharded.Load can keep reading the optional serving-state trailer from
+// the same gob stream.
+func decodeSnapshotFrom(dec *gob.Decoder, dim int) (snapshot, error) {
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := dec.Decode(&snap); err != nil {
 		return snapshot{}, fmt.Errorf("vectordb: load: %w", err)
 	}
 	if snap.Dim != dim {
@@ -84,13 +115,54 @@ func (db *DB) Load(r io.Reader) error {
 // flat DB writes, entries sorted by ID for determinism, so a sharded
 // deployment's history loads into a flat store and vice versa. Safe to
 // call mid-rebalance: the snapshot deduplicates entries that are briefly
-// visible in both generations.
+// visible in both generations. After the snapshot, Save appends the
+// versioned serving-state trailer (probe budget, tuner hysteresis and
+// retrain clock, lifetime recall aggregate); flat loaders never read that
+// far, so the wire format stays PR-0 compatible in both directions.
 func (s *Sharded) Save(w io.Writer) error {
 	snap := snapshot{Dim: s.dim, Entries: s.snapshotSortedByID()}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
 		return fmt.Errorf("vectordb: save: %w", err)
 	}
+	if err := enc.Encode(s.servingState()); err != nil {
+		return fmt.Errorf("vectordb: save: serving-state trailer: %w", err)
+	}
 	return nil
+}
+
+// servingState snapshots the persistable serving state: the effective
+// probe budget plus — when a tuner is installed — its hysteresis floor,
+// retrain clock, and lifetime recall aggregate.
+func (s *Sharded) servingState() tunerState {
+	st := tunerState{Version: tunerStateVersion, Probes: s.Probes()}
+	if t := s.tuner.Load(); t != nil {
+		t.mu.Lock()
+		st.LastBad = t.lastBad
+		st.LastRetrain = t.lastRetrain
+		st.RecallSum, st.RecallN = t.recallSum, t.recallN
+		t.mu.Unlock()
+	}
+	return st
+}
+
+// decodeTunerState reads the optional serving-state trailer following a
+// snapshot on the same gob stream. A clean EOF means a PR-0 file with no
+// trailer (nil, nil); a malformed trailer is an error so Load can reject
+// the file before touching store state.
+func decodeTunerState(dec *gob.Decoder) (*tunerState, error) {
+	var st tunerState
+	switch err := dec.Decode(&st); {
+	case errors.Is(err, io.EOF):
+		return nil, nil
+	case err != nil:
+		return nil, fmt.Errorf("vectordb: load: serving-state trailer: %w", err)
+	case st.Version < tunerStateVersion:
+		return nil, fmt.Errorf("vectordb: load: serving-state trailer version %d, want >= %d", st.Version, tunerStateVersion)
+	case st.Probes < 0:
+		return nil, fmt.Errorf("vectordb: load: serving-state trailer has negative probe budget %d", st.Probes)
+	}
+	return &st, nil
 }
 
 // Load replaces the sharded store contents with a snapshot written by any
@@ -99,8 +171,20 @@ func (s *Sharded) Save(w io.Writer) error {
 // serializes against rebalances and is the one remaining operation that
 // holds the store-wide lock exclusively for its full duration (a wholesale
 // content replacement has no incremental form worth having).
+//
+// A serving-state trailer (written by Sharded.Save) restores the saved
+// probe budget and rehydrates the tuner's hysteresis floor, retrain
+// clock, and recall aggregate — into the installed tuner if one exists,
+// or stashed for the next EnableAdaptive. Quantized sidecars are derived
+// state and are rebuilt from the loaded contents, never read from the
+// file.
 func (s *Sharded) Load(r io.Reader) error {
-	snap, err := decodeSnapshot(r, s.dim)
+	dec := gob.NewDecoder(r)
+	snap, err := decodeSnapshotFrom(dec, s.dim)
+	if err != nil {
+		return err
+	}
+	st, err := decodeTunerState(dec)
 	if err != nil {
 		return err
 	}
@@ -120,8 +204,23 @@ func (s *Sharded) Load(r io.Reader) error {
 		sh.add(e)
 		byID.Store(e.ID, sh)
 	}
+	if s.quantized.Load() {
+		for _, sh := range next.shard {
+			sh.quant = buildSidecar(sh.dim, sh.entries, sh.vecs)
+		}
+	}
 	s.gen, s.old, s.byID = next, nil, byID
 	s.count.Store(int64(len(snap.Entries)))
 	s.epoch.Add(2)
+	if st != nil {
+		s.probes.Store(int64(st.Probes))
+		if t := s.tuner.Load(); t != nil {
+			t.restore(*st)
+		} else {
+			// No controller yet: stash for the next EnableAdaptive, which
+			// consumes it exactly once.
+			s.savedState.Store(st)
+		}
+	}
 	return nil
 }

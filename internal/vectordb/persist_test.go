@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -180,5 +181,183 @@ func TestCountByCategory(t *testing.T) {
 	counts := db.CountByCategory()
 	if counts["X"] != 2 || counts["Y"] != 1 {
 		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// TestServingStateRoundTrip covers the serving-state trailer Sharded.Save
+// appends: the converged probe budget and the tuner's hysteresis floor,
+// retrain clock, and lifetime recall aggregate must survive a redeploy —
+// whether the controller is installed before or after the Load.
+func TestServingStateRoundTrip(t *testing.T) {
+	const dim, shards = 4, 5
+
+	build := func() *Sharded {
+		sh := NewSharded(dim, shards, nil)
+		fillIndex(t, sh, 31, 80, dim, 4)
+		must(t, sh.TrainIVF(0))
+		return sh
+	}
+
+	t.Run("probes-only", func(t *testing.T) {
+		src := build()
+		must(t, src.SetProbes(3))
+		var buf bytes.Buffer
+		if err := src.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dst := NewSharded(dim, shards, nil)
+		if err := dst.Load(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if dst.Probes() != 3 {
+			t.Fatalf("probe budget after load = %d, want 3", dst.Probes())
+		}
+	})
+
+	retrainAt := time.Date(2022, 5, 20, 10, 0, 0, 0, time.UTC)
+	saveConverged := func(t *testing.T) []byte {
+		src := build()
+		tn, err := src.EnableAdaptive(AutoConfig{RecallTarget: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stand in for a converged controller: budget 4, budget 2 recently
+		// observed missing the SLO, a retrain on the clock, 7 recall samples.
+		tn.mu.Lock()
+		tn.lastBad = 2
+		tn.lastRetrain = retrainAt
+		tn.recallSum, tn.recallN = 6.3, 7
+		tn.mu.Unlock()
+		tn.pinProbes(4)
+		var buf bytes.Buffer
+		if err := src.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	checkRestored := func(t *testing.T, dst *Sharded, tn *Tuner) {
+		t.Helper()
+		if dst.Probes() != 4 {
+			t.Fatalf("probe budget after load = %d, want 4", dst.Probes())
+		}
+		tn.mu.Lock()
+		lastBad, lastRetrain := tn.lastBad, tn.lastRetrain
+		tn.mu.Unlock()
+		if lastBad != 2 {
+			t.Fatalf("hysteresis floor after load = %d, want 2", lastBad)
+		}
+		if !lastRetrain.Equal(retrainAt) {
+			t.Fatalf("retrain clock after load = %v, want %v", lastRetrain, retrainAt)
+		}
+		mean, samples := tn.ObservedRecall()
+		if samples != 7 || mean != 6.3/7 {
+			t.Fatalf("recall aggregate after load = (%v, %d), want (%v, 7)", mean, samples, 6.3/7)
+		}
+	}
+
+	t.Run("into-installed-tuner", func(t *testing.T) {
+		snap := saveConverged(t)
+		dst := NewSharded(dim, shards, nil)
+		tn, err := dst.EnableAdaptive(AutoConfig{RecallTarget: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Load(bytes.NewReader(snap)); err != nil {
+			t.Fatal(err)
+		}
+		checkRestored(t, dst, tn)
+	})
+
+	t.Run("load-then-enable", func(t *testing.T) {
+		snap := saveConverged(t)
+		dst := NewSharded(dim, shards, nil)
+		if err := dst.Load(bytes.NewReader(snap)); err != nil {
+			t.Fatal(err)
+		}
+		if dst.Probes() != 4 {
+			t.Fatalf("probe budget after load = %d, want 4", dst.Probes())
+		}
+		// EnableAdaptive must consume the stashed state — and must NOT
+		// re-seed the budget to 1 just because a recall target is set: the
+		// loaded budget is the converged one.
+		tn, err := dst.EnableAdaptive(AutoConfig{RecallTarget: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRestored(t, dst, tn)
+		// The stash is consumed exactly once: a replacement controller
+		// starts fresh rather than resurrecting stale state.
+		dst.DisableAdaptive()
+		must(t, dst.SetProbes(0))
+		tn2, err := dst.EnableAdaptive(AutoConfig{RecallTarget: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, samples := tn2.ObservedRecall(); samples != 0 {
+			t.Fatalf("replacement controller inherited %d stale recall samples", samples)
+		}
+	})
+}
+
+// TestLoadRejectsCorruptTrailerWithoutClobbering appends malformed
+// serving-state trailers to a valid snapshot: Sharded.Load must reject the
+// file before touching store state, and a flat DB — which never reads past
+// the snapshot — must keep loading it.
+func TestLoadRejectsCorruptTrailerWithoutClobbering(t *testing.T) {
+	encode := func(st *tunerState) []byte {
+		// One encoder for snapshot plus trailer, exactly as Sharded.Save
+		// writes the stream (gob type definitions are sent once per stream).
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(snapshot{Dim: 2, Entries: []Entry{
+			{ID: "a", Vector: []float64{1, 2}, Category: "X", Time: t0},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if st != nil {
+			if err := enc.Encode(*st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	snap := encode(nil)
+	trailer := func(st tunerState) []byte { return encode(&st) }
+	cases := []struct {
+		name string
+		file []byte
+		want string
+	}{
+		{"garbage-trailer", append(append([]byte(nil), snap...), "not a gob trailer"...), "trailer"},
+		{"version-zero", trailer(tunerState{Version: 0, Probes: 1}), "version"},
+		{"negative-probes", trailer(tunerState{Version: 1, Probes: -3}), "negative probe budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sh := NewSharded(2, 3, nil)
+			must(t, sh.Add(entry("keep", "K", []float64{7, 7}, 2)))
+			err := sh.Load(bytes.NewReader(tc.file))
+			if err == nil {
+				t.Fatal("corrupt trailer should fail")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if sh.Len() != 1 {
+				t.Fatalf("failed load clobbered the store (len %d)", sh.Len())
+			}
+			if _, ok := sh.Get("keep"); !ok {
+				t.Fatal("failed load dropped existing entry")
+			}
+			// The flat DB stops reading at the snapshot, so the same bytes
+			// stay loadable there: trailer corruption cannot strand a file.
+			db := New(2)
+			if err := db.Load(bytes.NewReader(tc.file)); err != nil {
+				t.Fatalf("flat load of trailing-garbage file: %v", err)
+			}
+			if db.Len() != 1 {
+				t.Fatalf("flat load got %d entries", db.Len())
+			}
+		})
 	}
 }

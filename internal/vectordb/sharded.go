@@ -45,6 +45,15 @@ import (
 // recency dominates ranking; see the package comment for the full
 // contract.
 //
+// EnableQuantized layers a two-stage scan onto probe-limited serving:
+// each probed shard walks an int8 scalar-quantized sidecar of its
+// columnar backing to collect k×overfetch candidates, then re-ranks the
+// candidates against the full-precision floats under the exact
+// similarity. Exact fan-out never touches the sidecar, so the
+// bit-identity contract is untouched; see the package comment's
+// two-stage section for when the int8 stage engages and how sidecars
+// retrain.
+//
 // # Locking and rebalance generations
 //
 // A store-wide RWMutex is held shared by every normal operation — Add
@@ -93,10 +102,22 @@ type Sharded struct {
 	probeRank atomic.Int64
 	// tuner is the adaptive serving controller, nil until EnableAdaptive.
 	tuner atomic.Pointer[Tuner]
-	gen   *generation // current target: Adds route here
-	old   *generation // non-nil mid-rebalance: shards draining into gen
-	byID  *sync.Map   // entry ID -> *shard (kept current by migration)
-	count atomic.Int64
+	// quantized gates the two-stage int8 probe scan (EnableQuantized);
+	// overfetch is its per-shard candidate factor, and qScans/rescales are
+	// the serving counters the daemon exports.
+	quantized atomic.Bool
+	overfetch atomic.Int64
+	qScans    atomic.Int64
+	rescales  atomic.Int64
+	// quantWG tracks in-flight asynchronous sidecar rescales.
+	quantWG sync.WaitGroup
+	// savedState carries a loaded serving-state trailer until a tuner
+	// exists to absorb it (Load before EnableAdaptive).
+	savedState atomic.Pointer[tunerState]
+	gen        *generation // current target: Adds route here
+	old        *generation // non-nil mid-rebalance: shards draining into gen
+	byID       *sync.Map   // entry ID -> *shard (kept current by migration)
+	count      atomic.Int64
 }
 
 // Probe-ranking modes for SetProbeRanking.
@@ -138,6 +159,11 @@ type shard struct {
 	// recency summary time-aware probe ranking folds into partition
 	// selection. Zero when the shard is empty.
 	newest time.Time
+	// quant is the int8 scalar-quantized sidecar of vecs, nil unless
+	// EnableQuantized built it; rescale latches one pending asynchronous
+	// sidecar retrain after a clamped insert.
+	quant   *quantSidecar
+	rescale atomic.Bool
 }
 
 // NewSharded returns an empty sharded store for vectors of the given
@@ -283,7 +309,9 @@ func (s *Sharded) Add(e Entry) error {
 	if _, dup := s.byID.LoadOrStore(e.ID, sh); dup {
 		return fmt.Errorf("vectordb: duplicate entry ID %s", e.ID)
 	}
-	sh.add(e)
+	if sh.add(e) {
+		s.scheduleRescale(sh)
+	}
 	s.count.Add(1)
 	if t := s.tuner.Load(); t != nil {
 		t.noteAdd()
@@ -291,9 +319,12 @@ func (s *Sharded) Add(e Entry) error {
 	return nil
 }
 
-// add copies the entry's vector into the shard's columnar backing. The
-// caller has validated the entry and claimed its ID.
-func (sh *shard) add(e Entry) {
+// add copies the entry's vector into the shard's columnar backing (and,
+// when a quantized sidecar exists, encodes it there too — reporting
+// whether the encode clamped, i.e. the sidecar's trained range no longer
+// covers the shard and a rescale should be scheduled). The caller has
+// validated the entry and claimed its ID.
+func (sh *shard) add(e Entry) (clamped bool) {
 	vec := e.Vector
 	e.Vector = nil
 	sh.mu.Lock()
@@ -303,7 +334,11 @@ func (sh *shard) add(e Entry) {
 	if e.Time.After(sh.newest) {
 		sh.newest = e.Time
 	}
+	if sh.quant != nil {
+		clamped = sh.quant.encode(vec, e.Time)
+	}
 	sh.mu.Unlock()
+	return clamped
 }
 
 // length returns the shard's entry count under its own lock.
@@ -353,6 +388,7 @@ func (sh *shard) clear() {
 	sh.mu.Lock()
 	sh.entries, sh.vecs, sh.byID = nil, nil, make(map[string]int)
 	sh.newest = time.Time{}
+	sh.quant = nil
 	sh.mu.Unlock()
 }
 
@@ -533,7 +569,20 @@ func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forc
 				shards, probed = sel, true
 			}
 		}
-		perShard, err := fanTopK(shards, query, qt, k, alpha)
+		var perShard [][]Scored
+		var err error
+		if probed && s.quantized.Load() {
+			// Two-stage quantized scan: int8 candidate collection per probed
+			// shard, exact re-rank. Engages only on the probe-limited path —
+			// exact fan-out always reads the float backing.
+			of := s.Overfetch()
+			s.qScans.Add(1)
+			perShard, err = parallel.Map(len(shards), 0, func(i int) ([]Scored, error) {
+				return shards[i].topKQuantized(query, qt, k, of, alpha), nil
+			})
+		} else {
+			perShard, err = fanTopK(shards, query, qt, k, alpha)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -638,7 +687,17 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 			shards, probed = sel, true
 		}
 	}
-	perShard, err := fanCategoryBest(shards, query, qt, alpha)
+	var perShard []map[incident.Category]Scored
+	var err error
+	if probed && s.quantized.Load() {
+		of := s.Overfetch()
+		s.qScans.Add(1)
+		perShard, err = parallel.Map(len(shards), 0, func(i int) (map[incident.Category]Scored, error) {
+			return shards[i].categoryBestQuantized(query, qt, k, of, alpha), nil
+		})
+	} else {
+		perShard, err = fanCategoryBest(shards, query, qt, alpha)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -662,6 +721,13 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 // that can't displace the heap root.
 func (sh *shard) topK(query []float64, qt time.Time, k int, alpha float64) []Scored {
 	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.topKLocked(query, qt, k, alpha)
+}
+
+// topKLocked is topK's body under a caller-held shard lock — shared with
+// the quantized path's full-precision fallback.
+func (sh *shard) topKLocked(query []float64, qt time.Time, k int, alpha float64) []Scored {
 	h := make(worstFirst, 0, k+1)
 	for i := range sh.entries {
 		d, s := similarityAt(query, qt, sh.row(i), sh.entries[i].Time, alpha)
@@ -675,7 +741,6 @@ func (sh *shard) topK(query []float64, qt time.Time, k int, alpha float64) []Sco
 	for i := range h {
 		h[i].Entry.Vector = append([]float64(nil), sh.row(sh.byID[h[i].Entry.ID])...)
 	}
-	sh.mu.RUnlock()
 	return h.drain()
 }
 
@@ -684,6 +749,12 @@ func (sh *shard) topK(query []float64, qt time.Time, k int, alpha float64) []Sco
 func (sh *shard) categoryBest(query []float64, qt time.Time, alpha float64) map[incident.Category]Scored {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	return sh.categoryBestLocked(query, qt, alpha)
+}
+
+// categoryBestLocked is categoryBest's body under a caller-held shard
+// lock — shared with the quantized path's full-precision fallback.
+func (sh *shard) categoryBestLocked(query []float64, qt time.Time, alpha float64) map[incident.Category]Scored {
 	best := make(map[incident.Category]Scored)
 	for i := range sh.entries {
 		d, s := similarityAt(query, qt, sh.row(i), sh.entries[i].Time, alpha)
@@ -767,6 +838,14 @@ func (s *Sharded) Rebalance(p Partitioner) error {
 	s.old = nil
 	s.epoch.Add(1)
 	s.mu.Unlock()
+	if s.quantized.Load() {
+		// The new generation's shards hold freshly routed contents: retrain
+		// each sidecar from its shard's own value range. Probe serving (and
+		// with it the quantized scan) was suspended during the drain, and a
+		// shard whose sidecar has not been rebuilt yet serves full precision,
+		// so queries stay correct throughout.
+		s.rebuildQuantSidecars()
+	}
 	return nil
 }
 

@@ -146,6 +146,12 @@ func (s *Sharded) EnableAdaptive(cfg AutoConfig) (*Tuner, error) {
 		return nil, err
 	}
 	t := &Tuner{s: s, cfg: cfg}
+	if st := s.savedState.Swap(nil); st != nil {
+		// A Load restored persisted serving state before any controller
+		// existed: resume from the converged budget and clocks instead of
+		// re-learning from cold.
+		t.restore(*st)
+	}
 	if cfg.RecallTarget > 0 && s.Probes() == 0 {
 		// Seed the controller at the cheapest budget; the SLO loop grows it
 		// as shadow evidence arrives. Probe mode still engages only once an
@@ -154,6 +160,20 @@ func (s *Sharded) EnableAdaptive(cfg AutoConfig) (*Tuner, error) {
 	}
 	s.tuner.Store(t)
 	return t, nil
+}
+
+// restore rehydrates controller state from a persisted serving-state
+// trailer (Sharded.Load): the hysteresis floor, the retrain clock, and
+// the lifetime recall aggregate. The decision window restarts empty — the
+// corpus may have changed shape while the store was down, so only
+// long-lived state carries over.
+func (t *Tuner) restore(st tunerState) {
+	t.mu.Lock()
+	t.lastBad = st.LastBad
+	t.lastRetrain = st.LastRetrain
+	t.recallSum, t.recallN = st.RecallSum, st.RecallN
+	t.window = t.window[:0]
+	t.mu.Unlock()
 }
 
 // DisableAdaptive removes the adaptive controller, freezing the probe
@@ -257,6 +277,14 @@ func (t *Tuner) observeQuery(query []float64, qt time.Time, k int, alpha float64
 // the window fills, makes a grow/shrink decision: below target → grow one
 // probe (and remember the failing budget); at or above the shrink margin
 // → shrink one probe, but never back onto a budget recently seen failing.
+// With the quantized two-stage scan on, a second knob backs the first:
+// when the next grow would push the budget to the shard count — full
+// fan-out, which serves exact and abandons probe-limited serving
+// entirely — the controller widens the candidate pool instead
+// (escalateOverfetch) and forgets probe budgets seen failing under the
+// narrower pool; the remaining loss is quantization rank noise inside
+// the probed shards, which more probes cannot fix but a wider re-rank
+// pool can.
 func (t *Tuner) observe(recall float64) {
 	t.mu.Lock()
 	t.recallSum += recall
@@ -280,7 +308,19 @@ func (t *Tuner) observe(recall float64) {
 			t.lastBad = cur
 		}
 		t.mu.Unlock()
-		t.adjustProbes(cur, min(cur+1, t.s.NumShards()))
+		grown := min(cur+1, t.s.NumShards())
+		if grown == t.s.NumShards() && !t.paused.Load() && t.s.escalateOverfetch() {
+			// Growing to full fan-out abandons probe-limited serving (and
+			// with it the quantized stage, whose shadow samples would read
+			// a flat 1.0 and park the budget there): widen the candidate
+			// pool instead, and forget probe budgets seen failing under
+			// the narrower pool.
+			t.mu.Lock()
+			t.lastBad = 0
+			t.mu.Unlock()
+			return
+		}
+		t.adjustProbes(cur, grown)
 	case mean >= t.shrinkAt() && cur > 1 && cur-1 > t.lastBad:
 		t.mu.Unlock()
 		t.adjustProbes(cur, cur-1)

@@ -64,6 +64,45 @@
 // recency dominates, since centroids carry no timestamp). On a corpus
 // whose entries share one timestamp the two rankings coincide.
 //
+// # Two-stage quantized probe scan (Sharded.EnableQuantized)
+//
+// The probe-limited path can additionally trade float memory bandwidth
+// for an int8 candidate scan. EnableQuantized (Options.Quantized) builds
+// a per-shard scalar-quantized sidecar of the columnar backing — one int8
+// code per float plus per-dimension scale/offset trained from the shard's
+// own value range — and probe-limited queries then run in two stages:
+//
+//  1. Candidate collection: walk the shard's int8 rows (8× less memory
+//     traffic than float64, integer inner loop) and keep the k×overfetch
+//     rows with the best approximate similarity (Options.Overfetch;
+//     default 4×).
+//  2. Re-rank: score only those candidates against the full-precision
+//     backing under the exact similarity 1/(1+d)·e^(−α·Δt) and return the
+//     best k in the standard retrieval order.
+//
+// The int8 stage engages exactly when probe-limited serving does — a
+// trained IVF partitioner routing, 0 < probes < populated shards, no
+// rebalance draining — and never elsewhere: exact fan-out (probes = 0,
+// forced-exact shadow queries, mid-rebalance queries, the flat DB) always
+// reads the float backing, so exact-mode results remain BIT-IDENTICAL to
+// the flat store with quantization on. Approximate results may differ
+// from the unquantized probe scan only within the candidate cut: whenever
+// k×overfetch covers a probed shard, its two-stage result is identical to
+// the exact scan of that shard (the fuzz oracle pins this).
+//
+// Sidecars are derived state: rebuilt from shard contents on
+// Rebalance/TrainIVF and on Load (never serialized — the snapshot format
+// is unchanged), and maintained incrementally on Add. An insert outside
+// the trained per-dimension range clamps into it and schedules an
+// asynchronous per-shard rescale (at most one in flight per shard), so
+// the sidecar self-heals as the value distribution moves; the recall-SLO
+// tuner's shadow queries compare the SERVED two-stage results against
+// exact fan-out, so its recall target is end-to-end and the controller
+// compensates first with probes and then — when the next grow would mean
+// full fan-out and the loss is quantization rank noise more probes cannot
+// recover — by doubling the overfetch pool (capped at 64×), keeping
+// serving probe-limited instead of collapsing to exact.
+//
 // # Adaptive serving (Sharded.EnableAdaptive)
 //
 // The serving controller closes the loop on probe quality, so one config
@@ -84,7 +123,10 @@
 //     discovers it can shrink an over-provisioned budget. Convergence: the
 //     budget rises until either the SLO holds or probes cover every
 //     populated partition — at which point serving is exact and recall is
-//     1 by construction — so the target is always eventually met.
+//     1 by construction — so the target is always eventually met. With
+//     the quantized stage on, the ladder top is handled differently: one
+//     step before full fan-out the controller escalates the candidate
+//     overfetch instead of growing (see the two-stage section above).
 //     SetProbes is the manual override: it pins the budget and pauses the
 //     controller until EnableAdaptive is called again.
 //   - Skew-triggered retraining: every RetrainCheckEvery-th Add schedules
@@ -198,6 +240,18 @@ type Options struct {
 	// of fresh inserts — reaches this value, TrainIVF is kicked
 	// automatically, rate-limited. 0 disables; ignored by the flat store.
 	RetrainSkew float64
+	// Quantized opts the sharded store into the two-stage int8 probe scan
+	// (see the package comment): probe-limited queries collect candidates
+	// from a per-shard scalar-quantized sidecar and re-rank them at full
+	// precision. Dormant until probe mode engages; exact fan-out is
+	// unaffected. Ignored by the flat store.
+	Quantized bool
+	// Overfetch is the candidate factor of the quantized stage: each
+	// probed shard keeps k×Overfetch int8-stage candidates for the exact
+	// re-rank. 0 selects DefaultOverfetch (4). Only meaningful with
+	// Quantized; negative values are rejected by Sharded.EnableQuantized,
+	// so validate before constructing Options.
+	Overfetch int
 }
 
 // NewIndex builds the Index implementation the options select: a flat DB,
@@ -219,6 +273,11 @@ func NewIndex(dim int, opts Options) Index {
 				ShadowRate:   opts.ShadowRate,
 				RetrainSkew:  opts.RetrainSkew,
 			})
+		}
+		if opts.Quantized {
+			// Cannot fail for non-negative Overfetch, which is documented as
+			// caller-validated.
+			_ = s.EnableQuantized(opts.Overfetch)
 		}
 		return s
 	}

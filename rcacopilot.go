@@ -173,9 +173,10 @@ type Config struct {
 	// to plug a real LLM endpoint into the pipeline.
 	Chat llm.Client
 	// Shards partitions the incident history across this many vector-store
-	// shards with parallel query fan-out (0 or 1 keeps the flat exact
-	// store). Retrieval results are bit-identical either way; sharding
-	// changes how the store scales, not what it returns.
+	// shards with parallel query fan-out. 0 (unset) defaults to
+	// runtime.NumCPU(); an explicit 1 keeps the flat exact store. Retrieval
+	// results are bit-identical either way; sharding changes how the store
+	// scales, not what it returns.
 	Shards int
 	// Partitioner selects shard routing when Shards > 1:
 	// PartitionCategory (default) or PartitionIVF, which trains a coarse
@@ -210,6 +211,19 @@ type Config struct {
 	// retrains. Requires Shards > 1 with Partitioner PartitionIVF. 0
 	// disables.
 	RetrainSkew float64
+	// Quantized enables the two-stage quantized probe scan: probe-limited
+	// retrievals walk a per-shard int8 sidecar to collect K×Overfetch
+	// candidates, then re-rank exactly against the full-precision vectors —
+	// a ~8× smaller scan footprint per probed shard with the final ranking
+	// still computed at full precision. Requires probe-limited serving
+	// (Probes > 0 or RecallTarget > 0, with Shards > 1 and Partitioner
+	// PartitionIVF); exact fan-out never touches the sidecar.
+	Quantized bool
+	// Overfetch scales the stage-one candidate pool: each probed shard
+	// contributes its K×Overfetch best quantized candidates to the exact
+	// re-rank. 0 defaults to vectordb.DefaultOverfetch (4). Only meaningful
+	// with Quantized.
+	Overfetch int
 	// AsyncLearnQueue, when positive, moves feedback-loop learning off the
 	// hot path: Feedback() verdicts enqueue onto a background ingest
 	// worker with this queue capacity instead of re-summarizing inline.
@@ -260,6 +274,8 @@ func NewSystem(fleet *Fleet, cfg Config) (*System, error) {
 		RecallTarget: cfg.RecallTarget,
 		ShadowRate:   cfg.ShadowRate,
 		RetrainSkew:  cfg.RetrainSkew,
+		Quantized:    cfg.Quantized,
+		Overfetch:    cfg.Overfetch,
 	})
 	if err != nil {
 		return nil, err
