@@ -66,6 +66,7 @@ func main() {
 	retrainSkew := flag.Float64("retrain-skew", 0, "auto-retrain the IVF quantizer once max/mean shard skew or centroid drift reaches this ratio (>= 1); 0 = off")
 	quantized := flag.Bool("quantized", false, "two-stage probe scan: int8 candidate collection + exact re-rank (requires probe-limited serving)")
 	overfetch := flag.Int("overfetch", 0, "quantized candidate pool per probed shard, K×overfetch; 0 = default 4")
+	batch := flag.Int("batch", 0, "micro-batch concurrent retrievals, up to this many per scan-once-per-shard execution (bit-identical results); 0/1 = unbatched")
 	parallelBudget := flag.Int("parallel-budget", -1, "pin the process-wide extra-worker budget; -1 = default/auto")
 	autoLimit := flag.Bool("auto-limit", false, "auto-size the worker budget from observed model-call latency")
 	flag.Parse()
@@ -107,6 +108,12 @@ func main() {
 	if *quantized && *probes == 0 && *recallTarget == 0 {
 		fatal(fmt.Errorf("-quantized requires probe-limited serving (-probes > 0 or -recall-target > 0); exact fan-out never uses the int8 sidecar"))
 	}
+	if *batch < 0 {
+		fatal(fmt.Errorf("-batch must be >= 0 (0/1 = unbatched), got %d", *batch))
+	}
+	if *batch > 1 && *workers == 1 {
+		fatal(fmt.Errorf("-batch %d with -workers 1 has nothing to coalesce: sequential cells issue one retrieval at a time", *batch))
+	}
 	if *parallelBudget >= 0 {
 		parallel.SetLimit(*parallelBudget)
 		if *autoLimit {
@@ -141,6 +148,10 @@ func main() {
 		env.RetrainSkew = *retrainSkew
 		env.Quantized = *quantized
 		env.Overfetch = *overfetch
+		env.BatchMax = *batch
+		if *batch > 1 {
+			fmt.Printf("retrieval batching: up to %d concurrent queries per scan (bit-identical to unbatched)\n", *batch)
+		}
 		if *shards > 1 {
 			p := *partitioner
 			if p == "" {

@@ -499,14 +499,10 @@ func (d *daemon) retrieve(w http.ResponseWriter, r *http.Request) {
 		httpd.WriteErr(w, http.StatusBadRequest, errors.New("missing query parameter q"))
 		return
 	}
-	k := 0
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		n, err := strconv.Atoi(ks)
-		if err != nil || n <= 0 {
-			httpd.WriteErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
-			return
-		}
-		k = n
+	k, _, err := httpd.QueryPosInt(r, "k")
+	if err != nil {
+		httpd.WriteErr(w, http.StatusBadRequest, err)
+		return
 	}
 	diverse := r.URL.Query().Get("diverse") != ""
 	hits, err := d.sys.Retrieve(q, k, diverse)
@@ -553,7 +549,18 @@ func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	retrieval := map[string]any{"entries": d.sys.Copilot().Index().Len()}
-	if sh, ok := d.sys.Copilot().Index().(*vectordb.Sharded); ok {
+	if b := d.sys.Copilot().Batcher(); b != nil {
+		st := b.Stats()
+		retrieval["batching"] = map[string]any{
+			"batches":       st.Batches,
+			"queries":       st.Queries,
+			"meanOccupancy": st.MeanOccupancy,
+			"flushIdle":     st.FlushIdle,
+			"flushSize":     st.FlushSize,
+			"flushTimer":    st.FlushTimer,
+		}
+	}
+	if sh, ok := vectordb.AsSharded(d.sys.Copilot().Index()); ok {
 		retrieval["shards"] = sh.NumShards()
 		retrieval["probes"] = sh.Probes()
 		retrieval["rebalancing"] = sh.Rebalancing()

@@ -55,6 +55,8 @@ func main() {
 	retrainSkew := flag.Float64("retrain-skew", 0, "auto-retrain the IVF quantizer at this imbalance ratio (0 disables)")
 	quantized := flag.Bool("quantized", false, "two-stage probe scan: int8 candidate collection + exact re-rank (needs -recall-target)")
 	overfetch := flag.Int("overfetch", 0, "quantized candidate pool per probed shard, K×overfetch (0 = default 4)")
+	batchMax := flag.Int("batch-max", 0, "micro-batch concurrent retrievals, up to this many per scan-once-per-shard execution (bit-identical results; 0/1 = unbatched)")
+	batchWait := flag.Duration("batch-wait", 0, "max time an under-filled retrieval batch waits for companions (0 = 500µs default; needs -batch-max >= 2)")
 	learnQueue := flag.Int("learn-queue", 64, "async feedback-learn queue depth (0 = learn inline)")
 	retry := flag.Bool("retry", true, "run the learn-failure retry queue")
 	rate := flag.Float64("rate", 5, "sustained per-team submissions/second")
@@ -67,6 +69,7 @@ func main() {
 		addr: *addr, model: *model, seed: *seed, days: *days, history: *history,
 		shards: *shards, recall: *recall, retrainSkew: *retrainSkew,
 		quantized: *quantized, overfetch: *overfetch,
+		batchMax: *batchMax, batchWait: *batchWait,
 		learnQueue: *learnQueue, retry: *retry,
 		rate: *rate, burst: *burst, queue: *queue, grace: *grace,
 	}); err != nil {
@@ -84,6 +87,8 @@ type config struct {
 	recall, retrainSkew float64
 	quantized           bool
 	overfetch           int
+	batchMax            int
+	batchWait           time.Duration
 	learnQueue          int
 	retry               bool
 	rate, burst         float64
@@ -108,6 +113,8 @@ func run(c config) error {
 		RetrainSkew:     c.retrainSkew,
 		Quantized:       c.quantized,
 		Overfetch:       c.overfetch,
+		BatchMax:        c.batchMax,
+		BatchWait:       c.batchWait,
 		AsyncLearnQueue: c.learnQueue,
 	}
 	if c.recall > 0 || c.retrainSkew >= 1 {
@@ -117,6 +124,7 @@ func run(c config) error {
 	if err != nil {
 		return err
 	}
+	defer sys.Close()
 	n := c.history
 	if n <= 0 || n > len(corpus.Incidents) {
 		n = len(corpus.Incidents)

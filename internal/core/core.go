@@ -198,6 +198,19 @@ type Config struct {
 	// are rejected, as is a nonzero Overfetch without Quantized. Only
 	// meaningful with Quantized.
 	Overfetch int
+	// BatchMax enables micro-batched retrieval: concurrent retrieval
+	// queries (Retrieve, Predict's neighbour lookup) coalesce through a
+	// vectordb.Batcher into TopKBatch executions of at most this size,
+	// amortizing the shard scan across the batch. 0 or 1 disables
+	// batching; negative values are rejected. Idle traffic keeps the
+	// single-query fast path, so enabling batching does not add latency
+	// when there is no concurrency to harvest.
+	BatchMax int
+	// BatchWait bounds how long a partially filled batch holds its window
+	// open for companion queries before flushing. 0 with BatchMax > 1
+	// selects the 500µs default; setting it without BatchMax > 1 is
+	// rejected (there is no collector to configure).
+	BatchWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -222,6 +235,9 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = runtime.NumCPU()
 	}
+	if c.BatchMax > 1 && c.BatchWait == 0 {
+		c.BatchWait = 500 * time.Microsecond
+	}
 	return c
 }
 
@@ -234,11 +250,18 @@ type Copilot struct {
 	chat     llm.Client
 	meter    *timeutil.CostMeter
 
-	// mu guards the retriever pair (embedder, db), which SetEmbedder swaps
-	// together; everything else is immutable after New or internally locked.
+	// mu guards the retriever state (embedder, db, batcher), which
+	// SetEmbedder swaps together; everything else is immutable after New
+	// or internally locked.
 	mu       sync.RWMutex
 	embedder Embedder
 	db       vectordb.Index
+	// batcher is the micro-batching collector wrapped around db when
+	// Config.BatchMax > 1 (then db IS the batcher); nil otherwise.
+	batcher *vectordb.Batcher
+	// embedCache memoizes Retrieve's query embeddings (bounded LRU keyed
+	// by text); invalidated wholesale on SetEmbedder.
+	embedCache *embedCache
 }
 
 // New assembles a Copilot over a fleet and a chat model. The embedder (and
@@ -310,13 +333,23 @@ func New(fleet *transport.Fleet, chat llm.Client, cfg Config) (*Copilot, error) 
 			return nil, fmt.Errorf("core: Quantized requires Partitioner=%q (got %q)", PartitionIVF, cfg.Partitioner)
 		}
 	}
+	if cfg.BatchMax < 0 {
+		return nil, fmt.Errorf("core: negative BatchMax %d (use 0 to disable batching)", cfg.BatchMax)
+	}
+	if cfg.BatchWait < 0 {
+		return nil, fmt.Errorf("core: negative BatchWait %v", cfg.BatchWait)
+	}
+	if cfg.BatchWait > 0 && cfg.BatchMax <= 1 {
+		return nil, fmt.Errorf("core: BatchWait=%v without BatchMax > 1 (no batch collector to configure)", cfg.BatchWait)
+	}
 	c := &Copilot{
-		cfg:      cfg,
-		fleet:    fleet,
-		registry: handler.NewRegistry(nil),
-		runner:   handler.NewRunner(fleet),
-		chat:     chat,
-		meter:    timeutil.NewCostMeter(),
+		cfg:        cfg,
+		fleet:      fleet,
+		registry:   handler.NewRegistry(nil),
+		runner:     handler.NewRunner(fleet),
+		chat:       chat,
+		meter:      timeutil.NewCostMeter(),
+		embedCache: newEmbedCache(embedCacheSize),
 	}
 	if _, err := c.registry.InstallBuiltins(cfg.Team); err != nil {
 		return nil, err
@@ -354,7 +387,14 @@ func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 	if c.db != nil {
 		dropped = c.db.Len()
 	}
+	if c.batcher != nil {
+		c.batcher.Close()
+		c.batcher = nil
+	}
 	c.embedder = e
+	// Cached query embeddings belong to the outgoing embedder's vector
+	// space; drop them with the store.
+	c.embedCache.clear()
 	// PartitionIVF also starts on category-hash routing: the quantizer can
 	// only be trained once vectors exist (see trainPartitioner); the probe
 	// budget — static or auto-tuned — is likewise dormant until the IVF
@@ -368,7 +408,35 @@ func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 		Quantized:    c.cfg.Quantized,
 		Overfetch:    c.cfg.Overfetch,
 	})
+	if c.cfg.BatchMax > 1 {
+		// Cannot fail: New validated BatchMax >= 2 and withDefaults set a
+		// positive BatchWait.
+		b, _ := vectordb.NewBatcher(c.db, c.cfg.BatchMax, c.cfg.BatchWait)
+		c.batcher, c.db = b, b
+	}
 	return dropped
+}
+
+// Batcher returns the micro-batching collector wrapped around the vector
+// store, nil when batching is disabled (Config.BatchMax <= 1) or no
+// embedder is attached yet. The daemon's /metrics surface reads its
+// batch-formation stats.
+func (c *Copilot) Batcher() *vectordb.Batcher {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.batcher
+}
+
+// Close releases background serving resources (today: the micro-batching
+// collector's dispatcher). The Copilot keeps serving after Close —
+// queries just bypass the collector — so it is safe to call on shutdown
+// while drains finish.
+func (c *Copilot) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batcher != nil {
+		c.batcher.Close()
+	}
 }
 
 // retriever snapshots the (embedder, db) pair so one call works against a
@@ -377,6 +445,15 @@ func (c *Copilot) retriever() (Embedder, vectordb.Index) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.embedder, c.db
+}
+
+// retrieverCached is retriever plus the embed-cache generation captured
+// under the same lock, so a cache fill can be discarded if SetEmbedder
+// swapped the embedder (and bumped the generation) after the snapshot.
+func (c *Copilot) retrieverCached() (Embedder, vectordb.Index, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.embedder, c.db, c.embedCache.generation()
 }
 
 // Index returns the vector store (nil until SetEmbedder).
@@ -405,7 +482,7 @@ func (c *Copilot) trainPartitioner(db vectordb.Index) error {
 	if c.cfg.Partitioner != PartitionIVF {
 		return nil
 	}
-	s, ok := db.(*vectordb.Sharded)
+	s, ok := vectordb.AsSharded(db)
 	if !ok || s.Len() == 0 {
 		return nil
 	}
@@ -569,7 +646,7 @@ func (c *Copilot) LearnBatch(incs []*incident.Incident, workers int) error {
 // at most once). k <= 0 uses the configured K; a zero at uses the current
 // wall clock.
 func (c *Copilot) Retrieve(text string, at time.Time, k int, diverse bool) ([]vectordb.Scored, error) {
-	embedder, db := c.retriever()
+	embedder, db, gen := c.retrieverCached()
 	if embedder == nil {
 		return nil, fmt.Errorf("core: no embedder attached (call SetEmbedder)")
 	}
@@ -582,9 +659,19 @@ func (c *Copilot) Retrieve(text string, at time.Time, k int, diverse bool) ([]ve
 	if at.IsZero() {
 		at = time.Now()
 	}
-	query, err := embedder.Embed(text)
-	if err != nil {
-		return nil, fmt.Errorf("core: embed retrieval query: %w", err)
+	// Free-text daemon queries repeat (dashboards refresh, OCEs retry the
+	// same phrasing), and embedding dominates the cost of a cached-size
+	// store lookup — memoize by exact text. The generation tag keeps a
+	// concurrent SetEmbedder from poisoning the new cache with an
+	// old-space vector.
+	query, ok := c.embedCache.get(text)
+	if !ok {
+		var err error
+		query, err = embedder.Embed(text)
+		if err != nil {
+			return nil, fmt.Errorf("core: embed retrieval query: %w", err)
+		}
+		c.embedCache.put(text, query, gen)
 	}
 	if db.Len() == 0 {
 		return nil, nil

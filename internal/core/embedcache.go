@@ -1,0 +1,99 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// embedCacheSize bounds the Retrieve embed memo. Daemon retrieval traffic
+// is a small working set of repeated free-text queries (dashboard
+// refreshes, OCE re-issues); 256 texts of a few hundred bytes plus one
+// embedding vector each is a few hundred KB at most.
+const embedCacheSize = 256
+
+// embedCache is a small bounded LRU from query text to its embedding
+// vector. Entries are immutable once stored (callers must not mutate the
+// returned slice — Retrieve only reads it), and the whole cache
+// invalidates on SetEmbedder via clear(): vectors from different
+// embedders are not comparable, so a swap bumps the generation and drops
+// everything. put carries the generation its caller embedded under and is
+// discarded if a clear happened in between — without the tag, a Retrieve
+// racing SetEmbedder could install an old-space vector into the new
+// cache.
+type embedCache struct {
+	mu  sync.Mutex
+	cap int
+	gen uint64
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type embedCacheEntry struct {
+	text string
+	vec  []float64
+}
+
+func newEmbedCache(capacity int) *embedCache {
+	return &embedCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// generation returns the current invalidation epoch; callers capture it
+// together with the embedder snapshot (under the Copilot lock) and pass
+// it back to put.
+func (c *embedCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// get returns the cached embedding for text, refreshing its recency.
+func (c *embedCache) get(text string) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[text]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*embedCacheEntry).vec, true
+}
+
+// put stores an embedding computed under generation gen, evicting the
+// least recently used entry when full. A stale gen means SetEmbedder
+// cleared the cache after the caller embedded: the vector belongs to the
+// old space and is dropped.
+func (c *embedCache) put(text string, vec []float64, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.m[text]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*embedCacheEntry).vec = vec
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*embedCacheEntry).text)
+	}
+	c.m[text] = c.ll.PushFront(&embedCacheEntry{text: text, vec: vec})
+}
+
+// clear drops every entry and advances the generation, invalidating
+// in-flight puts.
+func (c *embedCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.ll.Init()
+	c.m = make(map[string]*list.Element, c.cap)
+}
+
+// len reports the current entry count (tests).
+func (c *embedCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -58,10 +58,12 @@ func runWithScale(e *Env, scale float64) (F1Scores, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
 	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
 		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew,
-		Quantized: e.Quantized, Overfetch: e.Overfetch})
+		Quantized: e.Quantized, Overfetch: e.Overfetch,
+		BatchMax: e.BatchMax, BatchWait: e.BatchWait})
 	if err != nil {
 		return F1Scores{}, err
 	}
+	defer cop.Close()
 	ft, _, err := e.FastText()
 	if err != nil {
 		return F1Scores{}, err
@@ -78,10 +80,12 @@ func runNoDiversity(e *Env) (F1Scores, error) {
 	chat := simgpt.MustNew(simgpt.GPT4, simgpt.Options{Seed: e.Seed})
 	cop, err := core.New(e.Corpus.Fleet, chat, core.Config{Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
 		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew,
-		Quantized: e.Quantized, Overfetch: e.Overfetch})
+		Quantized: e.Quantized, Overfetch: e.Overfetch,
+		BatchMax: e.BatchMax, BatchWait: e.BatchWait})
 	if err != nil {
 		return F1Scores{}, err
 	}
+	defer cop.Close()
 	ft, _, err := e.FastText()
 	if err != nil {
 		return F1Scores{}, err

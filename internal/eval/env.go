@@ -61,6 +61,17 @@ type Env struct {
 	// per probed shard; 0 = the vectordb default). Only meaningful with
 	// Quantized.
 	Overfetch int
+	// BatchMax inserts the micro-batching collector in front of every
+	// pipeline's vector store (>= 2): the per-incident retrievals of a
+	// Table-2/3 method cell, issued concurrently by the Workers pool,
+	// coalesce into scan-once-per-shard batched executions. Results are
+	// bit-identical to unbatched serving, so every golden reproduces with
+	// batching on; only retrieval throughput changes. 0 or 1 disables.
+	BatchMax int
+	// BatchWait bounds how long an under-filled batch waits for
+	// companions (0 = the 500µs core default). Only meaningful with
+	// BatchMax >= 2.
+	BatchWait time.Duration
 
 	ftOnce      sync.Once
 	ft          *fasttext.Model

@@ -310,10 +310,12 @@ func RunPipeline(e *Env, opts PipelineOptions) (*PipelineRun, error) {
 		Shards: e.Shards, Partitioner: e.Partitioner, Probes: e.Probes,
 		RecallTarget: e.RecallTarget, ShadowRate: e.ShadowRate, RetrainSkew: e.RetrainSkew,
 		Quantized: e.Quantized, Overfetch: e.Overfetch,
+		BatchMax: e.BatchMax, BatchWait: e.BatchWait,
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer cop.Close()
 
 	var trainTime time.Duration
 	modelledTrain := false

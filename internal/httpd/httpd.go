@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -147,4 +148,20 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 // WriteErr writes a JSON error envelope with the given status.
 func WriteErr(w http.ResponseWriter, status int, err error) {
 	WriteJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// QueryPosInt parses an optional positive-integer query parameter.
+// Absent returns (0, false, nil); present but malformed or non-positive
+// returns an error, so "?k=abc" surfaces as a 400 instead of being
+// silently ignored.
+func QueryPosInt(r *http.Request, name string) (int, bool, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, false, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, false, fmt.Errorf("query parameter %s: want a positive integer, got %q", name, s)
+	}
+	return n, true, nil
 }

@@ -245,3 +245,27 @@ func TestTeamLimiterBudgetDerivedBound(t *testing.T) {
 		t.Fatalf("budget-derived bound = %d, want >= 2", b)
 	}
 }
+
+func TestQueryPosInt(t *testing.T) {
+	cases := []struct {
+		url     string
+		want    int
+		wantOK  bool
+		wantErr bool
+	}{
+		{"/x", 0, false, false},
+		{"/x?k=", 0, false, false},
+		{"/x?k=5", 5, true, false},
+		{"/x?k=abc", 0, false, true},
+		{"/x?k=0", 0, false, true},
+		{"/x?k=-3", 0, false, true},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest("GET", c.url, nil)
+		n, ok, err := QueryPosInt(r, "k")
+		if (err != nil) != c.wantErr || n != c.want || ok != c.wantOK {
+			t.Errorf("QueryPosInt(%q) = (%d, %v, %v), want (%d, %v, err=%v)",
+				c.url, n, ok, err, c.want, c.wantOK, c.wantErr)
+		}
+	}
+}

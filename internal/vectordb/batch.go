@@ -1,0 +1,672 @@
+package vectordb
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/incident"
+	"repro/internal/parallel"
+)
+
+// BatchQuery is one query of a TopKBatch call. Each query carries its own
+// anchor time, k, decay coefficient, and diversity flag, so one batch can
+// mix heterogeneous retrievals (the daemon's micro-batcher coalesces
+// whatever arrives).
+type BatchQuery struct {
+	Vector []float64
+	Time   time.Time
+	K      int
+	Alpha  float64
+	// Diverse applies the §4.2.2 category-diversity constraint (each
+	// category at most once), i.e. the query behaves like TopKDiverse
+	// instead of TopK.
+	Diverse bool
+}
+
+// TopKBatch on the flat store: one streaming pass over the columnar
+// backing serving every query — rows load once and each query consumes
+// them from its own bounded accumulator — with results bit-identical to
+// issuing the queries sequentially.
+func (db *DB) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
+	for i := range queries {
+		if err := db.checkQuery(queries[i].Vector, queries[i].K); err != nil {
+			return nil, fmt.Errorf("vectordb: batch query %d: %w", i, err)
+		}
+	}
+	out := make([][]Scored, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	heaps := make([]worstFirst, len(queries))
+	bests := make([]map[incident.Category]Scored, len(queries))
+	for i := range queries {
+		if queries[i].Diverse {
+			bests[i] = make(map[incident.Category]Scored)
+		} else {
+			heaps[i] = make(worstFirst, 0, queries[i].K+1)
+		}
+	}
+	db.mu.RLock()
+	for i := range db.entries {
+		row := db.row(i)
+		et := db.entries[i].Time
+		for qi := range queries {
+			bq := &queries[qi]
+			d, sim := similarityAt(bq.Vector, bq.Time, row, et, bq.Alpha)
+			sc := Scored{Entry: db.entries[i], Distance: d, Similarity: sim}
+			if bq.Diverse {
+				if cur, ok := bests[qi][sc.Entry.Category]; !ok || ranksAfter(cur, sc) {
+					bests[qi][sc.Entry.Category] = sc
+				}
+			} else {
+				h := &heaps[qi]
+				if len(*h) == bq.K {
+					if r := &(*h)[0]; r.Similarity > sim || (r.Similarity == sim && r.Entry.ID < sc.Entry.ID) {
+						continue
+					}
+				}
+				h.offer(sc, bq.K)
+			}
+		}
+	}
+	// Materialize winners while still under the store lock.
+	for qi := range queries {
+		if queries[qi].Diverse {
+			h := make(worstFirst, 0, queries[qi].K+1)
+			for _, sc := range bests[qi] {
+				sc.Entry.Vector = append([]float64(nil), db.row(db.byID[sc.Entry.ID])...)
+				h.offer(sc, queries[qi].K)
+			}
+			out[qi] = h.drain()
+		} else {
+			h := &heaps[qi]
+			for i := range *h {
+				(*h)[i].Entry.Vector = append([]float64(nil), db.row(db.byID[(*h)[i].Entry.ID])...)
+			}
+			out[qi] = h.drain()
+		}
+	}
+	db.mu.RUnlock()
+	return out, nil
+}
+
+// shardScanResult carries one shard's per-query local results back to the
+// batch merge, keyed by batch index: bounded top-k lists for plain
+// queries, category-best maps for diverse ones.
+type shardScanResult struct {
+	topk map[int][]Scored
+	best map[int]map[incident.Category]Scored
+}
+
+// scanBatch walks the shard's backing once for a set of queries: floatQ
+// are scanned at full precision (one pass over the columnar float rows,
+// every member query scoring each row), quantQ through the int8 sidecar
+// (one pass over the codes collecting k×overfetch candidates per query,
+// then the exact re-rank). Per-query decisions — threshold pre-checks,
+// candidate heaps, tie-breaks — replicate the sequential single-query
+// scans exactly, so each query's local result is bit-identical to what
+// topK/categoryBest/topKQuantized would have returned for it.
+func (sh *shard) scanBatch(queries []BatchQuery, floatQ, quantQ []int, overfetch int) shardScanResult {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	res := shardScanResult{topk: make(map[int][]Scored), best: make(map[int]map[incident.Category]Scored)}
+	if len(quantQ) > 0 {
+		q := sh.quant
+		if q == nil || len(q.codes) != len(sh.entries)*sh.dim {
+			// Sidecar missing or momentarily out of sync: serve these
+			// queries at full precision, exactly like the sequential
+			// fallback in topKQuantized.
+			floatQ = append(append([]int(nil), floatQ...), quantQ...)
+			quantQ = nil
+		}
+	}
+	if len(floatQ) > 0 {
+		sh.scanBatchFloat(queries, floatQ, &res)
+	}
+	if len(quantQ) > 0 {
+		sh.scanBatchQuantized(queries, quantQ, overfetch, &res)
+	}
+	return res
+}
+
+// scanBatchFloat is the full-precision half of scanBatch: one walk of the
+// columnar rows, every member query maintaining its own bounded heap (or
+// category-best map) with the same pre-checks as the sequential scan.
+// Caller holds sh.mu.
+func (sh *shard) scanBatchFloat(queries []BatchQuery, floatQ []int, res *shardScanResult) {
+	heaps := make([]worstFirst, len(floatQ))
+	bests := make([]map[incident.Category]Scored, len(floatQ))
+	// Queries with an identical (Time, Alpha) pair — a flush anchored at
+	// one clock reading — share every row's decay factor, so group them
+	// and compute exp(-α·Δt) once per row per group instead of once per
+	// row per query. similarityAt's 1/(1+dist)·exp(−α·days) is the same
+	// two-operand product either way (struct-equal Times subtract
+	// identically), so grouping cannot change a bit of any result.
+	type groupKey struct {
+		t     time.Time
+		alpha float64
+	}
+	type decayGroup struct {
+		qt      time.Time
+		alpha   float64
+		members []int // indices into floatQ
+	}
+	var groups []*decayGroup
+	byKey := make(map[groupKey]*decayGroup, len(floatQ))
+	for j, qi := range floatQ {
+		if queries[qi].Diverse {
+			bests[j] = make(map[incident.Category]Scored)
+		} else {
+			heaps[j] = make(worstFirst, 0, queries[qi].K+1)
+		}
+		gk := groupKey{queries[qi].Time, queries[qi].Alpha}
+		g := byKey[gk]
+		if g == nil {
+			g = &decayGroup{qt: queries[qi].Time, alpha: queries[qi].Alpha}
+			byKey[gk] = g
+			groups = append(groups, g)
+		}
+		g.members = append(g.members, j)
+	}
+	// commit applies one scored row to member j with the exact sequential
+	// pre-check and tie-break.
+	commit := func(i, j int, dist, decay float64) {
+		sim := 1 / (1 + dist) * decay
+		bq := &queries[floatQ[j]]
+		if bq.Diverse {
+			sc := Scored{Entry: sh.entries[i], Distance: dist, Similarity: sim}
+			if cur, ok := bests[j][sc.Entry.Category]; !ok || ranksAfter(cur, sc) {
+				bests[j][sc.Entry.Category] = sc
+			}
+			return
+		}
+		h := &heaps[j]
+		if len(*h) == bq.K {
+			if r := &(*h)[0]; r.Similarity > sim || (r.Similarity == sim && r.Entry.ID < sh.entries[i].ID) {
+				return
+			}
+		}
+		h.offer(Scored{Entry: sh.entries[i], Distance: dist, Similarity: sim}, bq.K)
+	}
+	pend := make([]int, 0, len(floatQ))
+	for i := range sh.entries {
+		row := sh.row(i)
+		et := sh.entries[i].Time
+		for _, g := range groups {
+			days := math.Abs(g.qt.Sub(et).Hours()) / 24
+			decay := math.Exp(-g.alpha * days)
+			pend = pend[:0]
+			for _, j := range g.members {
+				bq := &queries[floatQ[j]]
+				if !bq.Diverse {
+					if h := &heaps[j]; len(*h) == bq.K && decay < (*h)[0].Similarity {
+						// sim = decay/(1+dist) <= decay: this row cannot
+						// displace the worst kept one, skip the dot.
+						continue
+					}
+				}
+				pend = append(pend, j)
+			}
+			// Distances for the row's contenders, four queries per pass:
+			// the four accumulator chains are independent, so the CPU
+			// overlaps the additions a lone Distance call serializes.
+			// Each chain keeps Distance's dimension order, so every
+			// query's value is bit-identical to its scalar scan.
+			base := 0
+			for ; base+4 <= len(pend); base += 4 {
+				j0, j1, j2, j3 := pend[base], pend[base+1], pend[base+2], pend[base+3]
+				d0, d1, d2, d3 := distance4(
+					queries[floatQ[j0]].Vector, queries[floatQ[j1]].Vector,
+					queries[floatQ[j2]].Vector, queries[floatQ[j3]].Vector, row)
+				commit(i, j0, d0, decay)
+				commit(i, j1, d1, decay)
+				commit(i, j2, d2, decay)
+				commit(i, j3, d3, decay)
+			}
+			for _, j := range pend[base:] {
+				commit(i, j, Distance(queries[floatQ[j]].Vector, row), decay)
+			}
+		}
+	}
+	for j, qi := range floatQ {
+		if queries[qi].Diverse {
+			best := bests[j]
+			for cat, sc := range best {
+				sc.Entry.Vector = append([]float64(nil), sh.row(sh.byID[sc.Entry.ID])...)
+				best[cat] = sc
+			}
+			res.best[qi] = best
+		} else {
+			h := &heaps[j]
+			for i := range *h {
+				(*h)[i].Entry.Vector = append([]float64(nil), sh.row(sh.byID[(*h)[i].Entry.ID])...)
+			}
+			res.topk[qi] = h.drain()
+		}
+	}
+}
+
+// distance4 computes four queries' Euclidean distances to one row in a
+// single pass over the dimensions. Each accumulator sums in exactly
+// Distance's order — the four chains are merely independent, letting the
+// CPU pipeline additions that a scalar call serializes — so every result
+// is bit-identical to Distance on the same pair.
+func distance4(a0, a1, a2, a3, row []float64) (d0, d1, d2, d3 float64) {
+	var s0, s1, s2, s3 float64
+	for i := range row {
+		r := row[i]
+		t0 := a0[i] - r
+		s0 += t0 * t0
+		t1 := a1[i] - r
+		s1 += t1 * t1
+		t2 := a2[i] - r
+		s2 += t2 * t2
+		t3 := a3[i] - r
+		s3 += t3 * t3
+	}
+	return math.Sqrt(s0), math.Sqrt(s1), math.Sqrt(s2), math.Sqrt(s3)
+}
+
+// scanBatchQuantized is the int8 half of scanBatch: one walk of the
+// sidecar codes maintaining every member query's candidate heap — the
+// hoisted per-query state (wq, q², threshold) and per-row arithmetic are
+// identical to scanQuantized's — followed by the per-query exact re-rank.
+// Caller holds sh.mu and has verified the sidecar is in sync.
+func (sh *shard) scanBatchQuantized(queries []BatchQuery, quantQ []int, overfetch int, res *shardScanResult) {
+	q := sh.quant
+	dim := sh.dim
+	type qstate struct {
+		wq    []int64
+		q2    int64
+		qdays float64
+		alpha float64
+		want  int
+		thr   float64
+		cands qHeap
+	}
+	states := make([]qstate, len(quantQ))
+	for j, qi := range quantQ {
+		bq := &queries[qi]
+		qq := q.encodeQuery(bq.Vector)
+		st := qstate{
+			wq:    make([]int64, dim),
+			qdays: daysOf(bq.Time),
+			alpha: bq.Alpha,
+			want:  bq.K * overfetch,
+			thr:   math.Inf(-1),
+		}
+		for d, c := range qq[:dim] {
+			st.wq[d] = q.w[d] * c
+			st.q2 += st.wq[d] * c
+		}
+		st.cands = make(qHeap, 0, min(st.want, len(sh.entries))+1)
+		states[j] = st
+	}
+	for i := range sh.entries {
+		row := q.codes[i*dim : i*dim+dim]
+		for j := range states {
+			st := &states[j]
+			var dot int64
+			for d, c := range row {
+				dot += st.wq[d] * int64(c)
+			}
+			acc := q.s2[i] + st.q2 - 2*dot
+			dist := q.unit * math.Sqrt(float64(acc))
+			dt := st.qdays - q.days[i]
+			if dt < 0 {
+				dt = -dt
+			}
+			decay := fastExp(-st.alpha * dt)
+			if decay <= st.thr*(1+dist) {
+				continue
+			}
+			st.cands.offer(qCand{idx: i, sim: decay / (1 + dist)}, st.want)
+			if len(st.cands) == st.want {
+				st.thr = st.cands[0].sim
+			}
+		}
+	}
+	for j, qi := range quantQ {
+		bq := &queries[qi]
+		if bq.Diverse {
+			best := make(map[incident.Category]Scored)
+			for _, c := range states[j].cands {
+				d, sim := similarityAt(bq.Vector, bq.Time, sh.row(c.idx), sh.entries[c.idx].Time, bq.Alpha)
+				sc := Scored{Entry: sh.entries[c.idx], Distance: d, Similarity: sim}
+				if cur, ok := best[sc.Entry.Category]; !ok || ranksAfter(cur, sc) {
+					best[sc.Entry.Category] = sc
+				}
+			}
+			for cat, sc := range best {
+				sc.Entry.Vector = append([]float64(nil), sh.row(sh.byID[sc.Entry.ID])...)
+				best[cat] = sc
+			}
+			res.best[qi] = best
+		} else {
+			h := make(worstFirst, 0, bq.K+1)
+			for _, c := range states[j].cands {
+				d, sim := similarityAt(bq.Vector, bq.Time, sh.row(c.idx), sh.entries[c.idx].Time, bq.Alpha)
+				h.offer(Scored{Entry: sh.entries[c.idx], Distance: d, Similarity: sim}, bq.K)
+			}
+			for i := range h {
+				h[i].Entry.Vector = append([]float64(nil), sh.row(sh.byID[h[i].Entry.ID])...)
+			}
+			res.topk[qi] = h.drain()
+		}
+	}
+}
+
+// shardScan is one shard's work item in a batch round: the queries that
+// consume it, split by scan mode.
+type shardScan struct {
+	sh     *shard
+	floatQ []int
+	quantQ []int
+}
+
+// batchPlan tracks one query's probe state across batch rounds.
+type batchPlan struct {
+	probed bool
+	quant  bool
+	// ranked/consumed drive per-query budget growth (EnablePerQueryProbes):
+	// the full probe ranking and how many of its partitions the query has
+	// scanned so far. done latches once growth stops.
+	ranked   []probeCand
+	consumed int
+	done     bool
+}
+
+// TopKBatch executes a batch of queries with results bit-identical to
+// issuing each query sequentially through TopK/TopKDiverse: probe
+// selection runs per query against the same ranking, shards are visited
+// in the union of the per-query selections, and each probed shard's
+// backing (columnar floats, or the int8 sidecar on the quantized path) is
+// scanned ONCE for all the queries that selected it — the
+// memory-bandwidth-dominated row stream amortizes across the batch the
+// way a blocked matmul amortizes operand loads. Each query consumes rows
+// only from shards its own budget selected.
+//
+// With EnablePerQueryProbes, probed queries instead seed at the effective
+// (tuner-converged) probe budget and then grow their own budget shard by
+// shard while the next-ranked partition's optimistic best-similarity
+// estimate still exceeds the query's current k-th result by more than the
+// configured margin — easy queries stop at the seed, hard ones escalate —
+// trading strict sequential bit-identity for per-query recall targeting;
+// the tuner's shadow sampling observes the batched results end-to-end.
+func (s *Sharded) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
+	for i := range queries {
+		if err := checkQuery(s.dim, queries[i].Vector, queries[i].K); err != nil {
+			return nil, fmt.Errorf("vectordb: batch query %d: %w", i, err)
+		}
+	}
+	out := make([][]Scored, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	s.batchQueries.Add(int64(len(queries)))
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	draining, current := s.liveShards()
+	if draining != nil {
+		return s.topKBatchDraining(queries, draining, current)
+	}
+
+	quantOn := s.quantized.Load()
+	overfetch := s.Overfetch()
+	perQuery := s.perQuery.Load()
+	minGain := math.Float64frombits(s.perQueryGain.Load())
+
+	// Plan round 0: per-query probe selection (the same ranking sequential
+	// probeShards uses), grouped into one scan per selected shard.
+	plans := make([]batchPlan, len(queries))
+	var round []*shardScan
+	scanFor := make(map[*shard]*shardScan)
+	nominate := func(sh *shard, qi int, quant bool) {
+		sc := scanFor[sh]
+		if sc == nil {
+			sc = &shardScan{sh: sh}
+			scanFor[sh] = sc
+			round = append(round, sc)
+		}
+		if quant {
+			sc.quantQ = append(sc.quantQ, qi)
+		} else {
+			sc.floatQ = append(sc.floatQ, qi)
+		}
+	}
+	quantServed := 0
+	for qi := range queries {
+		bq := &queries[qi]
+		pl := &plans[qi]
+		var sel []*shard
+		if perQuery {
+			ranked, p := s.rankedProbeCands(s.gen, bq.Vector, bq.Time, bq.Alpha)
+			if ranked != nil && len(ranked) > p {
+				pl.ranked = ranked
+				pl.consumed = p
+				sel = make([]*shard, p)
+				for i := range sel {
+					sel[i] = ranked[i].sh
+				}
+			}
+		} else if sel = s.probeShards(s.gen, bq.Vector, bq.Time, bq.Alpha); sel != nil {
+			pl.done = true // fixed budget: no growth rounds
+		}
+		if sel == nil {
+			sel = current
+			pl.done = true
+		} else {
+			pl.probed = true
+			pl.quant = quantOn
+			if quantOn {
+				quantServed++
+			}
+		}
+		for _, sh := range sel {
+			nominate(sh, qi, pl.quant)
+		}
+	}
+	if quantServed > 0 {
+		s.qScans.Add(int64(quantServed))
+	}
+
+	// Per-query merge accumulators, fed round by round.
+	heaps := make([]worstFirst, len(queries))
+	bests := make([]map[incident.Category]Scored, len(queries))
+	for qi := range queries {
+		if queries[qi].Diverse {
+			bests[qi] = make(map[incident.Category]Scored)
+		} else {
+			heaps[qi] = make(worstFirst, 0, queries[qi].K+1)
+		}
+	}
+	runRound := func(scans []*shardScan) error {
+		results, err := parallel.Map(len(scans), 0, func(i int) (shardScanResult, error) {
+			return scans[i].sh.scanBatch(queries, scans[i].floatQ, scans[i].quantQ, overfetch), nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			for qi, scs := range r.topk {
+				for _, sc := range scs {
+					heaps[qi].offer(sc, queries[qi].K)
+				}
+			}
+			for qi, m := range r.best {
+				for cat, sc := range m {
+					if cur, ok := bests[qi][cat]; !ok || ranksAfter(cur, sc) {
+						bests[qi][cat] = sc
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := runRound(round); err != nil {
+		return nil, err
+	}
+
+	// Growth rounds: each still-growing query nominates its next-ranked
+	// partition while the optimistic marginal gain clears the threshold;
+	// nominated shards are again scanned once each for every nominating
+	// query.
+	for perQuery {
+		round = round[:0]
+		scanFor = make(map[*shard]*shardScan)
+		for qi := range queries {
+			pl := &plans[qi]
+			if pl.done || pl.consumed >= len(pl.ranked) {
+				pl.done = true
+				continue
+			}
+			kth, full := s.batchKth(&queries[qi], heaps[qi], bests[qi])
+			next := pl.ranked[pl.consumed]
+			if full && next.est-kth <= minGain {
+				pl.done = true
+				continue
+			}
+			nominate(next.sh, qi, pl.quant)
+			pl.consumed++
+			s.batchEscalations.Add(1)
+		}
+		if len(round) == 0 {
+			break
+		}
+		if err := runRound(round); err != nil {
+			return nil, err
+		}
+	}
+
+	for qi := range queries {
+		if queries[qi].Diverse {
+			h := make(worstFirst, 0, queries[qi].K+1)
+			for _, sc := range bests[qi] {
+				h.offer(sc, queries[qi].K)
+			}
+			out[qi] = h.drain()
+		} else {
+			out[qi] = heaps[qi].drain()
+		}
+	}
+	if t := s.tuner.Load(); t != nil {
+		// Feed every batched query through the same shadow-sampling hook as
+		// sequential serving, so the tuner's observed recall measures the
+		// batched path end-to-end.
+		for qi := range queries {
+			t.observeQuery(queries[qi].Vector, queries[qi].Time, queries[qi].K, queries[qi].Alpha,
+				out[qi], plans[qi].probed, queries[qi].Diverse)
+		}
+	}
+	return out, nil
+}
+
+// batchKth returns a query's current k-th-best similarity from its merge
+// accumulator, and whether it already holds k results (a query below k
+// always keeps growing).
+func (s *Sharded) batchKth(bq *BatchQuery, h worstFirst, best map[incident.Category]Scored) (float64, bool) {
+	if bq.Diverse {
+		if len(best) < bq.K {
+			return 0, false
+		}
+		kh := make(worstFirst, 0, bq.K+1)
+		for _, sc := range best {
+			kh.offer(sc, bq.K)
+		}
+		return kh[0].Similarity, true
+	}
+	if len(h) < bq.K {
+		return 0, false
+	}
+	return h[0].Similarity, true
+}
+
+// topKBatchDraining is TopKBatch with a rebalance in flight: every query
+// fans out exactly over both generations — the draining shards scanned
+// (and merged) before the current ones, duplicates collapsed by ID, the
+// same no-miss/no-double-count argument as the sequential mid-rebalance
+// path. Caller holds s.mu shared.
+func (s *Sharded) topKBatchDraining(queries []BatchQuery, draining, current []*shard) ([][]Scored, error) {
+	shards := append(append([]*shard(nil), draining...), current...)
+	all := make([]int, len(queries))
+	for i := range all {
+		all[i] = i
+	}
+	results, err := parallel.Map(len(shards), 0, func(i int) (shardScanResult, error) {
+		return shards[i].scanBatch(queries, all, nil, 0), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Scored, len(queries))
+	for qi := range queries {
+		bq := &queries[qi]
+		if bq.Diverse {
+			best := make(map[incident.Category]Scored)
+			for _, r := range results {
+				for cat, sc := range r.best[qi] {
+					if cur, ok := best[cat]; !ok || ranksAfter(cur, sc) {
+						best[cat] = sc
+					}
+				}
+			}
+			h := make(worstFirst, 0, bq.K+1)
+			for _, sc := range best {
+				h.offer(sc, bq.K)
+			}
+			out[qi] = h.drain()
+		} else {
+			seen := make(map[string]bool, 2*bq.K)
+			h := make(worstFirst, 0, bq.K+1)
+			for _, r := range results { // draining shards first, then current
+				for _, sc := range r.topk[qi] {
+					if seen[sc.Entry.ID] {
+						continue
+					}
+					seen[sc.Entry.ID] = true
+					h.offer(sc, bq.K)
+				}
+			}
+			out[qi] = h.drain()
+		}
+	}
+	return out, nil
+}
+
+// EnablePerQueryProbes opts the batch executor into per-query probe
+// budgets: each probed batch query seeds at the effective (tuner-owned or
+// manual) probe budget, then grows its own budget one partition at a time
+// while the next-ranked partition's optimistic best-similarity estimate
+// exceeds the query's current k-th result by more than minGain — so easy
+// queries stop at the seed while hard ones escalate toward full fan-out.
+// Results may then differ from sequential single-query serving (which is
+// why the mode is opt-in and the bit-identity goldens run without it);
+// the adaptive tuner's shadow sampling still measures the served batched
+// results end-to-end. minGain must be non-negative and finite; 0 grows
+// whenever any improvement looks possible.
+func (s *Sharded) EnablePerQueryProbes(minGain float64) error {
+	if math.IsNaN(minGain) || minGain < 0 {
+		return fmt.Errorf("vectordb: per-query probe gain threshold %v must be a non-negative number", minGain)
+	}
+	s.perQueryGain.Store(math.Float64bits(minGain))
+	s.perQuery.Store(true)
+	return nil
+}
+
+// DisablePerQueryProbes restores fixed-budget batch probing (the
+// bit-identical default).
+func (s *Sharded) DisablePerQueryProbes() { s.perQuery.Store(false) }
+
+// PerQueryProbes reports whether batch queries grow per-query probe
+// budgets.
+func (s *Sharded) PerQueryProbes() bool { return s.perQuery.Load() }
+
+// BatchEscalations returns how many partitions batch queries have scanned
+// beyond their seeded probe budget (EnablePerQueryProbes).
+func (s *Sharded) BatchEscalations() int { return int(s.batchEscalations.Load()) }
+
+// BatchQueries returns how many queries have been served through
+// TopKBatch.
+func (s *Sharded) BatchQueries() int { return int(s.batchQueries.Load()) }

@@ -1,6 +1,7 @@
 package vectordb
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -22,20 +23,26 @@ import (
 //     result is approximate but must stay sane: correct length, every hit
 //     from a probed partition with its exact (distance, similarity)
 //     re-ranked scores, in the standard retrieval order — and never a
-//     panic at any dim/overfetch/corpus shape.
+//     panic at any dim/overfetch/corpus shape;
+//   - at every fuzzed shape, TopKBatch over a batch of fuzzed size built
+//     around the query (perturbed variants, mixed k/alpha/diverse) must
+//     return, per member, exactly the sequential TopK/TopKDiverse result
+//     — the batch bit-identity contract under all of the above modes at
+//     once.
 //
 // The seeds double as regression tests on every plain `go test` run; CI
 // additionally runs a short coverage-guided session (-fuzz).
 func FuzzProbeEquivalence(f *testing.F) {
-	f.Add(int64(1), uint8(4), uint8(1), uint8(200), 1.0, 2.0, 3.0, 4.0)
-	f.Add(int64(99), uint8(8), uint8(2), uint8(0), 10.0, 0.0, -3.0, 7.5)
-	f.Add(int64(7), uint8(2), uint8(0), uint8(3), 0.0, 0.0, 0.0, 0.0)
-	f.Add(int64(123), uint8(6), uint8(5), uint8(1), -2.0, 19.0, 4.0, 11.0)
-	f.Fuzz(func(t *testing.T, seed int64, shardsB, probesB, overB uint8, qa, qb, qc, qd float64) {
+	f.Add(int64(1), uint8(4), uint8(1), uint8(200), uint8(3), 1.0, 2.0, 3.0, 4.0)
+	f.Add(int64(99), uint8(8), uint8(2), uint8(0), uint8(0), 10.0, 0.0, -3.0, 7.5)
+	f.Add(int64(7), uint8(2), uint8(0), uint8(3), uint8(7), 0.0, 0.0, 0.0, 0.0)
+	f.Add(int64(123), uint8(6), uint8(5), uint8(1), uint8(12), -2.0, 19.0, 4.0, 11.0)
+	f.Fuzz(func(t *testing.T, seed int64, shardsB, probesB, overB, batchB uint8, qa, qb, qc, qd float64) {
 		const n, dim, clusters, k = 60, 4, 3, 5
 		shards := 2 + int(shardsB%7)             // 2..8
 		probes := int(probesB % uint8(shards+2)) // 0..shards+1
 		overfetch := 1 + int(overB)              // 1..256: small starves the re-rank, large covers every shard
+		batchSize := 1 + int(batchB%8)           // 1..8
 		query := []float64{qa, qb, qc, qd}
 		for _, x := range query {
 			if math.IsNaN(x) || math.Abs(x) > 1e6 {
@@ -93,6 +100,40 @@ func FuzzProbeEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+
+		// Batch bit-identity at this fuzzed shape: perturbed variants of
+		// the query with mixed k/alpha/diverse must each come back exactly
+		// as their sequential call would serve them — through whichever of
+		// the exact/probe-limited/quantized paths the shape selects.
+		batch := make([]BatchQuery, batchSize)
+		for i := range batch {
+			v := append([]float64(nil), query...)
+			v[i%dim] += float64(i) * 0.37
+			batch[i] = BatchQuery{
+				Vector:  v,
+				Time:    qt.AddDate(0, 0, i%2),
+				K:       1 + i%7,
+				Alpha:   []float64{0, 0.3, 1.1}[i%3],
+				Diverse: i%2 == 0,
+			}
+		}
+		gotB, err := sh.TopKBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, bq := range batch {
+			var wantB []Scored
+			if bq.Diverse {
+				wantB, err = sh.TopKDiverse(bq.Vector, bq.Time, bq.K, bq.Alpha)
+			} else {
+				wantB, err = sh.TopK(bq.Vector, bq.Time, bq.K, bq.Alpha)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameScored(t, fmt.Sprintf("batch member %d", i), gotB[i], wantB)
+		}
+
 		if sel == nil || covered {
 			want, err := oracle.TopK(query, qt, k, 0.3)
 			if err != nil {

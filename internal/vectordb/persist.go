@@ -85,6 +85,11 @@ func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
 	snap := snapshot{Dim: db.dim, Entries: make([]Entry, len(db.entries))}
 	copy(snap.Entries, db.entries)
+	// The columnar store keeps vectors out of the entries; the wire format
+	// carries them inline, so materialize each row into the copies.
+	for i := range snap.Entries {
+		snap.Entries[i].Vector = append([]float64(nil), db.row(i)...)
+	}
 	db.mu.RUnlock()
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("vectordb: save: %w", err)
@@ -101,11 +106,15 @@ func (db *DB) Load(r io.Reader) error {
 		return err
 	}
 	byID := make(map[string]int, len(snap.Entries))
-	for i, e := range snap.Entries {
-		byID[e.ID] = i
+	vecs := make([]float64, 0, len(snap.Entries)*db.dim)
+	for i := range snap.Entries {
+		byID[snap.Entries[i].ID] = i
+		vecs = append(vecs, snap.Entries[i].Vector...)
+		snap.Entries[i].Vector = nil
 	}
 	db.mu.Lock()
 	db.entries = snap.Entries
+	db.vecs = vecs
 	db.byID = byID
 	db.mu.Unlock()
 	return nil

@@ -111,6 +111,15 @@ type Sharded struct {
 	rescales  atomic.Int64
 	// quantWG tracks in-flight asynchronous sidecar rescales.
 	quantWG sync.WaitGroup
+	// perQuery gates the batch executor's per-query probe budget growth
+	// (EnablePerQueryProbes); perQueryGain holds the marginal-gain
+	// threshold as Float64bits, and batchEscalations counts shards scanned
+	// beyond the seeded budget.
+	perQuery         atomic.Bool
+	perQueryGain     atomic.Uint64
+	batchEscalations atomic.Int64
+	// batchQueries counts queries served through TopKBatch.
+	batchQueries atomic.Int64
 	// savedState carries a loaded serving-state trailer until a tuner
 	// exists to absorb it (Load before EnableAdaptive).
 	savedState atomic.Pointer[tunerState]
@@ -483,46 +492,65 @@ func (s *Sharded) Categories() []incident.Category {
 // is nearer. Under ProbeRankDistance the ranking is plain centroid
 // distance. Both break ties toward the lower shard index.
 func (s *Sharded) probeShards(g *generation, query []float64, qt time.Time, alpha float64) []*shard {
+	cands, p := s.rankedProbeCands(g, query, qt, alpha)
+	if cands == nil || len(cands) <= p {
+		// No probe geometry, or the budget covers every populated
+		// partition: identical to exact fan-out, so take the exact path and
+		// keep the bit-identity guarantee trivially.
+		return nil
+	}
+	sel := make([]*shard, p)
+	for i := range sel {
+		sel[i] = cands[i].sh
+	}
+	return sel
+}
+
+// probeCand is one populated partition in probe-rank order: the ranking
+// score (rank-mode dependent) plus an optimistic best-similarity estimate
+// on the similarity scale — 1/(1+d)·e^(−α·Δt) at the partition's
+// newest-entry timestamp — which is what the batch executor's per-query
+// budget growth compares against a query's current k-th result.
+type probeCand struct {
+	sh    *shard
+	score float64
+	est   float64
+}
+
+// rankedProbeCands ranks every populated partition for a probe-limited
+// query and returns the probe budget it read, or (nil, 0) when probe mode
+// cannot engage at all (no budget, no IVF geometry). The caller decides
+// how many ranked partitions to consume: probeShards takes the first
+// `budget` when they don't already cover every populated partition; the
+// batch executor's per-query growth walks further down the ranking. Ties
+// keep ascending shard index (stable sort over the ascending-index pass).
+func (s *Sharded) rankedProbeCands(g *generation, query []float64, qt time.Time, alpha float64) ([]probeCand, int) {
 	p := int(s.probes.Load())
 	if p <= 0 || p >= len(g.shard) {
-		return nil
+		return nil, 0
 	}
 	ivf, ok := g.parts.(*IVF)
 	if !ok {
-		return nil
-	}
-
-	type cand struct {
-		idx   int
-		score float64
+		return nil, 0
 	}
 	dists := ivf.centroidDists(query)
 	timeAware := s.probeRank.Load() == ProbeRankTimeAware && alpha != 0
-	cands := make([]cand, 0, len(g.shard))
+	cands := make([]probeCand, 0, len(g.shard))
 	for i, sh := range g.shard {
 		n, newest := sh.stats()
 		if n == 0 {
 			continue
 		}
+		days := math.Abs(qt.Sub(newest).Hours()) / 24
+		est := 1 / (1 + dists[i]) * math.Exp(-alpha*days)
 		score := -dists[i] // distance-only: nearer ranks higher
 		if timeAware {
-			days := math.Abs(qt.Sub(newest).Hours()) / 24
-			score = 1 / (1 + dists[i]) * math.Exp(-alpha*days)
+			score = est
 		}
-		cands = append(cands, cand{idx: i, score: score})
-	}
-	if len(cands) <= p {
-		// The budget covers every populated partition: identical to exact
-		// fan-out, so take the exact path and keep the bit-identity
-		// guarantee trivially.
-		return nil
+		cands = append(cands, probeCand{sh: sh, score: score, est: est})
 	}
 	sort.SliceStable(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
-	sel := make([]*shard, p)
-	for i := range sel {
-		sel[i] = g.shard[cands[i].idx]
-	}
-	return sel
+	return cands, p
 }
 
 // fanTopK runs the per-shard bounded-heap scan over the given shards on
@@ -687,6 +715,24 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 			shards, probed = sel, true
 		}
 	}
+	if draining == nil && !probed && s.count.Load() <= diverseInlineMax {
+		// Small store: one preallocated category-best map filled across all
+		// shards in sequence beats the fan-out's per-shard map build, merge,
+		// and per-shard winner materialization — the regime where the
+		// sharded TopKDiverse used to lose to the flat store.
+		s.categoryBestInline(shards, query, qt, alpha, best)
+		h := make(worstFirst, 0, k+1)
+		for _, sc := range best {
+			h.offer(sc, k)
+		}
+		out := h.drain()
+		if !forceExact {
+			if t := s.tuner.Load(); t != nil {
+				t.observeQuery(query, qt, k, alpha, out, false, true)
+			}
+		}
+		return out, nil
+	}
 	var perShard []map[incident.Category]Scored
 	var err error
 	if probed && s.quantized.Load() {
@@ -713,6 +759,46 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 		}
 	}
 	return out, nil
+}
+
+// diverseInlineMax is the store size at or below which TopKDiverse takes
+// the inline single-map path instead of per-shard fan-out: small enough
+// that scan time cannot amortize per-shard map builds and merge overhead.
+const diverseInlineMax = 4096
+
+// categoryBestInline fills one shared category-best map across the given
+// shards in sequence — same comparisons (and therefore bit-identical
+// results) as the per-shard maps merged by mergeBest, without building and
+// merging a map per shard. Winners reference (shard, row) during the scan
+// and materialize once at the end: under the caller-held store read lock
+// no generation swap can start, so shards only append and row indexes stay
+// stable across the brief per-shard lock releases.
+func (s *Sharded) categoryBestInline(shards []*shard, query []float64, qt time.Time, alpha float64, best map[incident.Category]Scored) {
+	type ref struct {
+		sh  *shard
+		idx int
+	}
+	refs := make(map[incident.Category]ref, 64)
+	for _, sh := range shards {
+		sh.mu.RLock()
+		for i := range sh.entries {
+			d, sim := similarityAt(query, qt, sh.row(i), sh.entries[i].Time, alpha)
+			sc := Scored{Entry: sh.entries[i], Distance: d, Similarity: sim}
+			cat := sc.Entry.Category
+			if cur, ok := best[cat]; !ok || ranksAfter(cur, sc) {
+				best[cat] = sc
+				refs[cat] = ref{sh: sh, idx: i}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	for cat, r := range refs {
+		sc := best[cat]
+		r.sh.mu.RLock()
+		sc.Entry.Vector = append([]float64(nil), r.sh.row(r.idx)...)
+		r.sh.mu.RUnlock()
+		best[cat] = sc
+	}
 }
 
 // topK streams one shard's columnar rows through a bounded heap and

@@ -213,14 +213,17 @@ func (t *Tuner) ObservedRecall() (mean float64, samples int) {
 	return t.recallSum / float64(t.recallN), t.recallN
 }
 
-// observeQuery is the per-query hook TopK/TopKDiverse call on the serving
-// path (never mid-rebalance). probed reports whether the result came from
-// probe-limited search; when it did not, the serving path was exact and
-// recall is 1 by construction — a free sample that lets the controller
-// shrink back down without any shadow cost. Probed samples launch an
-// exact shadow query on its own goroutine (one slot from the shared
-// parallel budget, at most one in flight) and feed observed recall@k into
-// the controller window.
+// observeQuery is the per-query hook the serving paths call (never
+// mid-rebalance): TopK/TopKDiverse once per call, and TopKBatch once per
+// batch member with that member's SERVED result — so under batched
+// serving the controller's observed recall measures the batched executor
+// end-to-end, per-query probe growth included, not a sequential proxy.
+// probed reports whether the result came from probe-limited search; when
+// it did not, the serving path was exact and recall is 1 by construction
+// — a free sample that lets the controller shrink back down without any
+// shadow cost. Probed samples launch an exact shadow query on its own
+// goroutine (one slot from the shared parallel budget, at most one in
+// flight) and feed observed recall@k into the controller window.
 func (t *Tuner) observeQuery(query []float64, qt time.Time, k int, alpha float64, approx []Scored, probed, diverse bool) {
 	if t.cfg.RecallTarget <= 0 || t.paused.Load() {
 		return

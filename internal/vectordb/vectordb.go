@@ -142,6 +142,42 @@
 // (those queries are exact already), and Tuner.Quiesce is the barrier
 // that waits out in-flight shadow/retrain work where determinism matters.
 //
+// # Batched execution (TopKBatch and Batcher)
+//
+// TopKBatch serves B heterogeneous queries (per-query k, anchor time,
+// decay, diversity flag) in one pass. The sharded executor inverts the
+// loop: probe selection still runs per query against the same partition
+// ranking sequential serving uses, shards are visited in the union of the
+// per-query selections, and each selected shard's backing — the columnar
+// float rows, or the int8 sidecar on the quantized path — streams ONCE
+// for every query that selected it, each maintaining its own bounded
+// heap. The scan is memory-bandwidth dominated, so the shared row stream
+// amortizes across the batch the way a blocked matmul amortizes operand
+// loads. The contract is bit-identity: because each query applies exactly
+// the sequential per-row arithmetic and consumes rows only from shards
+// its own budget selected, out[i] is BIT-IDENTICAL to serving queries[i]
+// alone — for exact fan-out, probe-limited, quantized, and mid-rebalance
+// serving alike (pinned by goldens and the probe-equivalence fuzz
+// oracle).
+//
+// EnablePerQueryProbes relaxes that contract on request: each probed
+// batch query seeds at the tuner's converged global budget and grows its
+// own budget one partition at a time while the next-ranked partition's
+// optimistic best-similarity estimate exceeds the query's current k-th
+// result by more than a configured margin — easy queries stop at the
+// seed, hard ones escalate toward full fan-out — and the tuner's shadow
+// sampling observes the served batched results, so its recall SLO
+// measures the batched path end-to-end.
+//
+// Batcher is the serving-side micro-batcher that feeds TopKBatch: a
+// time/size-bounded collector that flushes when maxBatch queries have
+// accumulated or the oldest has waited maxWait, whichever comes first. A
+// query that arrives while the collector is empty and no other query
+// follows immediately is served on the single-query fast path — directly
+// through TopK/TopKDiverse, no timer wait — so idle-traffic p50 latency
+// is unchanged and batching engages exactly when concurrency makes it
+// profitable.
+//
 // BenchmarkTopKProbes records the recall-vs-speedup trade-off against the
 // flat oracle (see BENCH_retrieval.json), and a pinned recall floor
 // (recall@5 >= 0.9 at probes=2 on the seeded clustered corpus) guards the
@@ -203,6 +239,12 @@ type Index interface {
 	// TopKDiverse returns the k most similar entries with each category
 	// appearing at most once (§4.2.2).
 	TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error)
+	// TopKBatch executes a batch of queries — each with its own k, anchor
+	// time, decay, and diversity flag — in one pass over the store, with
+	// out[i] bit-identical to serving queries[i] alone through
+	// TopK/TopKDiverse (see the package comment's batched execution
+	// contract).
+	TopKBatch(queries []BatchQuery) ([][]Scored, error)
 	// Save serializes the store in the flat snapshot format.
 	Save(w io.Writer) error
 	// Load replaces the store contents with a snapshot written by any
@@ -284,12 +326,24 @@ func NewIndex(dim int, opts Options) Index {
 	return New(dim)
 }
 
-// DB is a concurrency-safe exact-search vector store.
+// DB is a concurrency-safe exact-search vector store. Vectors live in one
+// contiguous row-major backing array (the same columnar layout the sharded
+// store's per-shard scans use) so the streaming TopK pass walks a dense
+// float64 stream instead of pointer-chasing per-entry slices; the Entry
+// structs in entries carry nil Vector fields, and winners materialize
+// their vectors on the way out.
 type DB struct {
 	mu      sync.RWMutex
 	dim     int
-	entries []Entry
+	entries []Entry   // Vector fields nil; see vecs
+	vecs    []float64 // row-major vector backing: entry i at [i*dim, (i+1)*dim)
 	byID    map[string]int
+}
+
+// row returns entry i's vector from the columnar backing. Caller holds
+// db.mu.
+func (db *DB) row(i int) []float64 {
+	return db.vecs[i*db.dim : (i+1)*db.dim]
 }
 
 var _ Index = (*DB)(nil)
@@ -331,7 +385,8 @@ func (db *DB) Add(e Entry) error {
 	if _, dup := db.byID[e.ID]; dup {
 		return fmt.Errorf("vectordb: duplicate entry ID %s", e.ID)
 	}
-	e.Vector = append([]float64(nil), e.Vector...)
+	db.vecs = append(db.vecs, e.Vector...)
+	e.Vector = nil
 	db.byID[e.ID] = len(db.entries)
 	db.entries = append(db.entries, e)
 	return nil
@@ -345,7 +400,9 @@ func (db *DB) Get(id string) (Entry, bool) {
 	if !ok {
 		return Entry{}, false
 	}
-	return db.entries[i], true
+	e := db.entries[i]
+	e.Vector = append([]float64(nil), db.row(i)...)
+	return e, true
 }
 
 // countCategoriesInto tallies entries per category into counts — the one
@@ -483,19 +540,19 @@ func (db *DB) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) (
 	}
 	db.mu.RLock()
 	best := make(map[incident.Category]Scored)
-	for _, e := range db.entries {
-		d, s := Similarity(query, qt, e, alpha)
-		sc := Scored{Entry: e, Distance: d, Similarity: s}
-		if cur, ok := best[e.Category]; !ok || ranksAfter(cur, sc) {
-			best[e.Category] = sc
+	for i := range db.entries {
+		d, s := similarityAt(query, qt, db.row(i), db.entries[i].Time, alpha)
+		sc := Scored{Entry: db.entries[i], Distance: d, Similarity: s}
+		if cur, ok := best[sc.Entry.Category]; !ok || ranksAfter(cur, sc) {
+			best[sc.Entry.Category] = sc
 		}
 	}
-	db.mu.RUnlock()
-
 	h := make(worstFirst, 0, k+1)
 	for _, sc := range best {
+		sc.Entry.Vector = append([]float64(nil), db.row(db.byID[sc.Entry.ID])...)
 		h.offer(sc, k)
 	}
+	db.mu.RUnlock()
 	return h.drain(), nil
 }
 
@@ -509,9 +566,19 @@ func (db *DB) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Score
 	}
 	db.mu.RLock()
 	h := make(worstFirst, 0, k+1)
-	for _, e := range db.entries {
-		d, s := Similarity(query, qt, e, alpha)
-		h.offer(Scored{Entry: e, Distance: d, Similarity: s}, k)
+	for i := range db.entries {
+		d, s := similarityAt(query, qt, db.row(i), db.entries[i].Time, alpha)
+		if len(h) == k {
+			// Same pre-check as the sharded scan: skip the Entry copy for
+			// rows that cannot displace the heap root.
+			if r := &h[0]; r.Similarity > s || (r.Similarity == s && r.Entry.ID < db.entries[i].ID) {
+				continue
+			}
+		}
+		h.offer(Scored{Entry: db.entries[i], Distance: d, Similarity: s}, k)
+	}
+	for i := range h {
+		h[i].Entry.Vector = append([]float64(nil), db.row(db.byID[h[i].Entry.ID])...)
 	}
 	db.mu.RUnlock()
 	return h.drain(), nil
@@ -556,8 +623,10 @@ func (db *DB) sortTopKDiverse(query []float64, qt time.Time, k int, alpha float6
 func (db *DB) scoreAllSorted(query []float64, qt time.Time, alpha float64) []Scored {
 	db.mu.RLock()
 	scored := make([]Scored, 0, len(db.entries))
-	for _, e := range db.entries {
-		d, s := Similarity(query, qt, e, alpha)
+	for i := range db.entries {
+		d, s := similarityAt(query, qt, db.row(i), db.entries[i].Time, alpha)
+		e := db.entries[i]
+		e.Vector = append([]float64(nil), db.row(i)...)
 		scored = append(scored, Scored{Entry: e, Distance: d, Similarity: s})
 	}
 	db.mu.RUnlock()

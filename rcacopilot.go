@@ -230,6 +230,18 @@ type Config struct {
 	// Call Feedback().Flush() for read-your-writes before querying. 0
 	// keeps the synchronous default.
 	AsyncLearnQueue int
+	// BatchMax, when >= 2, inserts a micro-batching collector in front of
+	// the vector store: concurrent Retrieve calls coalesce into one
+	// scan-once-per-shard batched execution of up to BatchMax queries,
+	// amortizing each shard's memory walk across the batch. Results stay
+	// bit-identical to unbatched serving, and a query arriving on an idle
+	// collector is served immediately (no added latency when there is
+	// nothing to coalesce with). 0 or 1 disables batching.
+	BatchMax int
+	// BatchWait bounds how long the collector holds an under-filled batch
+	// open waiting for companions before flushing it. 0 defaults to 500µs.
+	// Only meaningful with BatchMax >= 2.
+	BatchWait time.Duration
 }
 
 // System is an assembled RCACopilot deployment over a fleet.
@@ -276,6 +288,8 @@ func NewSystem(fleet *Fleet, cfg Config) (*System, error) {
 		RetrainSkew:  cfg.RetrainSkew,
 		Quantized:    cfg.Quantized,
 		Overfetch:    cfg.Overfetch,
+		BatchMax:     cfg.BatchMax,
+		BatchWait:    cfg.BatchWait,
 	})
 	if err != nil {
 		return nil, err
@@ -418,6 +432,13 @@ func (s *System) Feedback() *FeedbackLoop {
 func (s *System) Retrieve(text string, k int, diverse bool) ([]Retrieved, error) {
 	return s.copilot.Retrieve(text, s.fleet.Clock().Now(), k, diverse)
 }
+
+// Close releases background serving resources — today the micro-batching
+// collector's dispatcher (Config.BatchMax). The system keeps serving
+// after Close (retrievals just bypass the collector), so it is safe to
+// call during shutdown while drains finish. The feedback loop has its own
+// lifecycle — see FeedbackLoop.Close.
+func (s *System) Close() { s.copilot.Close() }
 
 // RenderRetryQueue renders the feedback loop's learn-failure self-heal
 // schedule — per-incident attempt counts and next redrive times — next to
