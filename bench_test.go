@@ -386,7 +386,7 @@ func BenchmarkVectorTopKDiverse(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cop.DB().TopKDiverse(query, inc.CreatedAt, 5, 0.3); err != nil {
+		if _, err := cop.Index().TopKDiverse(query, inc.CreatedAt, 5, 0.3); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -67,6 +67,7 @@ func main() {
 	quantized := flag.Bool("quantized", false, "two-stage probe scan: int8 candidate collection + exact re-rank (requires probe-limited serving)")
 	overfetch := flag.Int("overfetch", 0, "quantized candidate pool per probed shard, K×overfetch; 0 = default 4")
 	batch := flag.Int("batch", 0, "micro-batch concurrent retrievals, up to this many per scan-once-per-shard execution (bit-identical results); 0/1 = unbatched")
+	tenants := flag.Bool("tenants", false, "run table4's teams as co-tenants on one shared fleet with per-tenant cost attribution")
 	parallelBudget := flag.Int("parallel-budget", -1, "pin the process-wide extra-worker budget; -1 = default/auto")
 	autoLimit := flag.Bool("auto-limit", false, "auto-size the worker budget from observed model-call latency")
 	flag.Parse()
@@ -231,12 +232,22 @@ func main() {
 		fmt.Println(eval.FormatFig12(points))
 	}
 	if all || want["table4"] {
-		section("Table 4: teams using RCACopilot diagnostic collection")
-		rows, err := eval.RunTable4(*seed, *teamsN, *workers)
-		if err != nil {
-			fatal(err)
+		if *tenants {
+			section("Table 4: teams as co-tenants on one shared fleet")
+			rows, shares, err := eval.RunTable4Tenants(*seed, *teamsN)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(eval.FormatTable4(rows))
+			fmt.Println(eval.FormatTenantShares(shares))
+		} else {
+			section("Table 4: teams using RCACopilot diagnostic collection")
+			rows, err := eval.RunTable4(*seed, *teamsN, *workers)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(eval.FormatTable4(rows))
 		}
-		fmt.Println(eval.FormatTable4(rows))
 	}
 	if all || want["trust"] {
 		section("§5.6 Trustworthiness: three evaluation rounds")

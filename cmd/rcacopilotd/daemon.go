@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -239,7 +240,7 @@ func (d *daemon) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, err := d.limiter.Admit(inc.OwningTeam)
+	release, err := d.limiter.Admit(inc.OwningTeam, inc.Severity)
 	switch {
 	case errors.Is(err, httpd.ErrRateLimited):
 		w.Header().Set("Retry-After", strconv.Itoa(d.limiter.RetryAfter()))
@@ -505,7 +506,14 @@ func (d *daemon) retrieve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	diverse := r.URL.Query().Get("diverse") != ""
-	hits, err := d.sys.Retrieve(q, k, diverse)
+	var hits []rcacopilot.Retrieved
+	if r.URL.Query().Has("team") {
+		// Tenant-scoped retrieval: search only the team's namespace view.
+		// An unknown team is an empty result set, not an error.
+		hits, err = d.sys.RetrieveTeam(r.URL.Query().Get("team"), q, k, diverse)
+	} else {
+		hits, err = d.sys.Retrieve(q, k, diverse)
+	}
 	if err != nil {
 		httpd.WriteErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -545,6 +553,7 @@ func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
 	admission := map[string]any{
 		"inflight":    d.limiter.Inflight(),
 		"maxInflight": d.limiter.MaxInflightBound(),
+		"queued":      d.limiter.QueueLen(),
 		"teams":       d.limiter.Stats(),
 	}
 
@@ -581,6 +590,27 @@ func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
 				"retrains":       t.Retrains(),
 				"paused":         t.Paused(),
 			}
+		}
+		if nss := sh.NamespaceStats(); len(nss) > 1 {
+			tenants := make([]map[string]any, len(nss))
+			for i, ns := range nss {
+				name := ns.Namespace
+				if name == "" {
+					name = "(default)"
+				}
+				tenants[i] = map[string]any{
+					"namespace":      name,
+					"entries":        ns.Entries,
+					"probes":         ns.Probes,
+					"overfetch":      ns.Overfetch,
+					"observedRecall": ns.ObservedRecall,
+					"recallSamples":  ns.RecallSamples,
+					"shadows":        ns.Shadows,
+					"retrains":       ns.Retrains,
+					"quantScans":     ns.QuantScans,
+				}
+			}
+			retrieval["tenants"] = tenants
 		}
 	}
 
@@ -619,9 +649,21 @@ func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		return out
 	}
+	telemetry := d.sys.Fleet().Meter().ByKey()
 	cost := map[string]any{
 		"llm":       toStrings(d.sys.Copilot().Meter().ByKey()),
-		"telemetry": toStrings(d.sys.Fleet().Meter().ByKey()),
+		"telemetry": toStrings(telemetry),
+	}
+	// Tenant-attributed runs charge "team/site" keys; roll each team's
+	// telemetry share up into a per-tenant cost gauge.
+	perTenant := make(map[string]time.Duration)
+	for key, v := range telemetry {
+		if team, _, ok := strings.Cut(key, "/"); ok {
+			perTenant[team] += v
+		}
+	}
+	if len(perTenant) > 0 {
+		cost["tenants"] = toStrings(perTenant)
 	}
 
 	httpd.WriteJSON(w, http.StatusOK, map[string]any{

@@ -59,9 +59,11 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 0, "max time an under-filled retrieval batch waits for companions (0 = 500µs default; needs -batch-max >= 2)")
 	learnQueue := flag.Int("learn-queue", 64, "async feedback-learn queue depth (0 = learn inline)")
 	retry := flag.Bool("retry", true, "run the learn-failure retry queue")
+	tenants := flag.Bool("tenants", false, "multi-tenant serving: per-team retrieval namespaces, handler fallback, per-tenant cost attribution")
 	rate := flag.Float64("rate", 5, "sustained per-team submissions/second")
 	burst := flag.Float64("burst", 10, "per-team submission burst")
 	queue := flag.Int("queue", 64, "submission queue depth")
+	admitQueue := flag.Int("admit-queue", 0, "severity-weighted admission wait queue at saturation (0 = reject immediately)")
 	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown budget after SIGTERM")
 	flag.Parse()
 
@@ -70,8 +72,8 @@ func main() {
 		shards: *shards, recall: *recall, retrainSkew: *retrainSkew,
 		quantized: *quantized, overfetch: *overfetch,
 		batchMax: *batchMax, batchWait: *batchWait,
-		learnQueue: *learnQueue, retry: *retry,
-		rate: *rate, burst: *burst, queue: *queue, grace: *grace,
+		learnQueue: *learnQueue, retry: *retry, tenants: *tenants,
+		rate: *rate, burst: *burst, queue: *queue, admitQueue: *admitQueue, grace: *grace,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "rcacopilotd:", err)
 		os.Exit(1)
@@ -91,8 +93,10 @@ type config struct {
 	batchWait           time.Duration
 	learnQueue          int
 	retry               bool
+	tenants             bool
 	rate, burst         float64
 	queue               int
+	admitQueue          int
 	grace               time.Duration
 }
 
@@ -116,6 +120,7 @@ func run(c config) error {
 		BatchMax:        c.batchMax,
 		BatchWait:       c.batchWait,
 		AsyncLearnQueue: c.learnQueue,
+		MultiTenant:     c.tenants,
 	}
 	if c.recall > 0 || c.retrainSkew >= 1 {
 		cfg.Partitioner = rcacopilot.PartitionIVF
@@ -142,7 +147,7 @@ func run(c config) error {
 		}
 	}
 
-	d := newDaemon(sys, httpd.LimitConfig{Rate: c.rate, Burst: c.burst}, c.queue)
+	d := newDaemon(sys, httpd.LimitConfig{Rate: c.rate, Burst: c.burst, QueueDepth: c.admitQueue}, c.queue)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	log.Printf("rcacopilotd: listening on %s (%d historical incidents, %d categories)",

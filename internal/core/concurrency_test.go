@@ -21,16 +21,16 @@ func TestSetEmbedderReportsDroppedEntries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.DB().Len() != n {
-		t.Fatalf("db has %d entries, want %d", c.DB().Len(), n)
+	if c.Index().Len() != n {
+		t.Fatalf("db has %d entries, want %d", c.Index().Len(), n)
 	}
 
 	dropped := c.SetEmbedder(e.embedder)
 	if dropped != n {
 		t.Fatalf("SetEmbedder reported %d dropped entries, want %d", dropped, n)
 	}
-	if c.DB().Len() != 0 {
-		t.Fatalf("db still has %d entries after re-attachment", c.DB().Len())
+	if c.Index().Len() != 0 {
+		t.Fatalf("db still has %d entries after re-attachment", c.Index().Len())
 	}
 	// First attachment on a fresh copilot drops nothing.
 	chat := c.Chat()

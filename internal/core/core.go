@@ -135,6 +135,16 @@ const (
 // Config parameterizes a Copilot.
 type Config struct {
 	Team string
+	// MultiTenant serves each incident's owning team as a tenant over the
+	// shared vector store: learned entries are tagged with the incident's
+	// OwningTeam as their namespace, Predict retrieves through that team's
+	// namespace view (so a team's demonstrations never come from a
+	// co-tenant's history), handler matching tries the owning team's
+	// handlers before falling back to Team's, and each collection run's
+	// telemetry cost is attributed per tenant ("team/site" meter keys).
+	// Off (the default), every entry lands in the default namespace and
+	// behavior is bit-identical to the single-tenant system.
+	MultiTenant bool
 	// K is the number of demonstrations retrieved (default 5, §4.2.2).
 	K int
 	// Alpha is the temporal-decay coefficient per day (default 0.3).
@@ -463,12 +473,6 @@ func (c *Copilot) Index() vectordb.Index {
 	return c.db
 }
 
-// DB returns the vector store.
-//
-// Deprecated: use Index; retained for callers predating the pluggable
-// index.
-func (c *Copilot) DB() vectordb.Index { return c.Index() }
-
 // trainPartitioner retrains an IVF-partitioned sharded index from its
 // stored vectors. It is a no-op for the flat store and category routing;
 // called after batch ingest so the quantizer reflects the loaded history.
@@ -500,15 +504,31 @@ func (c *Copilot) Collect(inc *incident.Incident) (*handler.RunReport, error) {
 	if err := inc.Validate(); err != nil {
 		return nil, err
 	}
-	h, err := c.registry.Match(c.cfg.Team, inc)
+	h, err := c.matchHandler(inc)
 	if err != nil {
 		return nil, err
 	}
 	ec := c.fleet.NewExec(inc.CreatedAt)
+	if c.cfg.MultiTenant {
+		ec = c.fleet.NewExecTenant(inc.CreatedAt, inc.OwningTeam)
+	}
 	// Merge on every exit: a failed run's already-charged queries must still
 	// reach the fleet meter, as they did on the pre-context ambient path.
 	defer ec.Finish()
 	return c.runner.RunWith(ec, h, inc)
+}
+
+// matchHandler resolves the incident's collection handler. Multi-tenant
+// serving tries the owning team's handler set first and falls back to the
+// configured Team's (where InstallBuiltins registered the stock
+// handlers), so a tenant without bespoke handlers still collects.
+func (c *Copilot) matchHandler(inc *incident.Incident) (*handler.Handler, error) {
+	if c.cfg.MultiTenant && inc.OwningTeam != "" && inc.OwningTeam != c.cfg.Team {
+		if h, err := c.registry.Match(inc.OwningTeam, inc); err == nil {
+			return h, nil
+		}
+	}
+	return c.registry.Match(c.cfg.Team, inc)
 }
 
 // Summarize compresses the incident's collected diagnostic text through the
@@ -602,13 +622,20 @@ func (c *Copilot) prepareEntry(embedder Embedder, inc *incident.Incident) (vecto
 	if demo == "" {
 		demo = prompt.TrimToTokens(c.embedText(inc), 200, c.chat.CountTokens)
 	}
-	return vectordb.Entry{
+	entry := vectordb.Entry{
 		ID:       inc.ID,
 		Vector:   vec,
 		Category: inc.Category,
 		Time:     inc.CreatedAt,
 		Summary:  demo,
-	}, nil
+	}
+	if c.cfg.MultiTenant {
+		// The owning team is the tenant: the entry lands in the team's
+		// namespace over the shared shard pool, and only that team's
+		// retrievals (and unscoped operator queries) will see it.
+		entry.Namespace = inc.OwningTeam
+	}
+	return entry, nil
 }
 
 // LearnBatch ingests many labelled incidents at once: summaries and
@@ -646,6 +673,19 @@ func (c *Copilot) LearnBatch(incs []*incident.Incident, workers int) error {
 // at most once). k <= 0 uses the configured K; a zero at uses the current
 // wall clock.
 func (c *Copilot) Retrieve(text string, at time.Time, k int, diverse bool) ([]vectordb.Scored, error) {
+	return c.retrieve(text, at, k, diverse, false, "")
+}
+
+// RetrieveIn is Retrieve through one team's namespace view: only entries
+// learned under that tenant are searched. An unknown team returns zero
+// hits without error (an empty view, not a failure); team = "" addresses
+// the default namespace. It is the read behind the daemon's
+// /api/retrieve?team= parameter.
+func (c *Copilot) RetrieveIn(team, text string, at time.Time, k int, diverse bool) ([]vectordb.Scored, error) {
+	return c.retrieve(text, at, k, diverse, true, team)
+}
+
+func (c *Copilot) retrieve(text string, at time.Time, k int, diverse, scoped bool, team string) ([]vectordb.Scored, error) {
 	embedder, db, gen := c.retrieverCached()
 	if embedder == nil {
 		return nil, fmt.Errorf("core: no embedder attached (call SetEmbedder)")
@@ -673,6 +713,9 @@ func (c *Copilot) Retrieve(text string, at time.Time, k int, diverse bool) ([]ve
 		}
 		c.embedCache.put(text, query, gen)
 	}
+	if scoped {
+		db = db.Namespace(team)
+	}
 	if db.Len() == 0 {
 		return nil, nil
 	}
@@ -699,6 +742,12 @@ func (c *Copilot) Predict(inc *incident.Incident) (prompt.Result, error) {
 	query, err := embedder.Embed(c.embedText(inc))
 	if err != nil {
 		return prompt.Result{}, fmt.Errorf("core: embed query %s: %w", inc.ID, err)
+	}
+	if c.cfg.MultiTenant {
+		// Demonstrations come from the owning team's own history: the
+		// namespace view confines the neighbour search (and the Len gate)
+		// to entries the team learned.
+		db = db.Namespace(inc.OwningTeam)
 	}
 	var demos []prompt.Demo
 	if db.Len() > 0 {

@@ -126,8 +126,8 @@ func TestLearnAndPredictRecurringCategory(t *testing.T) {
 		}
 		learned++
 	}
-	if c.DB().Len() != learned {
-		t.Fatalf("db has %d entries, want %d", c.DB().Len(), learned)
+	if c.Index().Len() != learned {
+		t.Fatalf("db has %d entries, want %d", c.Index().Len(), learned)
 	}
 	probe.Summary = ""
 	probe.Predicted = ""

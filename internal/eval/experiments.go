@@ -348,6 +348,129 @@ func RunTable4(seed int64, incidentsPerTeam, workers int) ([]Table4Row, error) {
 	})
 }
 
+// TenantShare is one co-tenant's attributed slice of the shared fleet
+// meter after a co-tenant Table-4 run: the telemetry cost its runs charged
+// under "team/site" keys.
+type TenantShare struct {
+	Team      string
+	Telemetry time.Duration
+	Incidents int
+}
+
+// RunTable4Tenants is Table 4 with the teams as true co-tenants: ONE
+// shared fleet, ONE handler registry holding every team's inventory, and
+// every incident run on a tenant-attributed execution context — so the
+// shared fleet meter afterwards breaks out each team's diagnostic
+// collection cost under its own "team/" key prefix. The published
+// per-team execution-time calibration is applied arithmetically (the
+// shared fleet has one cost scale), keeping the reported rows comparable
+// to the isolated-fleet run while the accounting exercises the
+// multi-tenant attribution path end to end.
+func RunTable4Tenants(seed int64, incidentsPerTeam int) ([]Table4Row, []TenantShare, error) {
+	if incidentsPerTeam <= 0 {
+		incidentsPerTeam = 20
+	}
+	base, err := meanExecCost(seed, 1.0, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	fleet := transport.NewFleet(transport.DefaultConfig(seed))
+	registry := handler.NewRegistry(nil)
+	builtins, err := handler.BuiltinAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	teams := Table4Teams()
+	for _, team := range teams {
+		for i := 0; i < team.EnabledHandlers; i++ {
+			h := builtins[i%len(builtins)].Clone()
+			h.Team = team.Name
+			if i >= len(builtins) {
+				h.Name = fmt.Sprintf("%s-v%d", h.Name, i/len(builtins))
+				h.AlertType = incident.AlertType(fmt.Sprintf("%s#%d", h.AlertType, i/len(builtins)))
+			}
+			if _, err := registry.Save(h); err != nil {
+				return nil, nil, err
+			}
+		}
+		got, err := registry.EnabledCount(team.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if got != team.EnabledHandlers {
+			return nil, nil, fmt.Errorf("table4 tenants %s: inventory mismatch: %d != %d", team.Name, got, team.EnabledHandlers)
+		}
+	}
+
+	// One incident stream per team over the shared fleet. Sequential on
+	// purpose: fault injection and alert pickup are fleet-global, so
+	// interleaving teams would cross their alerts; the measurement is
+	// virtual cost, which does not depend on wall-clock parallelism.
+	runner := handler.NewRunner(fleet)
+	rng := rand.New(rand.NewSource(seed))
+	cats := transport.Table1Categories()
+	rows := make([]Table4Row, len(teams))
+	for ti, team := range teams {
+		scale := team.TargetExecSeconds / base.Seconds()
+		var total time.Duration
+		for i := 0; i < incidentsPerTeam; i++ {
+			cat := cats[rng.Intn(len(cats))]
+			fault, err := fleet.Inject(cat, rng.Intn(len(fleet.Forests)))
+			if err != nil {
+				return nil, nil, err
+			}
+			alert, ok := fleet.FirstAlert()
+			if !ok {
+				return nil, nil, fmt.Errorf("table4 tenants %s: no alert for %s", team.Name, cat)
+			}
+			inc := core.IncidentAt(alert, incident.Sev2, team.Name, ti*incidentsPerTeam+i, fleet.Clock().Now())
+			h, err := registry.Match(team.Name, inc)
+			if err != nil {
+				return nil, nil, err
+			}
+			ec := fleet.NewExecTenant(inc.CreatedAt, team.Name)
+			report, err := runner.RunWith(ec, h, inc)
+			ec.Finish() // merge even on error, matching the ambient path
+			if err != nil {
+				return nil, nil, err
+			}
+			total += report.VirtualCost
+			fault.Repair()
+		}
+		rows[ti] = Table4Row{
+			Team:            team.Name,
+			AvgExecSeconds:  scale * (total / time.Duration(incidentsPerTeam)).Seconds(),
+			EnabledHandlers: team.EnabledHandlers,
+			IncidentsRun:    incidentsPerTeam,
+		}
+	}
+
+	// Per-tenant attribution: every charge a tenant context booked merged
+	// into the shared meter under "team/site"; roll the sites up per team.
+	byTeam := make(map[string]time.Duration)
+	for key, d := range fleet.Meter().ByKey() {
+		if team, _, ok := strings.Cut(key, "/"); ok {
+			byTeam[team] += d
+		}
+	}
+	shares := make([]TenantShare, 0, len(byTeam))
+	for team, d := range byTeam {
+		shares = append(shares, TenantShare{Team: team, Telemetry: d, Incidents: incidentsPerTeam})
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i].Team < shares[j].Team })
+	return rows, shares, nil
+}
+
+// FormatTenantShares renders the co-tenant cost attribution table.
+func FormatTenantShares(shares []TenantShare) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %20s %12s\n", "Tenant", "Telemetry share", "# Incidents")
+	for _, s := range shares {
+		fmt.Fprintf(&b, "%-10s %20s %12d\n", s.Team, s.Telemetry.Round(time.Millisecond), s.Incidents)
+	}
+	return b.String()
+}
+
 func meanExecCost(seed int64, scale float64, n int) (time.Duration, error) {
 	cfg := transport.DefaultConfig(seed)
 	cfg.QueryCostScale = scale

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/incident"
 )
 
 func TestNewServerHasTimeouts(t *testing.T) {
@@ -173,22 +175,22 @@ func TestTeamLimiterRate(t *testing.T) {
 	})
 
 	for i := 0; i < 2; i++ {
-		release, err := l.Admit("Transport")
+		release, err := l.Admit("Transport", incident.Sev3)
 		if err != nil {
 			t.Fatalf("admit %d within burst: %v", i, err)
 		}
 		release()
 	}
-	if _, err := l.Admit("Transport"); !errors.Is(err, ErrRateLimited) {
+	if _, err := l.Admit("Transport", incident.Sev3); !errors.Is(err, ErrRateLimited) {
 		t.Fatalf("over-burst err = %v, want ErrRateLimited", err)
 	}
 	// Another team has its own bucket.
-	if _, err := l.Admit("Networking"); err != nil {
+	if _, err := l.Admit("Networking", incident.Sev3); err != nil {
 		t.Fatalf("other team: %v", err)
 	}
 	// A second of refill buys Transport one more token.
 	now = now.Add(time.Second)
-	if _, err := l.Admit("Transport"); err != nil {
+	if _, err := l.Admit("Transport", incident.Sev3); err != nil {
 		t.Fatalf("after refill: %v", err)
 	}
 	if l.RetryAfter() < 1 {
@@ -207,18 +209,18 @@ func TestTeamLimiterRate(t *testing.T) {
 func TestTeamLimiterInflightBound(t *testing.T) {
 	l := NewTeamLimiter(LimitConfig{Rate: 1000, Burst: 1000, MaxInflight: 2})
 
-	r1, err := l.Admit("A")
+	r1, err := l.Admit("A", incident.Sev3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := l.Admit("B")
+	r2, err := l.Admit("B", incident.Sev3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if l.Inflight() != 2 {
 		t.Fatalf("inflight = %d", l.Inflight())
 	}
-	if _, err := l.Admit("C"); !errors.Is(err, ErrOverloaded) {
+	if _, err := l.Admit("C", incident.Sev3); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("at bound err = %v, want ErrOverloaded", err)
 	}
 
@@ -228,7 +230,7 @@ func TestTeamLimiterInflightBound(t *testing.T) {
 	if l.Inflight() != 1 {
 		t.Fatalf("inflight after release = %d", l.Inflight())
 	}
-	r3, err := l.Admit("C")
+	r3, err := l.Admit("C", incident.Sev3)
 	if err != nil {
 		t.Fatalf("after release: %v", err)
 	}

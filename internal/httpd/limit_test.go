@@ -1,0 +1,191 @@
+package httpd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/incident"
+)
+
+// waitQueueLen polls until the limiter's wait queue reaches n (the
+// enqueue happens on another goroutine after its Admit passes the rate
+// check, so tests synchronize on the observable queue length).
+func waitQueueLen(t *testing.T, l *TeamLimiter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.QueueLen() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue length never reached %d (at %d)", n, l.QueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTeamLimiterRateBeforeQueue pins the ladder's first rung: a team
+// over its token bucket sees ErrRateLimited (429) even when the limiter
+// has a wait queue — rate rejection is never converted into queueing.
+func TestTeamLimiterRateBeforeQueue(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewTeamLimiter(LimitConfig{
+		Rate: 1, Burst: 1, MaxInflight: 1, QueueDepth: 4, MaxWait: 5 * time.Second,
+		Now: func() time.Time { return now },
+	})
+	release, err := l.Admit("R", incident.Sev3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Saturated AND out of tokens: the rate error must win.
+	if _, err := l.Admit("R", incident.Sev1); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	if l.QueueLen() != 0 {
+		t.Fatalf("rate-limited submission entered the queue (len %d)", l.QueueLen())
+	}
+}
+
+// TestTeamLimiterQueueGrantAndTimeout exercises the queued-wait rungs: at
+// saturation a submission waits and is granted when a slot releases;
+// when no slot frees within MaxWait it fails with ErrOverloaded.
+func TestTeamLimiterQueueGrantAndTimeout(t *testing.T) {
+	l := NewTeamLimiter(LimitConfig{
+		Rate: 1000, Burst: 1000, MaxInflight: 1, QueueDepth: 2, MaxWait: 60 * time.Millisecond,
+	})
+	holder, err := l.Admit("A", incident.Sev3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		release func()
+		err     error
+	}
+	got := make(chan result, 1)
+	go func() {
+		r, err := l.Admit("B", incident.Sev3)
+		got <- result{r, err}
+	}()
+	waitQueueLen(t, l, 1)
+	holder()
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("queued admit: %v", res.err)
+	}
+	if l.QueueLen() != 0 {
+		t.Fatalf("queue not drained after grant (len %d)", l.QueueLen())
+	}
+
+	// The granted waiter now holds the only slot; an in-line admit must
+	// time out with ErrOverloaded.
+	if _, err := l.Admit("C", incident.Sev3); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("timeout err = %v, want ErrOverloaded", err)
+	}
+	res.release()
+
+	var b, c TeamStats
+	for _, s := range l.Stats() {
+		switch s.Team {
+		case "B":
+			b = s
+		case "C":
+			c = s
+		}
+	}
+	if b.Queued != 1 || b.Accepted != 1 || b.RejectedLoad != 0 {
+		t.Fatalf("B stats = %+v, want one queued-then-accepted", b)
+	}
+	if c.Queued != 1 || c.RejectedLoad != 1 || c.Accepted != 0 {
+		t.Fatalf("C stats = %+v, want one queued-then-timed-out", c)
+	}
+}
+
+// TestTeamLimiterSeverityOrdering is the ordering regression: with a Sev4
+// and a Sev1 waiting, the released slot must go to the Sev1 first even
+// though the Sev4 queued earlier.
+func TestTeamLimiterSeverityOrdering(t *testing.T) {
+	l := NewTeamLimiter(LimitConfig{
+		Rate: 1000, Burst: 1000, MaxInflight: 1, QueueDepth: 4, MaxWait: 5 * time.Second,
+	})
+	holder, err := l.Admit("Hold", incident.Sev3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := make(chan incident.Severity, 2)
+	enqueue := func(sev incident.Severity) {
+		go func() {
+			release, err := l.Admit("W", sev)
+			if err != nil {
+				t.Errorf("sev %v admit: %v", sev, err)
+				return
+			}
+			grants <- sev
+			release() // hand the slot onward to the next waiter
+		}()
+	}
+	enqueue(incident.Sev4)
+	waitQueueLen(t, l, 1)
+	enqueue(incident.Sev1)
+	waitQueueLen(t, l, 2)
+
+	holder()
+	if first := <-grants; first != incident.Sev1 {
+		t.Fatalf("first grant went to sev %v, want Sev1 ahead of the earlier Sev4", first)
+	}
+	if second := <-grants; second != incident.Sev4 {
+		t.Fatalf("second grant went to sev %v, want Sev4", second)
+	}
+}
+
+// TestTeamLimiterPreemption pins the full-queue rung: an equally severe
+// arrival bounces with ErrOverloaded, while a strictly more severe one
+// preempts the least severe waiter (which itself fails with
+// ErrOverloaded) and inherits the next released slot.
+func TestTeamLimiterPreemption(t *testing.T) {
+	l := NewTeamLimiter(LimitConfig{
+		Rate: 1000, Burst: 1000, MaxInflight: 1, QueueDepth: 1, MaxWait: 5 * time.Second,
+	})
+	holder, err := l.Admit("Hold", incident.Sev3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := make(chan error, 1)
+	go func() {
+		_, err := l.Admit("B", incident.Sev4)
+		victim <- err
+	}()
+	waitQueueLen(t, l, 1)
+
+	// Equal severity cannot preempt: immediate overload.
+	if _, err := l.Admit("C", incident.Sev4); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("equal-severity err = %v, want ErrOverloaded", err)
+	}
+
+	// A Sev1 preempts the queued Sev4.
+	granted := make(chan error, 1)
+	go func() {
+		release, err := l.Admit("D", incident.Sev1)
+		if err == nil {
+			defer release()
+		}
+		granted <- err
+	}()
+	if err := <-victim; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("preempted waiter err = %v, want ErrOverloaded", err)
+	}
+	waitQueueLen(t, l, 1)
+	holder()
+	if err := <-granted; err != nil {
+		t.Fatalf("preempting Sev1 admit: %v", err)
+	}
+
+	var b TeamStats
+	for _, s := range l.Stats() {
+		if s.Team == "B" {
+			b = s
+		}
+	}
+	if b.RejectedLoad != 1 || b.Queued != 1 {
+		t.Fatalf("victim stats = %+v, want one queued-then-preempted", b)
+	}
+}

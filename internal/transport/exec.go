@@ -35,6 +35,10 @@ type Exec struct {
 	costs    costSink
 	private  *timeutil.CostAccumulator // nil for the ambient context
 	finished bool                      // Finish already merged this run
+	// tenant, when set, prefixes every charge key ("tenant/site"), so the
+	// merged fleet meter keeps per-tenant cost attribution — the
+	// accounting surface multi-tenant serving exports per team.
+	tenant string
 }
 
 // NewExec returns a per-run execution context whose clock view starts at
@@ -52,6 +56,20 @@ func (f *Fleet) NewExec(at time.Time) *Exec {
 		private: acc,
 	}
 }
+
+// NewExecTenant is NewExec with the run's telemetry cost attributed to a
+// tenant: every charge key is prefixed "tenant/", so after Finish the
+// fleet meter breaks out each team's collection cost. An empty tenant is
+// plain NewExec.
+func (f *Fleet) NewExecTenant(at time.Time, tenant string) *Exec {
+	e := f.NewExec(at)
+	e.tenant = tenant
+	return e
+}
+
+// Tenant returns the tenant this run's cost is attributed to ("" for
+// untagged runs).
+func (e *Exec) Tenant() string { return e.tenant }
 
 // Ambient returns the fleet's shared execution context: queries charge the
 // fleet meter directly and advance the shared virtual clock, the pre-context
@@ -93,8 +111,13 @@ func (e *Exec) Finish() {
 
 // charge books a modelled telemetry cost against the context's sink and
 // advances its clock view, simulating the latency of the backing store.
+// Tenant-bound contexts charge under "tenant/site" keys, keeping each
+// team's share visible after the merge into the fleet meter.
 func (e *Exec) charge(site string, d time.Duration) {
 	d = time.Duration(float64(d) * e.fleet.cfg.QueryCostScale)
+	if e.tenant != "" {
+		site = e.tenant + "/" + site
+	}
 	e.costs.Charge(site, d)
 	e.clock.Advance(d)
 }

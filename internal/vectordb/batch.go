@@ -22,6 +22,28 @@ type BatchQuery struct {
 	// category at most once), i.e. the query behaves like TopKDiverse
 	// instead of TopK.
 	Diverse bool
+	// Namespace + Scoped pin the query to one namespace view: when Scoped
+	// is set the query sees only entries tagged Namespace (Namespace = ""
+	// meaning the default namespace), exactly like TopK through
+	// Index.Namespace. Scoped=false (the zero value) is the unscoped root
+	// query over every entry — the pre-namespace behavior.
+	Namespace string
+	Scoped    bool
+}
+
+// bqScope is the query's namespace filter in scan-scope form.
+func bqScope(bq *BatchQuery) scope { return scope{on: bq.Scoped, ns: bq.Namespace} }
+
+// scopedQueries clones a batch with every member pinned to one namespace
+// view's scope — how the view and batcher adapters scope a whole batch.
+func scopedQueries(queries []BatchQuery, ns string) []BatchQuery {
+	out := make([]BatchQuery, len(queries))
+	copy(out, queries)
+	for i := range out {
+		out[i].Namespace = ns
+		out[i].Scoped = true
+	}
+	return out
 }
 
 // TopKBatch on the flat store: one streaming pass over the columnar
@@ -53,6 +75,9 @@ func (db *DB) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
 		et := db.entries[i].Time
 		for qi := range queries {
 			bq := &queries[qi]
+			if !bqScope(bq).match(db.entries[i].Namespace) {
+				continue
+			}
 			d, sim := similarityAt(bq.Vector, bq.Time, row, et, bq.Alpha)
 			sc := Scored{Entry: db.entries[i], Distance: d, Similarity: sim}
 			if bq.Diverse {
@@ -103,11 +128,15 @@ type shardScanResult struct {
 // are scanned at full precision (one pass over the columnar float rows,
 // every member query scoring each row), quantQ through the int8 sidecar
 // (one pass over the codes collecting k×overfetch candidates per query,
-// then the exact re-rank). Per-query decisions — threshold pre-checks,
-// candidate heaps, tie-breaks — replicate the sequential single-query
-// scans exactly, so each query's local result is bit-identical to what
-// topK/categoryBest/topKQuantized would have returned for it.
-func (sh *shard) scanBatch(queries []BatchQuery, floatQ, quantQ []int, overfetch int) shardScanResult {
+// then the exact re-rank). ofs carries each query's effective overfetch
+// factor indexed by batch position (nil when no query is quantized).
+// Namespace-scoped queries skip rows outside their namespace, exactly
+// like the sequential scoped scans. Per-query decisions — threshold
+// pre-checks, candidate heaps, tie-breaks — replicate the sequential
+// single-query scans exactly, so each query's local result is
+// bit-identical to what topK/categoryBest/topKQuantized would have
+// returned for it.
+func (sh *shard) scanBatch(queries []BatchQuery, floatQ, quantQ []int, ofs []int) shardScanResult {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	res := shardScanResult{topk: make(map[int][]Scored), best: make(map[int]map[incident.Category]Scored)}
@@ -125,7 +154,7 @@ func (sh *shard) scanBatch(queries []BatchQuery, floatQ, quantQ []int, overfetch
 		sh.scanBatchFloat(queries, floatQ, &res)
 	}
 	if len(quantQ) > 0 {
-		sh.scanBatchQuantized(queries, quantQ, overfetch, &res)
+		sh.scanBatchQuantized(queries, quantQ, ofs, &res)
 	}
 	return res
 }
@@ -199,6 +228,9 @@ func (sh *shard) scanBatchFloat(queries []BatchQuery, floatQ []int, res *shardSc
 			pend = pend[:0]
 			for _, j := range g.members {
 				bq := &queries[floatQ[j]]
+				if bq.Scoped && bq.Namespace != sh.entries[i].Namespace {
+					continue
+				}
 				if !bq.Diverse {
 					if h := &heaps[j]; len(*h) == bq.K && decay < (*h)[0].Similarity {
 						// sim = decay/(1+dist) <= decay: this row cannot
@@ -272,29 +304,35 @@ func distance4(a0, a1, a2, a3, row []float64) (d0, d1, d2, d3 float64) {
 // sidecar codes maintaining every member query's candidate heap — the
 // hoisted per-query state (wq, q², threshold) and per-row arithmetic are
 // identical to scanQuantized's — followed by the per-query exact re-rank.
-// Caller holds sh.mu and has verified the sidecar is in sync.
-func (sh *shard) scanBatchQuantized(queries []BatchQuery, quantQ []int, overfetch int, res *shardScanResult) {
+// Each query's candidate pool is k times ITS overfetch factor (per-
+// namespace escalation means co-batched tenants can carry different
+// factors). Caller holds sh.mu and has verified the sidecar is in sync.
+func (sh *shard) scanBatchQuantized(queries []BatchQuery, quantQ []int, ofs []int, res *shardScanResult) {
 	q := sh.quant
 	dim := sh.dim
 	type qstate struct {
-		wq    []int64
-		q2    int64
-		qdays float64
-		alpha float64
-		want  int
-		thr   float64
-		cands qHeap
+		wq     []int64
+		q2     int64
+		qdays  float64
+		alpha  float64
+		want   int
+		thr    float64
+		scoped bool
+		ns     string
+		cands  qHeap
 	}
 	states := make([]qstate, len(quantQ))
 	for j, qi := range quantQ {
 		bq := &queries[qi]
 		qq := q.encodeQuery(bq.Vector)
 		st := qstate{
-			wq:    make([]int64, dim),
-			qdays: daysOf(bq.Time),
-			alpha: bq.Alpha,
-			want:  bq.K * overfetch,
-			thr:   math.Inf(-1),
+			wq:     make([]int64, dim),
+			qdays:  daysOf(bq.Time),
+			alpha:  bq.Alpha,
+			want:   bq.K * ofs[qi],
+			thr:    math.Inf(-1),
+			scoped: bq.Scoped,
+			ns:     bq.Namespace,
 		}
 		for d, c := range qq[:dim] {
 			st.wq[d] = q.w[d] * c
@@ -307,6 +345,9 @@ func (sh *shard) scanBatchQuantized(queries []BatchQuery, quantQ []int, overfetc
 		row := q.codes[i*dim : i*dim+dim]
 		for j := range states {
 			st := &states[j]
+			if st.scoped && st.ns != sh.entries[i].Namespace {
+				continue
+			}
 			var dot int64
 			for d, c := range row {
 				dot += st.wq[d] * int64(c)
@@ -414,9 +455,19 @@ func (s *Sharded) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
 	}
 
 	quantOn := s.quantized.Load()
-	overfetch := s.Overfetch()
 	perQuery := s.perQuery.Load()
 	minGain := math.Float64frombits(s.perQueryGain.Load())
+
+	// Per-query serving knobs: each query resolves its namespace's probe
+	// budget, overfetch factor, and controller — unscoped and default-
+	// namespace queries resolve to the root store's, the pre-namespace
+	// behavior.
+	nsSts := make([]*nsState, len(queries))
+	ofs := make([]int, len(queries))
+	for qi := range queries {
+		nsSts[qi] = s.scopeNS(bqScope(&queries[qi]))
+		ofs[qi] = s.overfetchFor(nsSts[qi])
+	}
 
 	// Plan round 0: per-query probe selection (the same ranking sequential
 	// probeShards uses), grouped into one scan per selected shard.
@@ -436,13 +487,13 @@ func (s *Sharded) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
 			sc.floatQ = append(sc.floatQ, qi)
 		}
 	}
-	quantServed := 0
 	for qi := range queries {
 		bq := &queries[qi]
 		pl := &plans[qi]
+		p := s.probesFor(nsSts[qi])
 		var sel []*shard
 		if perQuery {
-			ranked, p := s.rankedProbeCands(s.gen, bq.Vector, bq.Time, bq.Alpha)
+			ranked := s.rankedProbeCands(s.gen, bq.Vector, bq.Time, bq.Alpha, p)
 			if ranked != nil && len(ranked) > p {
 				pl.ranked = ranked
 				pl.consumed = p
@@ -451,7 +502,7 @@ func (s *Sharded) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
 					sel[i] = ranked[i].sh
 				}
 			}
-		} else if sel = s.probeShards(s.gen, bq.Vector, bq.Time, bq.Alpha); sel != nil {
+		} else if sel = s.probeShards(s.gen, bq.Vector, bq.Time, bq.Alpha, p); sel != nil {
 			pl.done = true // fixed budget: no growth rounds
 		}
 		if sel == nil {
@@ -461,15 +512,12 @@ func (s *Sharded) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
 			pl.probed = true
 			pl.quant = quantOn
 			if quantOn {
-				quantServed++
+				s.noteQuantScan(nsSts[qi])
 			}
 		}
 		for _, sh := range sel {
 			nominate(sh, qi, pl.quant)
 		}
-	}
-	if quantServed > 0 {
-		s.qScans.Add(int64(quantServed))
 	}
 
 	// Per-query merge accumulators, fed round by round.
@@ -484,7 +532,7 @@ func (s *Sharded) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
 	}
 	runRound := func(scans []*shardScan) error {
 		results, err := parallel.Map(len(scans), 0, func(i int) (shardScanResult, error) {
-			return scans[i].sh.scanBatch(queries, scans[i].floatQ, scans[i].quantQ, overfetch), nil
+			return scans[i].sh.scanBatch(queries, scans[i].floatQ, scans[i].quantQ, ofs), nil
 		})
 		if err != nil {
 			return err
@@ -551,13 +599,13 @@ func (s *Sharded) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
 			out[qi] = heaps[qi].drain()
 		}
 	}
-	if t := s.tuner.Load(); t != nil {
-		// Feed every batched query through the same shadow-sampling hook as
-		// sequential serving, so the tuner's observed recall measures the
-		// batched path end-to-end.
-		for qi := range queries {
+	// Feed every batched query through the same shadow-sampling hook as
+	// sequential serving — each into ITS namespace's controller — so every
+	// tenant's observed recall measures the batched path end-to-end.
+	for qi := range queries {
+		if t := s.tunerFor(nsSts[qi]); t != nil {
 			t.observeQuery(queries[qi].Vector, queries[qi].Time, queries[qi].K, queries[qi].Alpha,
-				out[qi], plans[qi].probed, queries[qi].Diverse)
+				out[qi], plans[qi].probed, queries[qi].Diverse, bqScope(&queries[qi]))
 		}
 	}
 	return out, nil
@@ -595,7 +643,7 @@ func (s *Sharded) topKBatchDraining(queries []BatchQuery, draining, current []*s
 		all[i] = i
 	}
 	results, err := parallel.Map(len(shards), 0, func(i int) (shardScanResult, error) {
-		return shards[i].scanBatch(queries, all, nil, 0), nil
+		return shards[i].scanBatch(queries, all, nil, nil), nil
 	})
 	if err != nil {
 		return nil, err

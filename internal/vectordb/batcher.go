@@ -232,14 +232,18 @@ func (b *Batcher) execute(batch []*batchReq) {
 }
 
 func (b *Batcher) serveDirect(q BatchQuery) batchResp {
+	idx := b.idx
+	if q.Scoped {
+		idx = idx.Namespace(q.Namespace)
+	}
 	var (
 		scs []Scored
 		err error
 	)
 	if q.Diverse {
-		scs, err = b.idx.TopKDiverse(q.Vector, q.Time, q.K, q.Alpha)
+		scs, err = idx.TopKDiverse(q.Vector, q.Time, q.K, q.Alpha)
 	} else {
-		scs, err = b.idx.TopK(q.Vector, q.Time, q.K, q.Alpha)
+		scs, err = idx.TopK(q.Vector, q.Time, q.K, q.Alpha)
 	}
 	return batchResp{scs: scs, err: err}
 }
@@ -299,3 +303,45 @@ func (b *Batcher) Save(w io.Writer) error { return b.idx.Save(w) }
 
 // Load replaces the wrapped store's contents.
 func (b *Batcher) Load(r io.Reader) error { return b.idx.Load(r) }
+
+// Namespace returns a view of the batched store scoped to ns: TopK and
+// TopKDiverse still coalesce through the shared collector (the scope
+// rides on each BatchQuery), so co-tenant queries amortize the same row
+// streams; everything else delegates to the wrapped store's view.
+func (b *Batcher) Namespace(ns string) Index { return batcherView{b: b, ns: ns} }
+
+// batcherView is the Batcher's namespace view; see Batcher.Namespace.
+type batcherView struct {
+	b  *Batcher
+	ns string
+}
+
+var _ Index = batcherView{}
+
+func (v batcherView) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return v.b.submit(BatchQuery{Vector: query, Time: qt, K: k, Alpha: alpha, Namespace: v.ns, Scoped: true})
+}
+
+func (v batcherView) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return v.b.submit(BatchQuery{Vector: query, Time: qt, K: k, Alpha: alpha, Diverse: true, Namespace: v.ns, Scoped: true})
+}
+
+func (v batcherView) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
+	return v.b.idx.TopKBatch(scopedQueries(queries, v.ns))
+}
+
+func (v batcherView) Dim() int                                 { return v.b.idx.Dim() }
+func (v batcherView) Len() int                                 { return v.b.idx.Namespace(v.ns).Len() }
+func (v batcherView) Add(e Entry) error                        { return v.b.idx.Namespace(v.ns).Add(e) }
+func (v batcherView) Get(id string) (Entry, bool)              { return v.b.idx.Namespace(v.ns).Get(id) }
+func (v batcherView) Categories() []incident.Category          { return v.b.idx.Namespace(v.ns).Categories() }
+func (v batcherView) CountByCategory() map[incident.Category]int {
+	return v.b.idx.Namespace(v.ns).CountByCategory()
+}
+
+// Save writes the WHOLE wrapped store (a view is a lens, not a
+// partition); Load likewise replaces it.
+func (v batcherView) Save(w io.Writer) error { return v.b.idx.Save(w) }
+func (v batcherView) Load(r io.Reader) error { return v.b.idx.Load(r) }
+
+func (v batcherView) Namespace(ns string) Index { return v.b.Namespace(ns) }

@@ -652,3 +652,61 @@ func BenchmarkTopKBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTenantIsolation pins the multi-tenant serving contract on the
+// shared shard pool: a quiet tenant keeps its probe-limited recall while a
+// loud co-tenant ingests a 10× corpus skewed into two dense clusters —
+// the workload that would drag a shared probe budget (and shared IVF
+// geometry) toward the loud tenant's distribution. The quiet tenant's
+// namespace carries its own probe budget, so its recall@5 against a
+// dedicated flat store must stay >= 0.9; the gate fails the benchmark
+// before the timed loop.
+func BenchmarkTenantIsolation(b *testing.B) {
+	const dim, k, shards = 32, 5, 8
+	const quietN = 10_000
+	const alpha = 0.3
+	quietEntries, queries := clusteredCorpus(99, quietN, dim, 12)
+	loudEntries, _ := clusteredCorpus(7, 10*quietN, dim, 2)
+
+	sh := NewSharded(dim, shards, nil)
+	quiet := sh.Namespace("quiet")
+	dedicated := New(dim)
+	for _, e := range quietEntries {
+		if err := quiet.Add(e); err != nil {
+			b.Fatal(err)
+		}
+		if err := dedicated.Add(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	loud := sh.Namespace("loud")
+	for i, e := range loudEntries {
+		e.ID = fmt.Sprintf("LOUD-%07d", i)
+		if err := loud.Add(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// IVF geometry trained on the COMBINED pool: the loud tenant's two
+	// blobs dominate the centroid layout, the isolation stress.
+	if err := sh.TrainIVF(0); err != nil {
+		b.Fatal(err)
+	}
+	if err := sh.SetNamespaceProbes("quiet", 2); err != nil {
+		b.Fatal(err)
+	}
+
+	qt := quietEntries[0].Time
+	recall := recallAtK(b, dedicated, quiet, queries, qt, k, alpha)
+	if recall < 0.9 {
+		b.Fatalf("quiet-tenant recall@%d = %.4f under a 10x skewed co-tenant corpus, below the 0.9 isolation floor", k, recall)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quiet.TopK(queries[i%len(queries)], qt, k, alpha); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(recall, "recall@5")
+}

@@ -25,10 +25,14 @@ import (
 //     re-ranked scores, in the standard retrieval order — and never a
 //     panic at any dim/overfetch/corpus shape;
 //   - at every fuzzed shape, TopKBatch over a batch of fuzzed size built
-//     around the query (perturbed variants, mixed k/alpha/diverse) must
-//     return, per member, exactly the sequential TopK/TopKDiverse result
-//     — the batch bit-identity contract under all of the above modes at
-//     once.
+//     around the query (perturbed variants, mixed k/alpha/diverse, some
+//     members namespace-scoped) must return, per member, exactly the
+//     sequential TopK/TopKDiverse result — the batch bit-identity
+//     contract under all of the above modes at once;
+//   - the corpus is spread across namespaces, and each non-default
+//     namespace view (flat and sharded, fresh tenants serving exact)
+//     must be bit-identical to a dedicated flat store holding only that
+//     tenant's entries — the namespace-view contract.
 //
 // The seeds double as regression tests on every plain `go test` run; CI
 // additionally runs a short coverage-guided session (-fuzz).
@@ -52,11 +56,20 @@ func FuzzProbeEquivalence(f *testing.F) {
 
 		entries, _ := clusteredCorpus(seed, n, dim, clusters)
 		qt := entries[0].Time
+		// Spread the corpus across namespaces: the unscoped root scans must
+		// keep serving every entry regardless of tags, and each tenant view
+		// must see exactly its own slice.
+		tenants := []string{"", "tenant-a", "tenant-b"}
 		flat := New(dim)
 		sh := NewSharded(dim, shards, nil)
-		for _, e := range entries {
+		dedicated := map[string]*DB{"tenant-a": New(dim), "tenant-b": New(dim)}
+		for i, e := range entries {
+			e.Namespace = tenants[i%len(tenants)]
 			must(t, flat.Add(e))
 			must(t, sh.Add(e))
+			if d := dedicated[e.Namespace]; d != nil {
+				must(t, d.Add(e))
+			}
 		}
 		if err := sh.TrainIVF(0); err != nil {
 			t.Fatal(err)
@@ -71,7 +84,7 @@ func FuzzProbeEquivalence(f *testing.F) {
 		// selection TopK computes), and whether the candidate budget covers
 		// every probed partition.
 		sh.mu.RLock()
-		sel := sh.probeShards(sh.gen, query, qt, 0.3)
+		sel := sh.probeShards(sh.gen, query, qt, 0.3, sh.Probes())
 		sh.mu.RUnlock()
 		covered := true
 		for _, probed := range sel {
@@ -101,6 +114,35 @@ func FuzzProbeEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 
+		// Namespace-view bit-identity: a fresh tenant's probe budget is 0
+		// (exact fan-out), so at every fuzzed shape — quantization and root
+		// probe budget included — both the sharded and the flat view must
+		// match a dedicated flat store holding only that tenant's entries.
+		for ns, d := range dedicated {
+			wantNS, err := d.TopK(query, qt, k, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, view := range []Index{sh.Namespace(ns), flat.Namespace(ns)} {
+				gotNS, err := view.TopK(query, qt, k, 0.3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameScored(t, "namespace "+ns+" TopK", gotNS, wantNS)
+			}
+			wantNSD, err := d.TopKDiverse(query, qt, k, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, view := range []Index{sh.Namespace(ns), flat.Namespace(ns)} {
+				gotNSD, err := view.TopKDiverse(query, qt, k, 0.3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameScored(t, "namespace "+ns+" TopKDiverse", gotNSD, wantNSD)
+			}
+		}
+
 		// Batch bit-identity at this fuzzed shape: perturbed variants of
 		// the query with mixed k/alpha/diverse must each come back exactly
 		// as their sequential call would serve them — through whichever of
@@ -116,17 +158,26 @@ func FuzzProbeEquivalence(f *testing.F) {
 				Alpha:   []float64{0, 0.3, 1.1}[i%3],
 				Diverse: i%2 == 0,
 			}
+			if i%3 == 1 {
+				// Some members ride a tenant scope: the co-batched scan must
+				// keep them confined to their namespace.
+				batch[i].Namespace, batch[i].Scoped = tenants[1+i%2], true
+			}
 		}
 		gotB, err := sh.TopKBatch(batch)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i, bq := range batch {
+			serve := Index(sh)
+			if bq.Scoped {
+				serve = sh.Namespace(bq.Namespace)
+			}
 			var wantB []Scored
 			if bq.Diverse {
-				wantB, err = sh.TopKDiverse(bq.Vector, bq.Time, bq.K, bq.Alpha)
+				wantB, err = serve.TopKDiverse(bq.Vector, bq.Time, bq.K, bq.Alpha)
 			} else {
-				wantB, err = sh.TopK(bq.Vector, bq.Time, bq.K, bq.Alpha)
+				wantB, err = serve.TopK(bq.Vector, bq.Time, bq.K, bq.Alpha)
 			}
 			if err != nil {
 				t.Fatal(err)

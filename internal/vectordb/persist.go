@@ -36,11 +36,30 @@ type tunerState struct {
 	LastRetrain time.Time
 	RecallSum   float64
 	RecallN     int
+	// Namespaces carries each non-default namespace's serving state
+	// (trailer v2). v1 files simply have no map — they load as a store
+	// whose namespaces start from serving defaults — and gob drops the
+	// field when an old reader loads a v2 file, so the trailer stays
+	// compatible in both directions.
+	Namespaces map[string]nsTunerState
+}
+
+// nsTunerState is one namespace's slice of the serving-state trailer:
+// its converged probe budget and overfetch factor plus its controller's
+// long-lived state.
+type nsTunerState struct {
+	Probes      int
+	Overfetch   int
+	LastBad     int
+	LastRetrain time.Time
+	RecallSum   float64
+	RecallN     int
 }
 
 // tunerStateVersion is the current trailer version; Load accepts any
-// version >= 1 (gob ignores unknown future fields).
-const tunerStateVersion = 1
+// version >= 1 (gob ignores unknown future fields, and fields absent
+// from old files decode to zero values).
+const tunerStateVersion = 2
 
 // decodeSnapshot reads and fully validates a snapshot against the
 // receiving store's dimensionality BEFORE any store state changes, so a
@@ -112,10 +131,15 @@ func (db *DB) Load(r io.Reader) error {
 		vecs = append(vecs, snap.Entries[i].Vector...)
 		snap.Entries[i].Vector = nil
 	}
+	nsCount := make(map[string]int)
+	for i := range snap.Entries {
+		nsCount[snap.Entries[i].Namespace]++
+	}
 	db.mu.Lock()
 	db.entries = snap.Entries
 	db.vecs = vecs
 	db.byID = byID
+	db.nsCount = nsCount
 	db.mu.Unlock()
 	return nil
 }
@@ -142,7 +166,8 @@ func (s *Sharded) Save(w io.Writer) error {
 
 // servingState snapshots the persistable serving state: the effective
 // probe budget plus — when a tuner is installed — its hysteresis floor,
-// retrain clock, and lifetime recall aggregate.
+// retrain clock, and lifetime recall aggregate; trailer v2 additionally
+// carries every non-default namespace's serving state.
 func (s *Sharded) servingState() tunerState {
 	st := tunerState{Version: tunerStateVersion, Probes: s.Probes()}
 	if t := s.tuner.Load(); t != nil {
@@ -152,6 +177,25 @@ func (s *Sharded) servingState() tunerState {
 		st.RecallSum, st.RecallN = t.recallSum, t.recallN
 		t.mu.Unlock()
 	}
+	s.nss.Range(func(_, v any) bool {
+		n := v.(*nsState)
+		row := nsTunerState{
+			Probes:    int(n.probes.Load()),
+			Overfetch: int(n.overfetch.Load()),
+		}
+		if t := n.tuner.Load(); t != nil {
+			t.mu.Lock()
+			row.LastBad = t.lastBad
+			row.LastRetrain = t.lastRetrain
+			row.RecallSum, row.RecallN = t.recallSum, t.recallN
+			t.mu.Unlock()
+		}
+		if st.Namespaces == nil {
+			st.Namespaces = make(map[string]nsTunerState)
+		}
+		st.Namespaces[n.ns] = row
+		return true
+	})
 	return st
 }
 
@@ -166,10 +210,18 @@ func decodeTunerState(dec *gob.Decoder) (*tunerState, error) {
 		return nil, nil
 	case err != nil:
 		return nil, fmt.Errorf("vectordb: load: serving-state trailer: %w", err)
-	case st.Version < tunerStateVersion:
-		return nil, fmt.Errorf("vectordb: load: serving-state trailer version %d, want >= %d", st.Version, tunerStateVersion)
+	case st.Version < 1:
+		return nil, fmt.Errorf("vectordb: load: serving-state trailer version %d, want >= 1", st.Version)
 	case st.Probes < 0:
 		return nil, fmt.Errorf("vectordb: load: serving-state trailer has negative probe budget %d", st.Probes)
+	}
+	for ns, row := range st.Namespaces {
+		if ns == "" {
+			return nil, errors.New("vectordb: load: serving-state trailer names the default namespace (its state is the root fields)")
+		}
+		if row.Probes < 0 || row.Overfetch < 0 {
+			return nil, fmt.Errorf("vectordb: load: serving-state trailer has negative budget for namespace %q", ns)
+		}
 	}
 	return &st, nil
 }
@@ -220,6 +272,27 @@ func (s *Sharded) Load(r io.Reader) error {
 	}
 	s.gen, s.old, s.byID = next, nil, byID
 	s.count.Store(int64(len(snap.Entries)))
+	// Namespace tallies are derived from the loaded contents: zero any
+	// pre-existing per-namespace counts (a namespace absent from the file
+	// now holds nothing), then recount.
+	var defCount int64
+	nsCounts := make(map[string]int64)
+	for i := range snap.Entries {
+		if ns := snap.Entries[i].Namespace; ns == "" {
+			defCount++
+		} else {
+			nsCounts[ns]++
+		}
+	}
+	s.defCount.Store(defCount)
+	s.nss.Range(func(_, v any) bool {
+		n := v.(*nsState)
+		n.count.Store(nsCounts[n.ns])
+		return true
+	})
+	for ns, c := range nsCounts {
+		s.nsStateFor(ns).count.Store(c)
+	}
 	s.epoch.Add(2)
 	if st != nil {
 		s.probes.Store(int64(st.Probes))
@@ -229,6 +302,23 @@ func (s *Sharded) Load(r io.Reader) error {
 			// No controller yet: stash for the next EnableAdaptive, which
 			// consumes it exactly once.
 			s.savedState.Store(st)
+		}
+		for ns, row := range st.Namespaces {
+			n := s.nsStateFor(ns)
+			n.probes.Store(int64(row.Probes))
+			n.overfetch.Store(int64(row.Overfetch))
+			sub := tunerState{
+				Probes:      row.Probes,
+				LastBad:     row.LastBad,
+				LastRetrain: row.LastRetrain,
+				RecallSum:   row.RecallSum,
+				RecallN:     row.RecallN,
+			}
+			if t := n.tuner.Load(); t != nil {
+				t.restore(sub)
+			} else {
+				n.saved.Store(&sub)
+			}
 		}
 	}
 	return nil

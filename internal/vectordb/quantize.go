@@ -241,7 +241,7 @@ func fastExp(x float64) float64 {
 // (decay > thr·(1+d̂) ⇔ sim > thr), so rows that cannot displace the kept
 // candidates cost no divide. Caller holds sh.mu and has checked the
 // sidecar is in sync with the entries.
-func (sh *shard) scanQuantized(q *quantSidecar, query []float64, qt time.Time, want int, alpha float64) qHeap {
+func (sh *shard) scanQuantized(q *quantSidecar, query []float64, qt time.Time, want int, alpha float64, ns scope) qHeap {
 	qq := q.encodeQuery(query)
 	qdays := daysOf(qt)
 	dim := sh.dim
@@ -254,6 +254,9 @@ func (sh *shard) scanQuantized(q *quantSidecar, query []float64, qt time.Time, w
 	cands := make(qHeap, 0, min(want, len(sh.entries))+1)
 	thr := math.Inf(-1)
 	for i := range sh.entries {
+		if !ns.match(sh.entries[i].Namespace) {
+			continue
+		}
 		row := q.codes[i*dim : i*dim+dim]
 		var dot int64
 		for d, c := range row {
@@ -285,14 +288,14 @@ func (sh *shard) scanQuantized(q *quantSidecar, query []float64, qt time.Time, w
 // re-rank IS the exact scan — which is the property the fuzz oracle
 // pins. A shard whose sidecar is missing or momentarily out of sync
 // (EnableQuantized racing an Add) serves full precision instead.
-func (sh *shard) topKQuantized(query []float64, qt time.Time, k, overfetch int, alpha float64) []Scored {
+func (sh *shard) topKQuantized(query []float64, qt time.Time, k, overfetch int, alpha float64, ns scope) []Scored {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	q := sh.quant
 	if q == nil || len(q.codes) != len(sh.entries)*sh.dim {
-		return sh.topKLocked(query, qt, k, alpha)
+		return sh.topKLocked(query, qt, k, alpha, ns)
 	}
-	cands := sh.scanQuantized(q, query, qt, k*overfetch, alpha)
+	cands := sh.scanQuantized(q, query, qt, k*overfetch, alpha, ns)
 	h := make(worstFirst, 0, k+1)
 	for _, c := range cands {
 		d, s := similarityAt(query, qt, sh.row(c.idx), sh.entries[c.idx].Time, alpha)
@@ -308,14 +311,14 @@ func (sh *shard) topKQuantized(query []float64, qt time.Time, k, overfetch int, 
 // bests are taken over the re-ranked candidate set rather than the whole
 // shard. Identical to the exact pass whenever the candidate budget covers
 // the shard.
-func (sh *shard) categoryBestQuantized(query []float64, qt time.Time, k, overfetch int, alpha float64) map[incident.Category]Scored {
+func (sh *shard) categoryBestQuantized(query []float64, qt time.Time, k, overfetch int, alpha float64, ns scope) map[incident.Category]Scored {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	q := sh.quant
 	if q == nil || len(q.codes) != len(sh.entries)*sh.dim {
-		return sh.categoryBestLocked(query, qt, alpha)
+		return sh.categoryBestLocked(query, qt, alpha, ns)
 	}
-	cands := sh.scanQuantized(q, query, qt, k*overfetch, alpha)
+	cands := sh.scanQuantized(q, query, qt, k*overfetch, alpha, ns)
 	best := make(map[incident.Category]Scored)
 	for _, c := range cands {
 		d, s := similarityAt(query, qt, sh.row(c.idx), sh.entries[c.idx].Time, alpha)
@@ -409,6 +412,34 @@ func (s *Sharded) escalateOverfetch() bool {
 		}
 		next := min(cur*2, maxEscalatedOverfetch)
 		if s.overfetch.CompareAndSwap(cur, next) {
+			return true
+		}
+	}
+}
+
+// escalateOverfetchNS is escalateOverfetch against one namespace's own
+// candidate pool (its recall-SLO controller's second knob): the
+// namespace's factor starts at the root's effective value and doubles
+// independently, capped at maxEscalatedOverfetch, without touching any
+// co-tenant's pool. nil st escalates the root pool.
+func (s *Sharded) escalateOverfetchNS(st *nsState) bool {
+	if st == nil {
+		return s.escalateOverfetch()
+	}
+	if !s.quantized.Load() {
+		return false
+	}
+	for {
+		raw := st.overfetch.Load()
+		eff := raw
+		if eff <= 0 {
+			eff = int64(s.Overfetch())
+		}
+		if eff >= maxEscalatedOverfetch {
+			return false
+		}
+		next := min(eff*2, maxEscalatedOverfetch)
+		if st.overfetch.CompareAndSwap(raw, next) {
 			return true
 		}
 	}

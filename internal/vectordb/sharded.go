@@ -123,10 +123,17 @@ type Sharded struct {
 	// savedState carries a loaded serving-state trailer until a tuner
 	// exists to absorb it (Load before EnableAdaptive).
 	savedState atomic.Pointer[tunerState]
-	gen        *generation // current target: Adds route here
-	old        *generation // non-nil mid-rebalance: shards draining into gen
-	byID       *sync.Map   // entry ID -> *shard (kept current by migration)
-	count      atomic.Int64
+	// nss maps non-default namespace -> *nsState (per-tenant serving state
+	// over the shared shard geometry); defCount counts default-namespace
+	// (untagged) entries, and adaptiveCfg is the EnableAdaptive config that
+	// seeds a controller for each namespace on first touch.
+	nss         sync.Map
+	defCount    atomic.Int64
+	adaptiveCfg atomic.Pointer[AutoConfig]
+	gen         *generation // current target: Adds route here
+	old         *generation // non-nil mid-rebalance: shards draining into gen
+	byID        *sync.Map   // entry ID -> *shard (kept current by migration)
+	count       atomic.Int64
 }
 
 // Probe-ranking modes for SetProbeRanking.
@@ -325,6 +332,15 @@ func (s *Sharded) Add(e Entry) error {
 	if t := s.tuner.Load(); t != nil {
 		t.noteAdd()
 	}
+	if e.Namespace == "" {
+		s.defCount.Add(1)
+	} else {
+		st := s.nsStateFor(e.Namespace)
+		st.count.Add(1)
+		if t := st.tuner.Load(); t != nil {
+			t.noteAdd()
+		}
+	}
 	return nil
 }
 
@@ -476,6 +492,38 @@ func (s *Sharded) Categories() []incident.Category {
 	return sortedCategories(s.CountByCategory())
 }
 
+// countByCategoryScoped is CountByCategory restricted to a namespace
+// scope — the namespace views' inventory pass. Same draining-aware ID
+// dedup as the unscoped tally.
+func (s *Sharded) countByCategoryScoped(sc scope) map[incident.Category]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[incident.Category]int)
+	draining, current := s.liveShards()
+	var seen map[string]bool
+	if draining != nil {
+		seen = make(map[string]bool, s.count.Load())
+	}
+	for _, sh := range append(append([]*shard(nil), draining...), current...) {
+		sh.mu.RLock()
+		for i := range sh.entries {
+			if !sc.match(sh.entries[i].Namespace) {
+				continue
+			}
+			if seen != nil {
+				if id := sh.entries[i].ID; seen[id] {
+					continue
+				} else {
+					seen[id] = true
+				}
+			}
+			out[sh.entries[i].Category]++
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // probeShards returns the shards a probe-limited query searches, or nil
 // when the query must fan out exactly: no probe budget, a partitioner
 // without centroid geometry (category hash), a rebalance in flight
@@ -491,8 +539,11 @@ func (s *Sharded) Categories() []incident.Category {
 // holding recent incidents can out-rank a stale partition whose centroid
 // is nearer. Under ProbeRankDistance the ranking is plain centroid
 // distance. Both break ties toward the lower shard index.
-func (s *Sharded) probeShards(g *generation, query []float64, qt time.Time, alpha float64) []*shard {
-	cands, p := s.rankedProbeCands(g, query, qt, alpha)
+// The probe budget p is the caller's: sequential serving passes the
+// scope's effective budget (root or per-namespace), so co-tenants probe
+// independently over the same ranked partitions.
+func (s *Sharded) probeShards(g *generation, query []float64, qt time.Time, alpha float64, p int) []*shard {
+	cands := s.rankedProbeCands(g, query, qt, alpha, p)
 	if cands == nil || len(cands) <= p {
 		// No probe geometry, or the budget covers every populated
 		// partition: identical to exact fan-out, so take the exact path and
@@ -518,20 +569,19 @@ type probeCand struct {
 }
 
 // rankedProbeCands ranks every populated partition for a probe-limited
-// query and returns the probe budget it read, or (nil, 0) when probe mode
-// cannot engage at all (no budget, no IVF geometry). The caller decides
-// how many ranked partitions to consume: probeShards takes the first
-// `budget` when they don't already cover every populated partition; the
-// batch executor's per-query growth walks further down the ranking. Ties
-// keep ascending shard index (stable sort over the ascending-index pass).
-func (s *Sharded) rankedProbeCands(g *generation, query []float64, qt time.Time, alpha float64) ([]probeCand, int) {
-	p := int(s.probes.Load())
+// query under the caller's probe budget p, or nil when probe mode cannot
+// engage at all (no budget, no IVF geometry). The caller decides how many
+// ranked partitions to consume: probeShards takes the first p when they
+// don't already cover every populated partition; the batch executor's
+// per-query growth walks further down the ranking. Ties keep ascending
+// shard index (stable sort over the ascending-index pass).
+func (s *Sharded) rankedProbeCands(g *generation, query []float64, qt time.Time, alpha float64, p int) []probeCand {
 	if p <= 0 || p >= len(g.shard) {
-		return nil, 0
+		return nil
 	}
 	ivf, ok := g.parts.(*IVF)
 	if !ok {
-		return nil, 0
+		return nil
 	}
 	dists := ivf.centroidDists(query)
 	timeAware := s.probeRank.Load() == ProbeRankTimeAware && alpha != 0
@@ -550,14 +600,14 @@ func (s *Sharded) rankedProbeCands(g *generation, query []float64, qt time.Time,
 		cands = append(cands, probeCand{sh: sh, score: score, est: est})
 	}
 	sort.SliceStable(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
-	return cands, p
+	return cands
 }
 
 // fanTopK runs the per-shard bounded-heap scan over the given shards on
 // the shared worker pool.
-func fanTopK(shards []*shard, query []float64, qt time.Time, k int, alpha float64) ([][]Scored, error) {
+func fanTopK(shards []*shard, query []float64, qt time.Time, k int, alpha float64, sc scope) ([][]Scored, error) {
 	return parallel.Map(len(shards), 0, func(i int) ([]Scored, error) {
-		return shards[i].topK(query, qt, k, alpha), nil
+		return shards[i].topK(query, qt, k, alpha, sc), nil
 	})
 }
 
@@ -571,19 +621,20 @@ func fanTopK(shards []*shard, query []float64, qt time.Time, k int, alpha float6
 // counts once and never zero times. With SetProbes under IVF routing only
 // the nearest partitions are scanned (approximate; see the type comment).
 func (s *Sharded) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
-	return s.topK(query, qt, k, alpha, false)
+	return s.topK(query, qt, k, alpha, false, scope{})
 }
 
 // exactTopK is TopK with probe selection forced off — the oracle path the
 // adaptive controller's shadow queries measure observed recall against.
 func (s *Sharded) exactTopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
-	return s.topK(query, qt, k, alpha, true)
+	return s.topK(query, qt, k, alpha, true, scope{})
 }
 
-func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forceExact bool) ([]Scored, error) {
+func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forceExact bool, sc scope) ([]Scored, error) {
 	if err := checkQuery(s.dim, query, k); err != nil {
 		return nil, err
 	}
+	nsSt := s.scopeNS(sc)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	draining, current := s.liveShards()
@@ -593,7 +644,7 @@ func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forc
 		shards := current
 		probed := false
 		if !forceExact {
-			if sel := s.probeShards(s.gen, query, qt, alpha); sel != nil {
+			if sel := s.probeShards(s.gen, query, qt, alpha, s.probesFor(nsSt)); sel != nil {
 				shards, probed = sel, true
 			}
 		}
@@ -603,13 +654,13 @@ func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forc
 			// Two-stage quantized scan: int8 candidate collection per probed
 			// shard, exact re-rank. Engages only on the probe-limited path —
 			// exact fan-out always reads the float backing.
-			of := s.Overfetch()
-			s.qScans.Add(1)
+			of := s.overfetchFor(nsSt)
+			s.noteQuantScan(nsSt)
 			perShard, err = parallel.Map(len(shards), 0, func(i int) ([]Scored, error) {
-				return shards[i].topKQuantized(query, qt, k, of, alpha), nil
+				return shards[i].topKQuantized(query, qt, k, of, alpha, sc), nil
 			})
 		} else {
-			perShard, err = fanTopK(shards, query, qt, k, alpha)
+			perShard, err = fanTopK(shards, query, qt, k, alpha, sc)
 		}
 		if err != nil {
 			return nil, err
@@ -621,8 +672,8 @@ func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forc
 		}
 		out := h.drain()
 		if !forceExact {
-			if t := s.tuner.Load(); t != nil {
-				t.observeQuery(query, qt, k, alpha, out, probed, false)
+			if t := s.tunerFor(nsSt); t != nil {
+				t.observeQuery(query, qt, k, alpha, out, probed, false, sc)
 			}
 		}
 		return out, nil
@@ -632,11 +683,11 @@ func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forc
 	// first. Copy-before-clear migration plus this scan order guarantees
 	// every entry is seen at least once; the ID filter collapses the
 	// at-most-twice case.
-	oldRes, err := fanTopK(draining, query, qt, k, alpha)
+	oldRes, err := fanTopK(draining, query, qt, k, alpha, sc)
 	if err != nil {
 		return nil, err
 	}
-	newRes, err := fanTopK(current, query, qt, k, alpha)
+	newRes, err := fanTopK(current, query, qt, k, alpha, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -655,9 +706,9 @@ func (s *Sharded) topK(query []float64, qt time.Time, k int, alpha float64, forc
 
 // fanCategoryBest runs the per-shard per-category scan over the given
 // shards on the shared worker pool.
-func fanCategoryBest(shards []*shard, query []float64, qt time.Time, alpha float64) ([]map[incident.Category]Scored, error) {
+func fanCategoryBest(shards []*shard, query []float64, qt time.Time, alpha float64, sc scope) ([]map[incident.Category]Scored, error) {
 	return parallel.Map(len(shards), 0, func(i int) (map[incident.Category]Scored, error) {
-		return shards[i].categoryBest(query, qt, alpha), nil
+		return shards[i].categoryBest(query, qt, alpha, sc), nil
 	})
 }
 
@@ -671,19 +722,20 @@ func fanCategoryBest(shards []*shard, query []float64, qt time.Time, alpha float
 // With SetProbes under IVF routing only the nearest partitions are
 // scanned (approximate; see the type comment).
 func (s *Sharded) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
-	return s.topKDiverse(query, qt, k, alpha, false)
+	return s.topKDiverse(query, qt, k, alpha, false, scope{})
 }
 
 // exactTopKDiverse is TopKDiverse with probe selection forced off (the
 // shadow-query oracle path).
 func (s *Sharded) exactTopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
-	return s.topKDiverse(query, qt, k, alpha, true)
+	return s.topKDiverse(query, qt, k, alpha, true, scope{})
 }
 
-func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float64, forceExact bool) ([]Scored, error) {
+func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float64, forceExact bool, sc scope) ([]Scored, error) {
 	if err := checkQuery(s.dim, query, k); err != nil {
 		return nil, err
 	}
+	nsSt := s.scopeNS(sc)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	draining, current := s.liveShards()
@@ -702,7 +754,7 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 		// Rebalance in flight: exact over both generations, the draining
 		// one scanned to completion first (same no-miss argument as TopK;
 		// a migrating entry seen twice merges with itself).
-		oldRes, err := fanCategoryBest(draining, query, qt, alpha)
+		oldRes, err := fanCategoryBest(draining, query, qt, alpha, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -711,7 +763,7 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 	shards := current
 	probed := false
 	if draining == nil && !forceExact {
-		if sel := s.probeShards(s.gen, query, qt, alpha); sel != nil {
+		if sel := s.probeShards(s.gen, query, qt, alpha, s.probesFor(nsSt)); sel != nil {
 			shards, probed = sel, true
 		}
 	}
@@ -720,15 +772,15 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 		// shards in sequence beats the fan-out's per-shard map build, merge,
 		// and per-shard winner materialization — the regime where the
 		// sharded TopKDiverse used to lose to the flat store.
-		s.categoryBestInline(shards, query, qt, alpha, best)
+		s.categoryBestInline(shards, query, qt, alpha, best, sc)
 		h := make(worstFirst, 0, k+1)
 		for _, sc := range best {
 			h.offer(sc, k)
 		}
 		out := h.drain()
 		if !forceExact {
-			if t := s.tuner.Load(); t != nil {
-				t.observeQuery(query, qt, k, alpha, out, false, true)
+			if t := s.tunerFor(nsSt); t != nil {
+				t.observeQuery(query, qt, k, alpha, out, false, true, sc)
 			}
 		}
 		return out, nil
@@ -736,13 +788,13 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 	var perShard []map[incident.Category]Scored
 	var err error
 	if probed && s.quantized.Load() {
-		of := s.Overfetch()
-		s.qScans.Add(1)
+		of := s.overfetchFor(nsSt)
+		s.noteQuantScan(nsSt)
 		perShard, err = parallel.Map(len(shards), 0, func(i int) (map[incident.Category]Scored, error) {
-			return shards[i].categoryBestQuantized(query, qt, k, of, alpha), nil
+			return shards[i].categoryBestQuantized(query, qt, k, of, alpha, sc), nil
 		})
 	} else {
-		perShard, err = fanCategoryBest(shards, query, qt, alpha)
+		perShard, err = fanCategoryBest(shards, query, qt, alpha, sc)
 	}
 	if err != nil {
 		return nil, err
@@ -754,8 +806,8 @@ func (s *Sharded) topKDiverse(query []float64, qt time.Time, k int, alpha float6
 	}
 	out := h.drain()
 	if draining == nil && !forceExact {
-		if t := s.tuner.Load(); t != nil {
-			t.observeQuery(query, qt, k, alpha, out, probed, true)
+		if t := s.tunerFor(nsSt); t != nil {
+			t.observeQuery(query, qt, k, alpha, out, probed, true, sc)
 		}
 	}
 	return out, nil
@@ -773,7 +825,7 @@ const diverseInlineMax = 4096
 // and materialize once at the end: under the caller-held store read lock
 // no generation swap can start, so shards only append and row indexes stay
 // stable across the brief per-shard lock releases.
-func (s *Sharded) categoryBestInline(shards []*shard, query []float64, qt time.Time, alpha float64, best map[incident.Category]Scored) {
+func (s *Sharded) categoryBestInline(shards []*shard, query []float64, qt time.Time, alpha float64, best map[incident.Category]Scored, ns scope) {
 	type ref struct {
 		sh  *shard
 		idx int
@@ -782,6 +834,9 @@ func (s *Sharded) categoryBestInline(shards []*shard, query []float64, qt time.T
 	for _, sh := range shards {
 		sh.mu.RLock()
 		for i := range sh.entries {
+			if !ns.match(sh.entries[i].Namespace) {
+				continue
+			}
 			d, sim := similarityAt(query, qt, sh.row(i), sh.entries[i].Time, alpha)
 			sc := Scored{Entry: sh.entries[i], Distance: d, Similarity: sim}
 			cat := sc.Entry.Category
@@ -805,17 +860,20 @@ func (s *Sharded) categoryBestInline(shards []*shard, query []float64, qt time.T
 // returns its local best-first top k, vectors materialized. The threshold
 // pre-check skips the Entry copy for the overwhelming majority of rows
 // that can't displace the heap root.
-func (sh *shard) topK(query []float64, qt time.Time, k int, alpha float64) []Scored {
+func (sh *shard) topK(query []float64, qt time.Time, k int, alpha float64, ns scope) []Scored {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.topKLocked(query, qt, k, alpha)
+	return sh.topKLocked(query, qt, k, alpha, ns)
 }
 
 // topKLocked is topK's body under a caller-held shard lock — shared with
 // the quantized path's full-precision fallback.
-func (sh *shard) topKLocked(query []float64, qt time.Time, k int, alpha float64) []Scored {
+func (sh *shard) topKLocked(query []float64, qt time.Time, k int, alpha float64, ns scope) []Scored {
 	h := make(worstFirst, 0, k+1)
 	for i := range sh.entries {
+		if !ns.match(sh.entries[i].Namespace) {
+			continue
+		}
 		d, s := similarityAt(query, qt, sh.row(i), sh.entries[i].Time, alpha)
 		if len(h) == k {
 			if r := &h[0]; r.Similarity > s || (r.Similarity == s && r.Entry.ID < sh.entries[i].ID) {
@@ -832,17 +890,20 @@ func (sh *shard) topKLocked(query []float64, qt time.Time, k int, alpha float64)
 
 // categoryBest returns the shard's best-ranked entry per category,
 // vectors materialized.
-func (sh *shard) categoryBest(query []float64, qt time.Time, alpha float64) map[incident.Category]Scored {
+func (sh *shard) categoryBest(query []float64, qt time.Time, alpha float64, ns scope) map[incident.Category]Scored {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.categoryBestLocked(query, qt, alpha)
+	return sh.categoryBestLocked(query, qt, alpha, ns)
 }
 
 // categoryBestLocked is categoryBest's body under a caller-held shard
 // lock — shared with the quantized path's full-precision fallback.
-func (sh *shard) categoryBestLocked(query []float64, qt time.Time, alpha float64) map[incident.Category]Scored {
+func (sh *shard) categoryBestLocked(query []float64, qt time.Time, alpha float64, ns scope) map[incident.Category]Scored {
 	best := make(map[incident.Category]Scored)
 	for i := range sh.entries {
+		if !ns.match(sh.entries[i].Namespace) {
+			continue
+		}
 		d, s := similarityAt(query, qt, sh.row(i), sh.entries[i].Time, alpha)
 		sc := Scored{Entry: sh.entries[i], Distance: d, Similarity: s}
 		if cur, ok := best[sc.Entry.Category]; !ok || ranksAfter(cur, sc) {

@@ -95,6 +95,13 @@ func (c AutoConfig) validate() error {
 type Tuner struct {
 	s   *Sharded
 	cfg AutoConfig
+	// ns binds the controller to one non-default namespace's serving state
+	// (its own probe budget, overfetch pool, and shadow window over the
+	// shared shard geometry); nil is the root/default-namespace controller
+	// — the pre-namespace behavior. Per-namespace controllers are created
+	// on first namespace touch while adaptive serving is enabled
+	// (Sharded.ensureNSTuner).
+	ns *nsState
 
 	// paused is the manual-override latch: Sharded.SetProbes sets it, and
 	// while set the controller observes but never adjusts.
@@ -159,6 +166,13 @@ func (s *Sharded) EnableAdaptive(cfg AutoConfig) (*Tuner, error) {
 		s.probes.Store(1)
 	}
 	s.tuner.Store(t)
+	// Every namespace gets its own controller over the same config: those
+	// that already exist now, later ones on first touch (nsStateFor).
+	s.adaptiveCfg.Store(&cfg)
+	s.nss.Range(func(_, v any) bool {
+		s.ensureNSTuner(v.(*nsState))
+		return true
+	})
 	return t, nil
 }
 
@@ -176,10 +190,18 @@ func (t *Tuner) restore(st tunerState) {
 	t.mu.Unlock()
 }
 
-// DisableAdaptive removes the adaptive controller, freezing the probe
-// budget at its current effective value. Call Tuner.Quiesce first if
-// in-flight shadow work must complete.
-func (s *Sharded) DisableAdaptive() { s.tuner.Store(nil) }
+// DisableAdaptive removes the adaptive controller — the root one and
+// every namespace's — freezing each probe budget at its current
+// effective value. Call Tuner.Quiesce first if in-flight shadow work
+// must complete.
+func (s *Sharded) DisableAdaptive() {
+	s.adaptiveCfg.Store(nil)
+	s.tuner.Store(nil)
+	s.nss.Range(func(_, v any) bool {
+		v.(*nsState).tuner.Store(nil)
+		return true
+	})
+}
 
 // AdaptiveTuner returns the installed adaptive controller, or nil.
 func (s *Sharded) AdaptiveTuner() *Tuner { return s.tuner.Load() }
@@ -223,8 +245,10 @@ func (t *Tuner) ObservedRecall() (mean float64, samples int) {
 // — a free sample that lets the controller shrink back down without any
 // shadow cost. Probed samples launch an exact shadow query on its own
 // goroutine (one slot from the shared parallel budget, at most one in
-// flight) and feed observed recall@k into the controller window.
-func (t *Tuner) observeQuery(query []float64, qt time.Time, k int, alpha float64, approx []Scored, probed, diverse bool) {
+// flight) and feed observed recall@k into the controller window. The
+// shadow runs under the served query's namespace scope, so a tenant's
+// observed recall measures its own view, never a co-tenant's entries.
+func (t *Tuner) observeQuery(query []float64, qt time.Time, k int, alpha float64, approx []Scored, probed, diverse bool, sc scope) {
 	if t.cfg.RecallTarget <= 0 || t.paused.Load() {
 		return
 	}
@@ -254,9 +278,9 @@ func (t *Tuner) observeQuery(query []float64, qt time.Time, k int, alpha float64
 		var exact []Scored
 		var err error
 		if diverse {
-			exact, err = t.s.exactTopKDiverse(q, qt, k, alpha)
+			exact, err = t.s.topKDiverse(q, qt, k, alpha, true, sc)
 		} else {
-			exact, err = t.s.exactTopK(q, qt, k, alpha)
+			exact, err = t.s.topK(q, qt, k, alpha, true, sc)
 		}
 		if err != nil || len(exact) == 0 {
 			return
@@ -304,7 +328,7 @@ func (t *Tuner) observe(recall float64) {
 	mean := sum / float64(len(t.window))
 	t.window = t.window[:0]
 
-	cur := t.s.Probes()
+	cur := t.effProbes()
 	switch {
 	case mean < t.cfg.RecallTarget:
 		if cur > t.lastBad {
@@ -312,7 +336,7 @@ func (t *Tuner) observe(recall float64) {
 		}
 		t.mu.Unlock()
 		grown := min(cur+1, t.s.NumShards())
-		if grown == t.s.NumShards() && !t.paused.Load() && t.s.escalateOverfetch() {
+		if grown == t.s.NumShards() && !t.paused.Load() && t.s.escalateOverfetchNS(t.ns) {
 			// Growing to full fan-out abandons probe-limited serving (and
 			// with it the quantized stage, whose shadow samples would read
 			// a flat 1.0 and park the budget there): widen the candidate
@@ -339,6 +363,15 @@ func (t *Tuner) shrinkAt() float64 {
 	return t.cfg.RecallTarget + (1-t.cfg.RecallTarget)/2
 }
 
+// effProbes reads the probe budget this controller owns: the root
+// store's for the default controller, the namespace's own otherwise.
+func (t *Tuner) effProbes() int {
+	if t.ns != nil {
+		return int(t.ns.probes.Load())
+	}
+	return t.s.Probes()
+}
+
 // adjustProbes moves the effective budget from..to, clamped to [1, ∞).
 // The pause check and the budget write happen under overrideMu — the
 // same lock a manual SetProbes holds across its pause-and-pin — so an
@@ -354,6 +387,10 @@ func (t *Tuner) adjustProbes(from, to int) {
 	if to < 1 {
 		to = 1
 	}
+	if t.ns != nil {
+		t.ns.probes.CompareAndSwap(int64(from), int64(to))
+		return
+	}
 	t.s.probes.CompareAndSwap(int64(from), int64(to))
 }
 
@@ -363,6 +400,10 @@ func (t *Tuner) pinProbes(p int) {
 	t.overrideMu.Lock()
 	defer t.overrideMu.Unlock()
 	t.paused.Store(true)
+	if t.ns != nil {
+		t.ns.probes.Store(int64(p))
+		return
+	}
 	t.s.probes.Store(int64(p))
 }
 

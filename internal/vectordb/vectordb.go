@@ -142,6 +142,44 @@
 // (those queries are exact already), and Tuner.Quiesce is the barrier
 // that waits out in-flight shadow/retrain work where determinism matters.
 //
+// # Namespaces (multi-tenant views)
+//
+// Index.Namespace(ns) returns a logical view of the store scoped to one
+// namespace — the unit of multi-tenant isolation (the serving layer maps
+// one incident team to one namespace). Views share everything physical
+// with the root store: the same shard pool, the same columnar backings,
+// the same worker budget, the same locks. Only the logical contract
+// changes:
+//
+//   - Add through a view tags the entry with the view's namespace; Add
+//     through the root store leaves the tag empty (the DEFAULT namespace).
+//   - TopK/TopKDiverse/TopKBatch through a view scan the same shards the
+//     root store would but filter per row, returning only entries of the
+//     view's namespace — bit-identical to a dedicated flat store holding
+//     only that namespace's entries (pinned by goldens and a namespace
+//     dimension of the probe-equivalence fuzz oracle). Len, Get,
+//     Categories and CountByCategory are scoped the same way.
+//   - Namespace("") is the default-namespace view: it serves exactly the
+//     untagged entries, so on a store that never tagged anything it is
+//     indistinguishable from the root store. The ROOT store itself stays
+//     unscoped — it serves every entry regardless of tag — which is what
+//     keeps every pre-namespace golden bit-identical.
+//   - An unknown namespace is not an error: its view is simply empty
+//     (zero hits, zero length).
+//   - Save/Load operate on the WHOLE store regardless of which view they
+//     are called through — a view is a lens, not a partition.
+//
+// On the sharded store each non-default namespace additionally carries its
+// own serving state over the shared shard geometry: a probe budget, a
+// quantized overfetch factor, and — when adaptive serving is enabled — its
+// own recall-SLO controller with its own shadow window, overfetch
+// escalation, and skew/retrain triggers (retrains are global, the geometry
+// is shared; the per-namespace controllers just decide independently when
+// to ask for one). SetNamespaceProbes is the per-tenant manual override;
+// NamespaceStats is the per-tenant metrics surface. The default
+// namespace's serving state is the root store's own, so single-tenant
+// deployments tune exactly as before.
+//
 // # Batched execution (TopKBatch and Batcher)
 //
 // TopKBatch serves B heterogeneous queries (per-query k, anchor time,
@@ -204,10 +242,29 @@ type Entry struct {
 	Vector   []float64
 	Category incident.Category
 	Time     time.Time
+	// Namespace is the tenant tag (the owning team in the serving layer).
+	// Empty is the default namespace — the pre-namespace semantics. Set by
+	// adding through a namespace view; see the package comment's namespace
+	// contract. Gob-additive: snapshots written before this field existed
+	// load with every entry in the default namespace.
+	Namespace string
 	// Summary is the summarized diagnostic text shown as the demonstration
 	// body in the Figure 9 prompt.
 	Summary string
 }
+
+// scope is the per-query namespace restriction threaded through every scan
+// path. The zero value is unscoped (the root store's view: every entry
+// matches), so pre-namespace call sites compile into the exact code they
+// ran before — the filter branch is never taken.
+type scope struct {
+	on bool
+	ns string
+}
+
+// match reports whether an entry with the given namespace tag is visible
+// under the scope.
+func (sc scope) match(ns string) bool { return !sc.on || sc.ns == ns }
 
 // Scored is a retrieval result.
 type Scored struct {
@@ -245,6 +302,12 @@ type Index interface {
 	// TopK/TopKDiverse (see the package comment's batched execution
 	// contract).
 	TopKBatch(queries []BatchQuery) ([][]Scored, error)
+	// Namespace returns a logical view of the store scoped to one tenant
+	// namespace: Add tags entries, queries filter to the namespace, and
+	// everything physical (shards, backings, worker budget) is shared with
+	// the root store. Namespace("") is the default-namespace view; see the
+	// package comment's namespace contract.
+	Namespace(ns string) Index
 	// Save serializes the store in the flat snapshot format.
 	Save(w io.Writer) error
 	// Load replaces the store contents with a snapshot written by any
@@ -338,6 +401,9 @@ type DB struct {
 	entries []Entry   // Vector fields nil; see vecs
 	vecs    []float64 // row-major vector backing: entry i at [i*dim, (i+1)*dim)
 	byID    map[string]int
+	// nsCount tallies entries per namespace tag (key "" is the default
+	// namespace) so namespace views answer Len without a scan.
+	nsCount map[string]int
 }
 
 // row returns entry i's vector from the columnar backing. Caller holds
@@ -350,7 +416,7 @@ var _ Index = (*DB)(nil)
 
 // New returns an empty store for vectors of the given dimensionality.
 func New(dim int) *DB {
-	return &DB{dim: dim, byID: make(map[string]int)}
+	return &DB{dim: dim, byID: make(map[string]int), nsCount: make(map[string]int)}
 }
 
 // Dim returns the vector dimensionality.
@@ -389,6 +455,7 @@ func (db *DB) Add(e Entry) error {
 	e.Vector = nil
 	db.byID[e.ID] = len(db.entries)
 	db.entries = append(db.entries, e)
+	db.nsCount[e.Namespace]++
 	return nil
 }
 
@@ -535,12 +602,21 @@ func (db *DB) checkQuery(query []float64, k int) error {
 // category), so one O(n) pass finds the per-category representatives and a
 // bounded heap selects the top k among them in O(C log k).
 func (db *DB) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return db.topKDiverseScoped(query, qt, k, alpha, scope{})
+}
+
+// topKDiverseScoped is TopKDiverse restricted to a namespace scope; the
+// zero scope scans every entry (the root store's contract).
+func (db *DB) topKDiverseScoped(query []float64, qt time.Time, k int, alpha float64, ns scope) ([]Scored, error) {
 	if err := db.checkQuery(query, k); err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
 	best := make(map[incident.Category]Scored)
 	for i := range db.entries {
+		if !ns.match(db.entries[i].Namespace) {
+			continue
+		}
 		d, s := similarityAt(query, qt, db.row(i), db.entries[i].Time, alpha)
 		sc := Scored{Entry: db.entries[i], Distance: d, Similarity: s}
 		if cur, ok := best[sc.Entry.Category]; !ok || ranksAfter(cur, sc) {
@@ -561,12 +637,21 @@ func (db *DB) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) (
 // store with a size-k bounded heap — O(n log k) instead of the full sort's
 // O(n log n).
 func (db *DB) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return db.topKScoped(query, qt, k, alpha, scope{})
+}
+
+// topKScoped is TopK restricted to a namespace scope; the zero scope scans
+// every entry (the root store's contract).
+func (db *DB) topKScoped(query []float64, qt time.Time, k int, alpha float64, ns scope) ([]Scored, error) {
 	if err := db.checkQuery(query, k); err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
 	h := make(worstFirst, 0, k+1)
 	for i := range db.entries {
+		if !ns.match(db.entries[i].Namespace) {
+			continue
+		}
 		d, s := similarityAt(query, qt, db.row(i), db.entries[i].Time, alpha)
 		if len(h) == k {
 			// Same pre-check as the sharded scan: skip the Entry copy for
@@ -619,6 +704,83 @@ func (db *DB) sortTopKDiverse(query []float64, qt time.Time, k int, alpha float6
 	}
 	return out, nil
 }
+
+// countByCategoryScoped is CountByCategory restricted to a namespace scope.
+func (db *DB) countByCategoryScoped(ns scope) map[incident.Category]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	counts := make(map[incident.Category]int)
+	for _, e := range db.entries {
+		if ns.match(e.Namespace) {
+			counts[e.Category]++
+		}
+	}
+	return counts
+}
+
+// Namespace returns a view of the flat store scoped to ns; see the package
+// comment's namespace contract.
+func (db *DB) Namespace(ns string) Index { return dbView{db: db, ns: ns} }
+
+// dbView is the flat store's namespace view: a lens over the shared DB
+// that tags on Add and filters on read. Save/Load pass through to the
+// whole store.
+type dbView struct {
+	db *DB
+	ns string
+}
+
+var _ Index = dbView{}
+
+func (v dbView) Dim() int { return v.db.Dim() }
+
+func (v dbView) Len() int {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	return v.db.nsCount[v.ns]
+}
+
+func (v dbView) Add(e Entry) error {
+	e.Namespace = v.ns
+	return v.db.Add(e)
+}
+
+func (v dbView) Get(id string) (Entry, bool) {
+	e, ok := v.db.Get(id)
+	if !ok || e.Namespace != v.ns {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+func (v dbView) CountByCategory() map[incident.Category]int {
+	return v.db.countByCategoryScoped(scope{on: true, ns: v.ns})
+}
+
+func (v dbView) Categories() []incident.Category {
+	return sortedCategories(v.CountByCategory())
+}
+
+func (v dbView) TopK(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return v.db.topKScoped(query, qt, k, alpha, scope{on: true, ns: v.ns})
+}
+
+func (v dbView) TopKDiverse(query []float64, qt time.Time, k int, alpha float64) ([]Scored, error) {
+	return v.db.topKDiverseScoped(query, qt, k, alpha, scope{on: true, ns: v.ns})
+}
+
+func (v dbView) TopKBatch(queries []BatchQuery) ([][]Scored, error) {
+	return v.db.TopKBatch(scopedQueries(queries, v.ns))
+}
+
+// Save writes the WHOLE store, not just the view's namespace — a view is a
+// lens, not a partition. Load likewise replaces the whole store.
+func (v dbView) Save(w io.Writer) error { return v.db.Save(w) }
+
+// Load replaces the whole underlying store; see Save.
+func (v dbView) Load(r io.Reader) error { return v.db.Load(r) }
+
+func (v dbView) Namespace(ns string) Index { return v.db.Namespace(ns) }
 
 func (db *DB) scoreAllSorted(query []float64, qt time.Time, alpha float64) []Scored {
 	db.mu.RLock()

@@ -164,6 +164,13 @@ type Config struct {
 	Alpha float64
 	// Team owns the handlers (default "Transport").
 	Team string
+	// MultiTenant serves each incident's owning team as a tenant over the
+	// shared vector store: learned entries land in the team's namespace,
+	// Predict retrieves demonstrations only from the owning team's own
+	// history, RetrieveTeam scopes free-text reads per tenant, and
+	// collection cost is metered per team. Off (the default), the system
+	// is bit-identical to single-tenant serving.
+	MultiTenant bool
 	// Context selects the prompt context sources (default: summarized
 	// diagnostic information, the paper's best Table-3 row).
 	Context ContextSources
@@ -277,6 +284,7 @@ func NewSystem(fleet *Fleet, cfg Config) (*System, error) {
 	}
 	cop, err := core.New(fleet, chat, core.Config{
 		Team:         cfg.Team,
+		MultiTenant:  cfg.MultiTenant,
 		K:            cfg.K,
 		Alpha:        cfg.Alpha,
 		Context:      cfg.Context,
@@ -431,6 +439,14 @@ func (s *System) Feedback() *FeedbackLoop {
 // configured K.
 func (s *System) Retrieve(text string, k int, diverse bool) ([]Retrieved, error) {
 	return s.copilot.Retrieve(text, s.fleet.Clock().Now(), k, diverse)
+}
+
+// RetrieveTeam is Retrieve through one team's namespace view: only that
+// tenant's learned history is searched (the read behind the daemon's
+// /api/retrieve?team= parameter). An unknown team returns zero hits
+// without error.
+func (s *System) RetrieveTeam(team, text string, k int, diverse bool) ([]Retrieved, error) {
+	return s.copilot.RetrieveIn(team, text, s.fleet.Clock().Now(), k, diverse)
 }
 
 // Close releases background serving resources — today the micro-batching

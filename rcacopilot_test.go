@@ -62,8 +62,8 @@ func TestSystemEndToEnd(t *testing.T) {
 	if err := sys.AddHistory(history); err != nil {
 		t.Fatal(err)
 	}
-	if sys.Copilot().DB().Len() != 250 {
-		t.Fatalf("db len = %d", sys.Copilot().DB().Len())
+	if sys.Copilot().Index().Len() != 250 {
+		t.Fatalf("db len = %d", sys.Copilot().Index().Len())
 	}
 
 	fleet := sys.Fleet()
@@ -122,8 +122,8 @@ func TestUseGPTEmbedding(t *testing.T) {
 	if err := sys.Learn(c.Incidents[0]); err != nil {
 		t.Fatalf("learn with GPT embedding: %v", err)
 	}
-	if sys.Copilot().DB().Dim() != 64 {
-		t.Fatalf("default GPT embedding dim = %d, want 64", sys.Copilot().DB().Dim())
+	if sys.Copilot().Index().Dim() != 64 {
+		t.Fatalf("default GPT embedding dim = %d, want 64", sys.Copilot().Index().Dim())
 	}
 }
 
@@ -159,7 +159,7 @@ func TestFeedbackLoopLearnsConfirmedPrediction(t *testing.T) {
 	if err := sys.AddHistory(c.Incidents[:100]); err != nil {
 		t.Fatal(err)
 	}
-	before := sys.Copilot().DB().Len()
+	before := sys.Copilot().Index().Len()
 
 	// A reviewed prediction flows back into the history.
 	inc := c.Incidents[150].Clone()
@@ -172,7 +172,7 @@ func TestFeedbackLoopLearnsConfirmedPrediction(t *testing.T) {
 	if entry.Verdict != VerdictConfirm {
 		t.Fatalf("entry = %+v", entry)
 	}
-	if sys.Copilot().DB().Len() != before+1 {
+	if sys.Copilot().Index().Len() != before+1 {
 		t.Fatal("confirmed incident was not learned into the history")
 	}
 	if got, ok := sys.Feedback().Get("INC-FB-1"); !ok || got.Predicted != inc.Predicted {
@@ -311,5 +311,46 @@ func TestRenderRetryQueueThroughSystem(t *testing.T) {
 	if !strings.Contains(out, "LEARN RETRY QUEUE") ||
 		!strings.Contains(out, "no unresolved learn failures") {
 		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestMultiTenantSystemRetrieveTeam(t *testing.T) {
+	c := sharedCorpus(t)
+	sys, err := NewSystem(c.Fleet, Config{Seed: 2, MultiTenant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainEmbedding(c.Incidents[:80]); err != nil {
+		t.Fatal(err)
+	}
+	teams := []string{"Alpha", "Beta"}
+	for i, in := range c.Incidents[:40] {
+		clone := in.Clone()
+		clone.OwningTeam = teams[i%len(teams)]
+		if err := sys.Learn(clone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := c.Incidents[0].DiagnosticText()
+	for _, team := range teams {
+		hits, err := sys.RetrieveTeam(team, query, 5, false)
+		if err != nil {
+			t.Fatalf("RetrieveTeam(%s): %v", team, err)
+		}
+		if len(hits) == 0 {
+			t.Fatalf("RetrieveTeam(%s) found nothing", team)
+		}
+		for _, h := range hits {
+			if h.Entry.Namespace != team {
+				t.Fatalf("RetrieveTeam(%s) leaked entry from namespace %q", team, h.Entry.Namespace)
+			}
+		}
+	}
+	hits, err := sys.RetrieveTeam("Ghost", query, 5, false)
+	if err != nil {
+		t.Fatalf("RetrieveTeam(unknown): %v", err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("unknown team retrieved %d hits", len(hits))
 	}
 }
