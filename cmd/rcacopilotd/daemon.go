@@ -666,12 +666,32 @@ func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
 		cost["tenants"] = toStrings(perTenant)
 	}
 
-	httpd.WriteJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"uptime":    time.Since(d.started).Round(time.Millisecond).String(),
 		"incidents": incidents,
 		"admission": admission,
 		"retrieval": retrieval,
 		"feedback":  feedback,
 		"cost":      cost,
-	})
+	}
+	if dur := d.sys.Copilot().Durable(); dur != nil {
+		// WAL-backed deployment (-wal-dir): surface the durability gauges —
+		// replayedRecords > 0 after a reboot is the observable proof that
+		// recovery, not re-ingest, produced the serving corpus.
+		st := dur.Stats()
+		durability := map[string]any{
+			"appendedRecords": st.AppendedRecords,
+			"syncedRecords":   st.SyncedRecords,
+			"replayedRecords": st.ReplayedRecords,
+			"logBytes":        st.LogBytes,
+		}
+		if !st.LastCompaction.IsZero() {
+			durability["lastCompaction"] = st.LastCompaction.UTC()
+		}
+		if st.Err != "" {
+			durability["error"] = st.Err
+		}
+		payload["durability"] = durability
+	}
+	httpd.WriteJSON(w, http.StatusOK, payload)
 }

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/httpd"
+	"repro/internal/vectordb"
+
+	rcacopilot "repro"
+)
+
+// durableSystem boots a WAL-backed system over the shared corpus the way
+// run() does: same corpus, same seed, train embedding, then ingest only
+// if recovery produced an empty store.
+func durableSystem(t *testing.T, walDir string) *rcacopilot.System {
+	t.Helper()
+	c := sharedCorpus(t)
+	sys, err := rcacopilot.NewSystem(c.Fleet, rcacopilot.Config{
+		Seed: 1, Shards: 4, Partitioner: rcacopilot.PartitionIVF,
+		WALDir: walDir, WALSyncEvery: 1, WALSyncInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 40
+	if err := sys.TrainEmbedding(c.Incidents[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Copilot().Index().Len() == 0 {
+		if err := sys.AddHistory(c.Incidents[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// TestDaemonSurvivesKill is the in-process SIGKILL drill: a WAL-backed
+// daemon serves traffic and converges a manual probe budget, then is
+// ABANDONED — no drain, no Close, exactly what kill -9 leaves behind — and
+// a second boot over the same directory must serve the pre-kill corpus
+// with the pre-kill probe budget, reporting the replay in /metrics. (CI's
+// daemon-smoke job runs the same drill against a real process with a real
+// SIGKILL.)
+func TestDaemonSurvivesKill(t *testing.T) {
+	walDir := t.TempDir()
+	sys := durableSystem(t, walDir)
+	d := newDaemon(sys, httpd.LimitConfig{Rate: 100, Burst: 100}, 8)
+
+	// Serve one full incident through the front door, feedback included,
+	// so the WAL holds live-traffic state, not just the ingest batch.
+	if rec := postJSON(t, d, "/api/incidents", liveIncident(t, "INC-KILL-1")); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", rec.Code, rec.Body.String())
+	}
+	st := waitDone(t, d, "INC-KILL-1")
+	if st.Error != "" {
+		t.Fatalf("incident failed: %s", st.Error)
+	}
+	if rec := postJSON(t, d, "/api/feedback", feedbackRequest{IncidentID: "INC-KILL-1", Verdict: "confirm", Reviewer: "oce"}); rec.Code != http.StatusOK {
+		t.Fatalf("feedback: status %d (%s)", rec.Code, rec.Body.String())
+	}
+	if err := sys.Feedback().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Converge serving state: pin a probe budget the reboot must restore.
+	sh, ok := vectordb.AsSharded(sys.Copilot().Index())
+	if !ok {
+		t.Fatal("index did not unwrap to Sharded")
+	}
+	base := sys.Copilot().Durable().Stats().AppendedRecords
+	if err := sh.SetProbes(2); err != nil {
+		t.Fatal(err)
+	}
+	preLen := sys.Copilot().Index().Len()
+	if _, found := sys.Copilot().Index().Get("INC-KILL-1"); !found {
+		t.Fatal("confirmed incident not learned before the kill")
+	}
+	// Wait for the housekeeping tick to journal the pinned tuner state
+	// (the record count grows past what ingest wrote), then force the
+	// group commit — the durability boundary a crash respects.
+	dur := sys.Copilot().Durable()
+	deadline := time.Now().Add(10 * time.Second)
+	for dur.Stats().AppendedRecords == base {
+		if time.Now().After(deadline) {
+			t.Fatal("housekeeping never journaled the tuner-state change")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := dur.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// KILL: no drain, no Close, no final flush. The daemon object and its
+	// goroutines are simply abandoned, as SIGKILL abandons a process.
+
+	sys2 := durableSystem(t, walDir)
+	d2 := newDaemon(sys2, httpd.LimitConfig{Rate: 100, Burst: 100}, 8)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		d2.drain(ctx)
+		sys2.Close()
+	})
+
+	if got := sys2.Copilot().Index().Len(); got != preLen {
+		t.Fatalf("rebooted corpus has %d entries, pre-kill had %d", got, preLen)
+	}
+	if _, found := sys2.Copilot().Index().Get("INC-KILL-1"); !found {
+		t.Fatal("incident learned from pre-kill feedback lost in the reboot")
+	}
+	sh2, ok := vectordb.AsSharded(sys2.Copilot().Index())
+	if !ok {
+		t.Fatal("rebooted index did not unwrap to Sharded")
+	}
+	if got := sh2.Probes(); got != 2 {
+		t.Fatalf("rebooted probe budget = %d, want the pre-kill 2", got)
+	}
+
+	var metrics struct {
+		Durability *struct {
+			ReplayedRecords int64 `json:"replayedRecords"`
+			LogBytes        int64 `json:"logBytes"`
+		} `json:"durability"`
+	}
+	if code := getJSON(t, d2, "/metrics", &metrics); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if metrics.Durability == nil {
+		t.Fatal("metrics has no durability section on a WAL-backed daemon")
+	}
+	if metrics.Durability.ReplayedRecords == 0 {
+		t.Fatal("metrics reports 0 replayed records after a recovery reboot")
+	}
+
+	var ret struct {
+		Results []struct {
+			ID string `json:"id"`
+		} `json:"results"`
+	}
+	if code := getJSON(t, d2, "/api/retrieve?q="+url.QueryEscape("hub connection failure")+"&k=3", &ret); code != http.StatusOK {
+		t.Fatalf("retrieve after reboot: status %d", code)
+	}
+	if len(ret.Results) == 0 {
+		t.Fatal("rebooted daemon retrieves nothing from the recovered corpus")
+	}
+}

@@ -23,7 +23,11 @@
 // Startup builds the simulated deployment: generate the synthetic corpus,
 // train the FastText embedding, ingest -history incidents. -shards and
 // -recall-target opt retrieval into the sharded store and adaptive probe
-// serving, whose live recall/probe state then shows in /metrics.
+// serving, whose live recall/probe state then shows in /metrics. -wal-dir
+// puts a write-ahead log + snapshot under the store: a killed daemon —
+// SIGKILL included — reboots with its learned corpus, converged tuner
+// state and retry schedule, skipping re-ingest, with recovery visible as
+// the /metrics durability gauges.
 //
 //	rcacopilotd -addr :8080 -seed 1 -history 300
 package main
@@ -65,6 +69,10 @@ func main() {
 	queue := flag.Int("queue", 64, "submission queue depth")
 	admitQueue := flag.Int("admit-queue", 0, "severity-weighted admission wait queue at saturation (0 = reject immediately)")
 	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown budget after SIGTERM")
+	walDir := flag.String("wal-dir", "", "durable vector store directory: write-ahead log + snapshot; a killed daemon reboots with its learned corpus, tuner state and retry schedule (empty = in-memory)")
+	walSyncEvery := flag.Int("wal-sync-every", 0, "WAL group-commit size boundary (0 = 64; 1 = fsync every learn; needs -wal-dir)")
+	walSyncInterval := flag.Duration("wal-sync-interval", 0, "WAL group-commit flush cadence (0 = 50ms; needs -wal-dir)")
+	walCompactBytes := flag.Int64("wal-compact-bytes", 0, "log size triggering snapshot compaction + rotation (0 = 4MiB, negative = never; needs -wal-dir)")
 	flag.Parse()
 
 	if err := run(config{
@@ -74,6 +82,8 @@ func main() {
 		batchMax: *batchMax, batchWait: *batchWait,
 		learnQueue: *learnQueue, retry: *retry, tenants: *tenants,
 		rate: *rate, burst: *burst, queue: *queue, admitQueue: *admitQueue, grace: *grace,
+		walDir: *walDir, walSyncEvery: *walSyncEvery,
+		walSyncInterval: *walSyncInterval, walCompactBytes: *walCompactBytes,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "rcacopilotd:", err)
 		os.Exit(1)
@@ -98,6 +108,10 @@ type config struct {
 	queue               int
 	admitQueue          int
 	grace               time.Duration
+	walDir              string
+	walSyncEvery        int
+	walSyncInterval     time.Duration
+	walCompactBytes     int64
 }
 
 func run(c config) error {
@@ -121,6 +135,10 @@ func run(c config) error {
 		BatchWait:       c.batchWait,
 		AsyncLearnQueue: c.learnQueue,
 		MultiTenant:     c.tenants,
+		WALDir:          c.walDir,
+		WALSyncEvery:    c.walSyncEvery,
+		WALSyncInterval: c.walSyncInterval,
+		WALCompactBytes: c.walCompactBytes,
 	}
 	if c.recall > 0 || c.retrainSkew >= 1 {
 		cfg.Partitioner = rcacopilot.PartitionIVF
@@ -138,7 +156,14 @@ func run(c config) error {
 	if err := sys.TrainEmbedding(corpus.Incidents[:n]); err != nil {
 		return err
 	}
-	if err := sys.AddHistory(corpus.Incidents[:n]); err != nil {
+	// With -wal-dir, TrainEmbedding replays the directory's snapshot + log
+	// into the store (the embedding is deterministic from corpus and seed,
+	// so the replayed vectors are in the attached space). A warm restart —
+	// including one after SIGKILL — therefore skips re-ingest and serves
+	// the recovered corpus.
+	if replayed := sys.Copilot().Index().Len(); c.walDir != "" && replayed > 0 {
+		log.Printf("rcacopilotd: recovered %d incidents from %s, skipping re-ingest", replayed, c.walDir)
+	} else if err := sys.AddHistory(corpus.Incidents[:n]); err != nil {
 		return err
 	}
 	if c.retry {

@@ -25,7 +25,10 @@ func TestSetEmbedderReportsDroppedEntries(t *testing.T) {
 		t.Fatalf("db has %d entries, want %d", c.Index().Len(), n)
 	}
 
-	dropped := c.SetEmbedder(e.embedder)
+	dropped, err := c.SetEmbedder(e.embedder)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dropped != n {
 		t.Fatalf("SetEmbedder reported %d dropped entries, want %d", dropped, n)
 	}
@@ -38,8 +41,8 @@ func TestSetEmbedderReportsDroppedEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := fresh.SetEmbedder(e.embedder); d != 0 {
-		t.Fatalf("first attachment reported %d dropped entries", d)
+	if d, err := fresh.SetEmbedder(e.embedder); err != nil || d != 0 {
+		t.Fatalf("first attachment reported %d dropped entries, err %v", d, err)
 	}
 }
 

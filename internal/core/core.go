@@ -221,6 +221,28 @@ type Config struct {
 	// selects the 500µs default; setting it without BatchMax > 1 is
 	// rejected (there is no collector to configure).
 	BatchWait time.Duration
+	// WALDir enables the durable vector store: SetEmbedder opens a
+	// write-ahead-logged store rooted at this directory instead of a fresh
+	// in-memory one, replaying any previous snapshot + log so a crashed
+	// process resumes with its learned history and converged serving
+	// state. The embedder attached must reproduce the vector space the
+	// logged entries were embedded in (the daemon trains its FastText
+	// model deterministically from the corpus, so a reboot gets the same
+	// space); a dimension mismatch fails SetEmbedder rather than serving
+	// mixed-space vectors. Empty (the default) keeps the in-memory store.
+	WALDir string
+	// WALSyncEvery is the WAL group-commit size boundary: the append that
+	// fills the batch to this many records fsyncs it. 0 defaults to 64;
+	// 1 makes every learned entry durable before Learn returns. Requires
+	// WALDir.
+	WALSyncEvery int
+	// WALSyncInterval is the WAL group-commit flush cadence for
+	// under-filled batches. 0 defaults to 50ms. Requires WALDir.
+	WALSyncInterval time.Duration
+	// WALCompactBytes is the log size that triggers snapshot compaction
+	// and log rotation. 0 defaults to 4 MiB; negative disables automatic
+	// compaction. Requires WALDir.
+	WALCompactBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -269,6 +291,10 @@ type Copilot struct {
 	// batcher is the micro-batching collector wrapped around db when
 	// Config.BatchMax > 1 (then db IS the batcher); nil otherwise.
 	batcher *vectordb.Batcher
+	// durable is the write-ahead-logged store wrapped by db when
+	// Config.WALDir is set (the batcher, if any, wraps the durable store,
+	// which wraps the sharded one); nil otherwise.
+	durable *vectordb.Durable
 	// embedCache memoizes Retrieve's query embeddings (bounded LRU keyed
 	// by text); invalidated wholesale on SetEmbedder.
 	embedCache *embedCache
@@ -352,6 +378,17 @@ func New(fleet *transport.Fleet, chat llm.Client, cfg Config) (*Copilot, error) 
 	if cfg.BatchWait > 0 && cfg.BatchMax <= 1 {
 		return nil, fmt.Errorf("core: BatchWait=%v without BatchMax > 1 (no batch collector to configure)", cfg.BatchWait)
 	}
+	if cfg.WALSyncEvery < 0 {
+		return nil, fmt.Errorf("core: negative WALSyncEvery %d", cfg.WALSyncEvery)
+	}
+	if cfg.WALSyncInterval < 0 {
+		return nil, fmt.Errorf("core: negative WALSyncInterval %v", cfg.WALSyncInterval)
+	}
+	if cfg.WALDir == "" && (cfg.WALSyncEvery != 0 || cfg.WALSyncInterval != 0 || cfg.WALCompactBytes != 0) {
+		// A durability knob without a WAL directory would silently never
+		// engage, masking a misconfiguration.
+		return nil, fmt.Errorf("core: WAL tuning (WALSyncEvery/WALSyncInterval/WALCompactBytes) requires WALDir")
+	}
 	c := &Copilot{
 		cfg:        cfg,
 		fleet:      fleet,
@@ -387,13 +424,56 @@ func (c *Copilot) Config() Config { return c.cfg }
 // SetEmbedder attaches the retrieval embedder and resets the vector store
 // to its dimensionality (flat or sharded per Config.Shards). Resetting is
 // deliberate: vectors produced by different embedders are not comparable,
-// so every previously learned entry is DISCARDED and the history must be
-// re-learned against the new embedding space. The number of dropped entries
-// is returned so callers can detect an accidental mid-flight swap (0 on
-// first attachment).
-func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
+// so every previously learned in-memory entry is DISCARDED and the history
+// must be re-learned against the new embedding space. The number of
+// dropped entries is returned so callers can detect an accidental
+// mid-flight swap (0 on first attachment).
+//
+// With Config.WALDir set, the fresh store is write-ahead logged: the
+// directory's snapshot + log replay into it before it starts serving, so
+// a reboot resumes with the learned history and converged serving state —
+// the embedder must therefore reproduce the logged vector space (see
+// Config.WALDir). A recovery failure is returned and the previous
+// retriever stays attached; the previous durable store, if any, is closed
+// first either way (two writers on one log would corrupt it).
+func (c *Copilot) SetEmbedder(e Embedder) (dropped int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.durable != nil {
+		c.durable.Close()
+		c.durable = nil
+	}
+	// PartitionIVF also starts on category-hash routing: the quantizer can
+	// only be trained once vectors exist (see trainPartitioner); the probe
+	// budget — static or auto-tuned — is likewise dormant until the IVF
+	// quantizer routes.
+	opts := vectordb.Options{
+		Shards:       c.cfg.Shards,
+		Probes:       c.cfg.Probes,
+		RecallTarget: c.cfg.RecallTarget,
+		ShadowRate:   c.cfg.ShadowRate,
+		RetrainSkew:  c.cfg.RetrainSkew,
+		Quantized:    c.cfg.Quantized,
+		Overfetch:    c.cfg.Overfetch,
+	}
+	dim := e.Dim()
+	var db vectordb.Index
+	var durable *vectordb.Durable
+	if c.cfg.WALDir != "" {
+		durable, err = vectordb.OpenDurable(c.cfg.WALDir,
+			func() vectordb.Index { return vectordb.NewIndex(dim, opts) },
+			vectordb.DurableOptions{
+				SyncEvery:    c.cfg.WALSyncEvery,
+				SyncInterval: c.cfg.WALSyncInterval,
+				CompactBytes: c.cfg.WALCompactBytes,
+			})
+		if err != nil {
+			return 0, err
+		}
+		db = durable
+	} else {
+		db = vectordb.NewIndex(dim, opts)
+	}
 	if c.db != nil {
 		dropped = c.db.Len()
 	}
@@ -405,26 +485,24 @@ func (c *Copilot) SetEmbedder(e Embedder) (dropped int) {
 	// Cached query embeddings belong to the outgoing embedder's vector
 	// space; drop them with the store.
 	c.embedCache.clear()
-	// PartitionIVF also starts on category-hash routing: the quantizer can
-	// only be trained once vectors exist (see trainPartitioner); the probe
-	// budget — static or auto-tuned — is likewise dormant until the IVF
-	// quantizer routes.
-	c.db = vectordb.NewIndex(e.Dim(), vectordb.Options{
-		Shards:       c.cfg.Shards,
-		Probes:       c.cfg.Probes,
-		RecallTarget: c.cfg.RecallTarget,
-		ShadowRate:   c.cfg.ShadowRate,
-		RetrainSkew:  c.cfg.RetrainSkew,
-		Quantized:    c.cfg.Quantized,
-		Overfetch:    c.cfg.Overfetch,
-	})
+	c.db, c.durable = db, durable
 	if c.cfg.BatchMax > 1 {
 		// Cannot fail: New validated BatchMax >= 2 and withDefaults set a
 		// positive BatchWait.
 		b, _ := vectordb.NewBatcher(c.db, c.cfg.BatchMax, c.cfg.BatchWait)
 		c.batcher, c.db = b, b
 	}
-	return dropped
+	return dropped, nil
+}
+
+// Durable returns the write-ahead-logged store behind the retriever, nil
+// when Config.WALDir is unset or no embedder is attached yet. The
+// daemon's /metrics durability gauges read its Stats, and the feedback
+// wiring rides its retry-schedule sidecar records.
+func (c *Copilot) Durable() *vectordb.Durable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.durable
 }
 
 // Batcher returns the micro-batching collector wrapped around the vector
@@ -437,15 +515,20 @@ func (c *Copilot) Batcher() *vectordb.Batcher {
 	return c.batcher
 }
 
-// Close releases background serving resources (today: the micro-batching
-// collector's dispatcher). The Copilot keeps serving after Close —
-// queries just bypass the collector — so it is safe to call on shutdown
-// while drains finish.
+// Close releases background serving resources: the micro-batching
+// collector's dispatcher and the durable store's group-commit and
+// compaction loops (flushing the log, so everything learned is on disk).
+// The Copilot keeps serving after Close — queries just bypass the
+// collector and lose durability — so it is safe to call on shutdown while
+// drains finish.
 func (c *Copilot) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.batcher != nil {
 		c.batcher.Close()
+	}
+	if c.durable != nil {
+		c.durable.Close()
 	}
 }
 

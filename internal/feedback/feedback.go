@@ -159,6 +159,9 @@ type Loop struct {
 		retryOn   bool
 		retryStop chan struct{}
 		retryDone chan struct{}
+		// journal, when set, receives every retry-schedule transition for
+		// durable logging (SetRetryJournal); invoked outside ig.mu.
+		journal func(RetryTransition)
 	}
 }
 
@@ -367,15 +370,27 @@ func (l *Loop) learnAndRecord(task learnTask, deferred bool) error {
 		}
 		ig.retry[task.inc.ID] = st
 		notify := ig.notify
+		journal := l.journalCapture(failedTransition(f, st))
 		ig.mu.Unlock()
+		journal()
 		if deferred && notify != nil {
 			notify(f)
 		}
 		return err
 	}
+	// Only a learn that resolves a recorded failure is a schedule
+	// transition worth journaling; the common clean-success path is not.
+	_, hadFailure := ig.failures[task.inc.ID]
 	delete(ig.failures, task.inc.ID)
 	delete(ig.retry, task.inc.ID)
+	var journal func()
+	if hadFailure {
+		journal = l.journalCapture(clearedTransition(task.inc.ID, task.reviewer, l.now()))
+	}
 	ig.mu.Unlock()
+	if journal != nil {
+		journal()
+	}
 	return nil
 }
 
@@ -488,17 +503,25 @@ func (l *Loop) StartRetry(cfg RetryConfig) error {
 	ig.retryCfg = cfg
 	ig.retryOn = true
 	// Failures recorded before retry was on have no schedule yet: their
-	// first redrive is due one backoff from now.
+	// first redrive is due one backoff from now. Journal the assigned due
+	// times so they survive a crash before the next transition.
 	now := l.now()
+	var journals []func()
 	for id, st := range ig.retry {
 		if st.next.IsZero() && !st.exhausted {
 			st.next = now.Add(cfg.backoffDelay(id, st.attempts))
+			if f, ok := ig.failures[id]; ok && st.task.inc != nil {
+				journals = append(journals, l.journalCapture(failedTransition(f, st)))
+			}
 		}
 	}
 	ig.retryStop = make(chan struct{})
 	ig.retryDone = make(chan struct{})
 	stop, done := ig.retryStop, ig.retryDone
 	ig.mu.Unlock()
+	for _, j := range journals {
+		j()
+	}
 	go l.retryWorker(cfg.Poll, stop, done)
 	return nil
 }
@@ -562,11 +585,14 @@ func (l *Loop) RedriveDue() int {
 		if err == nil {
 			delete(ig.failures, id)
 			delete(ig.retry, id)
+			journal := l.journalCapture(clearedTransition(id, st.task.reviewer, l.now()))
 			ig.mu.Unlock()
+			journal()
 			continue
 		}
 		st.attempts++
-		ig.failures[id] = Failure{IncidentID: id, Reviewer: st.task.reviewer, Err: err, At: l.now()}
+		f := Failure{IncidentID: id, Reviewer: st.task.reviewer, Err: err, At: l.now()}
+		ig.failures[id] = f
 		if cfg.MaxAttempts >= 0 && st.attempts >= cfg.MaxAttempts {
 			// Exhausted: the Failure record stands, but the queue stops
 			// spending learner calls on it. The schedule entry is kept —
@@ -577,7 +603,9 @@ func (l *Loop) RedriveDue() int {
 		} else {
 			st.next = l.now().Add(cfg.backoffDelay(id, st.attempts))
 		}
+		journal := l.journalCapture(failedTransition(f, st))
 		ig.mu.Unlock()
+		journal()
 	}
 	return len(due)
 }

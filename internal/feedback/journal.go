@@ -1,0 +1,170 @@
+package feedback
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/incident"
+)
+
+// RetryTransition is one durable state change of the learn-failure retry
+// queue — the unit the serving layer journals to its write-ahead log so a
+// crashed process resumes redriving exactly the failures it owed, with
+// their backoff positions, instead of forgetting them. Two shapes:
+//
+//   - Cleared: the incident's learn finally succeeded (redrive or
+//     resubmit); any restored schedule entry for it is dropped.
+//   - Not cleared: the incident's learn failed (again); the carried
+//     Incident, attempt count and due time reconstruct the schedule
+//     entry on restore.
+type RetryTransition struct {
+	// IncidentID identifies the incident whose schedule changed.
+	IncidentID string
+	// Reviewer is the OCE whose verdict queued the learn.
+	Reviewer string
+	// Attempts is the learn attempts spent so far.
+	Attempts int
+	// NextDue is when the next redrive fires; zero when exhausted,
+	// cleared, or retrying is off.
+	NextDue time.Time
+	// Exhausted marks a failure whose MaxAttempts ran out.
+	Exhausted bool
+	// Cleared marks a successful learn: the schedule entry is gone.
+	Cleared bool
+	// Err is the learn error text (errors don't gob-encode; the restored
+	// Failure wraps this string).
+	Err string
+	// At is when the transition was recorded, per the loop's clock.
+	At time.Time
+	// Incident is the labelled incident the failed learn retries — nil on
+	// Cleared transitions.
+	Incident *incident.Incident
+}
+
+// Encode serializes the transition for an opaque WAL sidecar record.
+func (t RetryTransition) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&t); err != nil {
+		return nil, fmt.Errorf("feedback: encode retry transition: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRetryTransition is Encode's inverse.
+func DecodeRetryTransition(p []byte) (RetryTransition, error) {
+	var t RetryTransition
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&t); err != nil {
+		return RetryTransition{}, fmt.Errorf("feedback: decode retry transition: %w", err)
+	}
+	return t, nil
+}
+
+// SetRetryJournal installs the durability hook: every retry-schedule
+// transition — failure recorded, redrive failed again, exhausted, learn
+// succeeded — is handed to fn as it happens. The hook runs OUTSIDE the
+// loop's locks (it may itself take locks, e.g. a WAL append), so under
+// concurrent submits and redrives transitions for DIFFERENT incidents may
+// reach the journal slightly out of order; per incident the inflight
+// guard serializes them. RestoreRetrySchedule applies a journal in log
+// order, so last-write-wins per incident holds either way. Nil
+// uninstalls.
+func (l *Loop) SetRetryJournal(fn func(RetryTransition)) {
+	ig := &l.ingest
+	ig.mu.Lock()
+	ig.journal = fn
+	ig.mu.Unlock()
+}
+
+// journalCapture snapshots the hook and builds the transition under
+// ig.mu; the caller invokes the returned closure AFTER unlocking.
+func (l *Loop) journalCapture(t RetryTransition) func() {
+	if l.ingest.journal == nil {
+		return func() {}
+	}
+	fn := l.ingest.journal
+	return func() { fn(t) }
+}
+
+// clearedTransition is the journal record of a successful learn.
+func clearedTransition(incidentID, reviewer string, at time.Time) RetryTransition {
+	return RetryTransition{IncidentID: incidentID, Reviewer: reviewer, Cleared: true, At: at}
+}
+
+// failedTransition is the journal record of a (re)failed learn, built
+// from the live schedule entry. Caller holds ig.mu.
+func failedTransition(f Failure, st *retryState) RetryTransition {
+	return RetryTransition{
+		IncidentID: f.IncidentID,
+		Reviewer:   f.Reviewer,
+		Attempts:   st.attempts,
+		NextDue:    st.next,
+		Exhausted:  st.exhausted,
+		Err:        f.Err.Error(),
+		At:         f.At,
+		Incident:   st.task.inc,
+	}
+}
+
+// RestoreRetrySchedule rebuilds the retry queue's state from journaled
+// transitions, applied in order (last write per incident wins): a crashed
+// process calls this with its WAL's replayed sidecar records before
+// StartRetry, and resumes owing exactly the redrives it owed. Non-cleared
+// transitions without an Incident are skipped — there is nothing to
+// redrive. Restored due times in the past simply fire on the first
+// RedriveDue, which is the correct catch-up behaviour after downtime.
+func (l *Loop) RestoreRetrySchedule(ts []RetryTransition) {
+	ig := &l.ingest
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	for _, t := range ts {
+		if t.Cleared {
+			delete(ig.failures, t.IncidentID)
+			delete(ig.retry, t.IncidentID)
+			continue
+		}
+		if t.Incident == nil || t.IncidentID == "" {
+			continue
+		}
+		if ig.failures == nil {
+			ig.failures = make(map[string]Failure)
+		}
+		if ig.retry == nil {
+			ig.retry = make(map[string]*retryState)
+		}
+		ig.failures[t.IncidentID] = Failure{
+			IncidentID: t.IncidentID,
+			Reviewer:   t.Reviewer,
+			Err:        errors.New(t.Err),
+			At:         t.At,
+		}
+		ig.retry[t.IncidentID] = &retryState{
+			task:      learnTask{inc: t.Incident, reviewer: t.Reviewer},
+			attempts:  t.Attempts,
+			next:      t.NextDue,
+			exhausted: t.Exhausted,
+		}
+	}
+}
+
+// RetryTransitions snapshots the live schedule as one transition per
+// unresolved failure — what a WAL compaction re-journals into a freshly
+// rotated log so rotation never forgets the queue. Ordered by incident ID.
+func (l *Loop) RetryTransitions() []RetryTransition {
+	items := l.RetrySchedule()
+	ig := &l.ingest
+	ig.mu.Lock()
+	out := make([]RetryTransition, 0, len(items))
+	for _, it := range items {
+		st, ok := ig.retry[it.IncidentID]
+		if !ok || st.task.inc == nil {
+			continue
+		}
+		f := ig.failures[it.IncidentID]
+		out = append(out, failedTransition(f, st))
+	}
+	ig.mu.Unlock()
+	return out
+}

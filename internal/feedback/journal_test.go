@@ -1,0 +1,139 @@
+package feedback
+
+import (
+	"testing"
+	"time"
+)
+
+// journalRecorder collects transitions like the durable store's sidecar
+// would, encode/decode round-tripping each one to pin gob-safety.
+type journalRecorder struct {
+	t  *testing.T
+	ts []RetryTransition
+}
+
+func (r *journalRecorder) record(tr RetryTransition) {
+	p, err := tr.Encode()
+	if err != nil {
+		r.t.Errorf("encode transition: %v", err)
+		return
+	}
+	back, err := DecodeRetryTransition(p)
+	if err != nil {
+		r.t.Errorf("decode transition: %v", err)
+		return
+	}
+	r.ts = append(r.ts, back)
+}
+
+// TestRetryJournalSurvivesRestart is the feedback half of the durability
+// story: every schedule transition reaches the journal, and a fresh loop
+// restored from the journaled transitions owes exactly the redrives the
+// crashed one owed — same attempts, same due time — then heals normally.
+func TestRetryJournalSurvivesRestart(t *testing.T) {
+	learner := &flakyLearner{}
+	lp, clock := retryLoop(t, learner, 8)
+	rec := &journalRecorder{t: t}
+	lp.SetRetryJournal(rec.record)
+
+	if _, err := lp.Submit(predicted("INC-J1", "DiskFull"), VerdictConfirm, "", "oce-a", ""); err == nil {
+		t.Fatal("Submit during the outage must surface the inline learn error")
+	}
+	if len(rec.ts) != 1 || rec.ts[0].Cleared {
+		t.Fatalf("failure must journal one non-cleared transition, got %+v", rec.ts)
+	}
+	// One redrive fails too: attempts advance in the journal.
+	clock.advance(2 * time.Minute)
+	if lp.RedriveDue() != 1 {
+		t.Fatal("redrive due")
+	}
+	if len(rec.ts) != 2 || rec.ts[1].Attempts != 2 {
+		t.Fatalf("failed redrive must journal attempts=2, got %+v", rec.ts)
+	}
+	want := lp.RetrySchedule()
+
+	// "Crash": a brand-new loop restored from the journal, retry started
+	// after the restore (matching the serving layer's open order).
+	learner2 := &flakyLearner{}
+	lp2 := New(nil, learner2)
+	clock2 := &fakeClock{now: clock.Now()}
+	lp2.SetClock(clock2.Now)
+	lp2.RestoreRetrySchedule(rec.ts)
+	got := lp2.RetrySchedule()
+	if len(got) != 1 || got[0].IncidentID != "INC-J1" || got[0].Attempts != want[0].Attempts ||
+		!got[0].NextDue.Equal(want[0].NextDue) || got[0].Reviewer != "oce-a" {
+		t.Fatalf("restored schedule %+v, want %+v", got, want)
+	}
+	if _, ok := lp2.FailureFor("INC-J1"); !ok {
+		t.Fatal("restored loop must expose the Failure record")
+	}
+	if err := lp2.StartRetry(RetryConfig{Base: time.Minute, Cap: 8 * time.Minute, MaxAttempts: 8, Poll: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	defer lp2.Close()
+	learner2.heal()
+	clock2.advance(5 * time.Minute)
+	if lp2.RedriveDue() != 1 {
+		t.Fatal("restored failure must redrive when due")
+	}
+	if learner2.learnedCount() != 1 {
+		t.Fatal("restored redrive must learn the carried incident")
+	}
+	if _, ok := lp2.FailureFor("INC-J1"); ok {
+		t.Fatal("healed failure must clear")
+	}
+}
+
+// TestRetryJournalClearedWins pins last-write-wins restore: a journal
+// ending in a Cleared transition restores to an empty schedule, so a
+// crash after the heal doesn't resurrect the failure.
+func TestRetryJournalClearedWins(t *testing.T) {
+	learner := &flakyLearner{}
+	lp, clock := retryLoop(t, learner, 8)
+	rec := &journalRecorder{t: t}
+	lp.SetRetryJournal(rec.record)
+
+	if _, err := lp.Submit(predicted("INC-J2", "DiskFull"), VerdictConfirm, "", "oce-b", ""); err == nil {
+		t.Fatal("Submit during the outage must surface the inline learn error")
+	}
+	learner.heal()
+	clock.advance(2 * time.Minute)
+	if lp.RedriveDue() != 1 {
+		t.Fatal("redrive due")
+	}
+	last := rec.ts[len(rec.ts)-1]
+	if !last.Cleared {
+		t.Fatalf("heal must journal a Cleared transition, got %+v", last)
+	}
+
+	lp2 := New(nil, &flakyLearner{})
+	lp2.RestoreRetrySchedule(rec.ts)
+	if got := lp2.RetrySchedule(); len(got) != 0 {
+		t.Fatalf("cleared journal restored a schedule: %+v", got)
+	}
+}
+
+// TestRetryTransitionsSnapshot pins the compaction hook: the live
+// schedule round-trips through RetryTransitions + RestoreRetrySchedule.
+func TestRetryTransitionsSnapshot(t *testing.T) {
+	learner := &flakyLearner{}
+	lp, _ := retryLoop(t, learner, 8)
+	for _, id := range []string{"INC-S1", "INC-S2"} {
+		if _, err := lp.Submit(predicted(id, "DiskFull"), VerdictConfirm, "", "oce", ""); err == nil {
+			t.Fatal("Submit during the outage must surface the inline learn error")
+		}
+	}
+	snap := lp.RetryTransitions()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d transitions, want 2", len(snap))
+	}
+	lp2 := New(nil, &flakyLearner{})
+	lp2.RestoreRetrySchedule(snap)
+	want, got := lp.RetrySchedule(), lp2.RetrySchedule()
+	for i := range want {
+		if got[i].IncidentID != want[i].IncidentID || got[i].Attempts != want[i].Attempts ||
+			!got[i].NextDue.Equal(want[i].NextDue) {
+			t.Fatalf("snapshot round-trip item %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -103,6 +103,33 @@ func (p *IVF) nearestShards(query []float64) []int {
 // quantizer not produced by TrainIVF).
 func (p *IVF) Distortion() float64 { return p.distortion }
 
+// IVFFromCentroids reconstructs a quantizer from previously trained
+// geometry — Centroids() and Distortion() of an earlier TrainIVF — so a
+// persisted retrain event (a WAL record, a shipped snapshot) can restore
+// routing without access to the original training vectors. The centroids
+// are copied and validated: at least one, all the same nonzero width, a
+// non-negative distortion.
+func IVFFromCentroids(centroids [][]float64, distortion float64) (*IVF, error) {
+	if len(centroids) == 0 {
+		return nil, fmt.Errorf("vectordb: IVFFromCentroids with no centroids")
+	}
+	if distortion < 0 {
+		return nil, fmt.Errorf("vectordb: IVFFromCentroids with negative distortion %v", distortion)
+	}
+	dim := len(centroids[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("vectordb: IVFFromCentroids with zero-width centroid")
+	}
+	cp := make([][]float64, len(centroids))
+	for i, c := range centroids {
+		if len(c) != dim {
+			return nil, fmt.Errorf("vectordb: IVFFromCentroids centroid %d has dim %d, centroid 0 has %d", i, len(c), dim)
+		}
+		cp[i] = append([]float64(nil), c...)
+	}
+	return &IVF{centroids: cp, distortion: distortion}, nil
+}
+
 // Centroids returns a copy of the trained shard centroids.
 func (p *IVF) Centroids() [][]float64 {
 	out := make([][]float64, len(p.centroids))

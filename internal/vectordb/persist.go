@@ -210,20 +210,32 @@ func decodeTunerState(dec *gob.Decoder) (*tunerState, error) {
 		return nil, nil
 	case err != nil:
 		return nil, fmt.Errorf("vectordb: load: serving-state trailer: %w", err)
-	case st.Version < 1:
-		return nil, fmt.Errorf("vectordb: load: serving-state trailer version %d, want >= 1", st.Version)
-	case st.Probes < 0:
-		return nil, fmt.Errorf("vectordb: load: serving-state trailer has negative probe budget %d", st.Probes)
+	}
+	if err := st.validate(); err != nil {
+		return nil, fmt.Errorf("vectordb: load: %w", err)
+	}
+	return &st, nil
+}
+
+// validate checks a decoded serving state — shared by the snapshot
+// trailer (decodeTunerState) and the WAL's tuner-state record, which
+// adopts the same payload.
+func (st *tunerState) validate() error {
+	if st.Version < 1 {
+		return fmt.Errorf("serving-state trailer version %d, want >= 1", st.Version)
+	}
+	if st.Probes < 0 {
+		return fmt.Errorf("serving-state trailer has negative probe budget %d", st.Probes)
 	}
 	for ns, row := range st.Namespaces {
 		if ns == "" {
-			return nil, errors.New("vectordb: load: serving-state trailer names the default namespace (its state is the root fields)")
+			return errors.New("serving-state trailer names the default namespace (its state is the root fields)")
 		}
 		if row.Probes < 0 || row.Overfetch < 0 {
-			return nil, fmt.Errorf("vectordb: load: serving-state trailer has negative budget for namespace %q", ns)
+			return fmt.Errorf("serving-state trailer has negative budget for namespace %q", ns)
 		}
 	}
-	return &st, nil
+	return nil
 }
 
 // Load replaces the sharded store contents with a snapshot written by any
@@ -295,31 +307,40 @@ func (s *Sharded) Load(r io.Reader) error {
 	}
 	s.epoch.Add(2)
 	if st != nil {
-		s.probes.Store(int64(st.Probes))
-		if t := s.tuner.Load(); t != nil {
-			t.restore(*st)
-		} else {
-			// No controller yet: stash for the next EnableAdaptive, which
-			// consumes it exactly once.
-			s.savedState.Store(st)
-		}
-		for ns, row := range st.Namespaces {
-			n := s.nsStateFor(ns)
-			n.probes.Store(int64(row.Probes))
-			n.overfetch.Store(int64(row.Overfetch))
-			sub := tunerState{
-				Probes:      row.Probes,
-				LastBad:     row.LastBad,
-				LastRetrain: row.LastRetrain,
-				RecallSum:   row.RecallSum,
-				RecallN:     row.RecallN,
-			}
-			if t := n.tuner.Load(); t != nil {
-				t.restore(sub)
-			} else {
-				n.saved.Store(&sub)
-			}
-		}
+		s.applyServingState(st)
 	}
 	return nil
+}
+
+// applyServingState installs a validated serving state: the probe budget,
+// the root tuner's long-lived state (or a stash for the next
+// EnableAdaptive), and every named namespace's budget and controller
+// state. Shared by Load's trailer path and the durable layer's replay of
+// WAL tuner-state records, which adopt the same payload.
+func (s *Sharded) applyServingState(st *tunerState) {
+	s.probes.Store(int64(st.Probes))
+	if t := s.tuner.Load(); t != nil {
+		t.restore(*st)
+	} else {
+		// No controller yet: stash for the next EnableAdaptive, which
+		// consumes it exactly once.
+		s.savedState.Store(st)
+	}
+	for ns, row := range st.Namespaces {
+		n := s.nsStateFor(ns)
+		n.probes.Store(int64(row.Probes))
+		n.overfetch.Store(int64(row.Overfetch))
+		sub := tunerState{
+			Probes:      row.Probes,
+			LastBad:     row.LastBad,
+			LastRetrain: row.LastRetrain,
+			RecallSum:   row.RecallSum,
+			RecallN:     row.RecallN,
+		}
+		if t := n.tuner.Load(); t != nil {
+			t.restore(sub)
+		} else {
+			n.saved.Store(&sub)
+		}
+	}
 }

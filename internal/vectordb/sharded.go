@@ -123,6 +123,10 @@ type Sharded struct {
 	// savedState carries a loaded serving-state trailer until a tuner
 	// exists to absorb it (Load before EnableAdaptive).
 	savedState atomic.Pointer[tunerState]
+	// retrainNotify, when set (OnRetrain), observes every rebalance onto a
+	// trained IVF quantizer — the durable layer's hook for journaling
+	// retrain events to the WAL.
+	retrainNotify atomic.Pointer[func(*IVF)]
 	// nss maps non-default namespace -> *nsState (per-tenant serving state
 	// over the shared shard geometry); defCount counts default-namespace
 	// (untagged) entries, and adaptiveCfg is the EnableAdaptive config that
@@ -993,7 +997,26 @@ func (s *Sharded) Rebalance(p Partitioner) error {
 		// so queries stay correct throughout.
 		s.rebuildQuantSidecars()
 	}
+	if ivf, ok := p.(*IVF); ok {
+		if fn := s.retrainNotify.Load(); fn != nil {
+			(*fn)(ivf)
+		}
+	}
 	return nil
+}
+
+// OnRetrain installs an observer invoked after every rebalance onto a
+// trained IVF quantizer (explicit TrainIVF/Rebalance or the adaptive
+// controller's skew-triggered retrain), with the installed quantizer.
+// The durable layer uses it to journal retrain events; nil uninstalls.
+// The observer runs on the rebalancing goroutine after the handoff
+// completes and must not call back into Rebalance/TrainIVF/Load.
+func (s *Sharded) OnRetrain(fn func(*IVF)) {
+	if fn == nil {
+		s.retrainNotify.Store(nil)
+		return
+	}
+	s.retrainNotify.Store(&fn)
 }
 
 // validateRouting checks a candidate partitioner's placement of every

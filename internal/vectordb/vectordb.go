@@ -222,6 +222,20 @@
 // approximate mode in CI; BenchmarkTopKProbesTimeSpread does the same for
 // time-aware ranking and the auto-tuner on a corpus whose timestamps span
 // the decay horizon.
+//
+// # Durability (OpenDurable)
+//
+// Both stores are in-memory; Save/Load is an explicit whole-store
+// snapshot. OpenDurable wraps any Index in a write-ahead log
+// (internal/wal): adds, IVF retrains, serving-state changes, and the
+// feedback loop's retry-schedule transitions are journaled as
+// group-committed records, recovery replays last-snapshot + log suffix
+// into a staging store (truncating at the first torn frame) before
+// swapping it in, and periodic compaction checkpoints into the standard
+// snapshot format — trailer included — and rotates the log atomically.
+// See Durable for the full crash-safety contract; the crash-injection
+// matrix (TestDurableCrashMatrix) pins it against the flat oracle at
+// every frame boundary.
 package vectordb
 
 import (

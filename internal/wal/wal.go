@@ -1,0 +1,444 @@
+// Package wal implements the append-only, group-committed write-ahead
+// log under the vector store's durable layer (vectordb.OpenDurable).
+//
+// # Layout
+//
+// A log file is a fixed 8-byte header — the magic "RCAWAL" plus a
+// little-endian uint16 format version — followed by a sequence of frames.
+// Each frame is
+//
+//	uint32 LE  body length (record-type byte + payload)
+//	uint32 LE  CRC32C (Castagnoli) of the body
+//	byte       record type
+//	payload    opaque to this package
+//
+// Record types and payload encodings belong to the caller; the log only
+// guarantees that a frame delivered by Replay was written whole (length
+// in range, checksum matches).
+//
+// # Group commit
+//
+// Writer.Append encodes the frame into an in-memory batch; the batch
+// reaches the file — and an fsync — when it holds SyncEvery records
+// (the appender that crosses the boundary pays for the flush, so a
+// burst's records commit together) or when the group-commit goroutine's
+// SyncInterval ticker finds records pending, mirroring the Batcher's
+// flush-at-maxBatch-or-maxWait shape. The durability boundary is the
+// fsync: records appended after the last successful Sync may be lost to
+// a crash, which is exactly the prefix-consistency the replay contract
+// promises (see Replay). Sync is the explicit barrier for callers that
+// need a record durable now.
+//
+// # Recovery
+//
+// Replay walks the frames of a captured log image and stops cleanly at
+// the first torn or corrupt frame, returning how many bytes were valid
+// so the caller can truncate the file there and keep appending —
+// recovery never fails open on a torn tail, and never delivers a
+// half-written record.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Format constants. MaxPayload bounds a single record so a corrupt
+// length field can never drive a multi-gigabyte allocation during
+// replay.
+const (
+	// HeaderLen is the fixed log-file header size: 6 magic bytes plus a
+	// little-endian uint16 version.
+	HeaderLen = 8
+	// frameOverhead is the per-frame framing cost: length + CRC32C.
+	frameOverhead = 8
+	// MaxPayload is the largest record payload Replay will accept.
+	MaxPayload = 64 << 20
+
+	magic   = "RCAWAL"
+	version = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTorn reports that replay stopped at a torn or corrupt frame; the
+// records delivered before it are the committed prefix, and the caller
+// truncates the log at the returned offset.
+var ErrTorn = errors.New("wal: torn or corrupt frame")
+
+// ErrBadHeader reports a log whose header is not this package's magic
+// and version — the file is not a (compatible) WAL, so the caller must
+// not append to it.
+var ErrBadHeader = errors.New("wal: bad log header")
+
+// ErrClosed reports an append to a closed writer.
+var ErrClosed = errors.New("wal: writer closed")
+
+// Record is one log entry: a caller-defined type byte and its payload.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// Header returns a fresh log-file header.
+func Header() []byte {
+	h := make([]byte, HeaderLen)
+	copy(h, magic)
+	binary.LittleEndian.PutUint16(h[len(magic):], version)
+	return h
+}
+
+// checkHeader validates a full header prefix.
+func checkHeader(data []byte) error {
+	if len(data) < HeaderLen {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrBadHeader, len(data), HeaderLen)
+	}
+	if string(data[:len(magic)]) != magic {
+		return fmt.Errorf("%w: magic %q", ErrBadHeader, data[:len(magic)])
+	}
+	if v := binary.LittleEndian.Uint16(data[len(magic):HeaderLen]); v != version {
+		return fmt.Errorf("%w: version %d, want %d", ErrBadHeader, v, version)
+	}
+	return nil
+}
+
+// appendFrame encodes one record onto dst.
+func appendFrame(dst []byte, r Record) []byte {
+	body := make([]byte, 1+len(r.Payload))
+	body[0] = r.Type
+	copy(body[1:], r.Payload)
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// Replay walks the frames of a log image, invoking fn for each intact
+// record in order. It returns the number of records delivered and the
+// byte offset of the end of the last intact frame (HeaderLen for an
+// empty-but-valid log) — the position the caller truncates to and
+// appends from.
+//
+// A torn or corrupt frame (short frame, out-of-range length, checksum
+// mismatch) ends replay with ErrTorn: the delivered prefix stands, and
+// the bad tail is for the caller to truncate — recovery truncates
+// rather than failing open. An invalid header is ErrBadHeader (the file
+// is not a compatible log at all). An error from fn stops replay and is
+// returned verbatim. Replay never panics on arbitrary input and never
+// delivers a partially written record — the FuzzWALReplay contract.
+func Replay(data []byte, fn func(Record) error) (records int, good int64, err error) {
+	if err := checkHeader(data); err != nil {
+		return 0, 0, err
+	}
+	off := int64(HeaderLen)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			return records, off, fmt.Errorf("%w: %d-byte frame header at offset %d", ErrTorn, len(rest), off)
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		if n < 1 || n > MaxPayload+1 {
+			return records, off, fmt.Errorf("%w: body length %d at offset %d", ErrTorn, n, off)
+		}
+		if int64(len(rest)) < frameOverhead+int64(n) {
+			return records, off, fmt.Errorf("%w: %d of %d body bytes at offset %d", ErrTorn, len(rest)-frameOverhead, n, off)
+		}
+		body := rest[frameOverhead : frameOverhead+int64(n)]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return records, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrTorn, off)
+		}
+		if err := fn(Record{Type: body[0], Payload: body[1:]}); err != nil {
+			return records, off, err
+		}
+		records++
+		off += frameOverhead + int64(n)
+	}
+	return records, off, nil
+}
+
+// FrameEnds returns the end offset of every intact frame in a log
+// image, in order — the crash matrix a recovery test truncates the log
+// at, one boundary per committed record. An invalid header yields nil.
+func FrameEnds(data []byte) []int64 {
+	if checkHeader(data) != nil {
+		return nil
+	}
+	var ends []int64
+	off := int64(HeaderLen)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		if n < 1 || n > MaxPayload+1 || int64(len(rest)) < frameOverhead+int64(n) {
+			break
+		}
+		body := rest[frameOverhead : frameOverhead+int64(n)]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			break
+		}
+		off += frameOverhead + int64(n)
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+// File is the minimal surface the writer appends through: an *os.File,
+// or a walfault wrapper injecting crash faults in tests.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// Options parameterizes a Writer's group commit.
+type Options struct {
+	// SyncEvery is the batch size that forces a flush+fsync from the
+	// appending goroutine itself. Default 64; 1 makes every append
+	// durable before it returns.
+	SyncEvery int
+	// SyncInterval is the group-commit goroutine's flush cadence for
+	// under-filled batches. Default 50ms.
+	SyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Writer is the group-committed appender over one log file. Safe for
+// concurrent use. Errors are sticky: once a write or fsync fails the
+// log's on-disk tail is unknown, so every later Append and Sync returns
+// the first error rather than interleaving more frames after garbage
+// (replay will truncate at the torn point).
+type Writer struct {
+	opts Options
+
+	mu      sync.Mutex
+	f       File
+	pending []byte // encoded frames awaiting flush
+	batch   int    // records in pending
+	err     error  // sticky first write/sync error
+	closed  bool
+
+	appended atomic.Int64 // records accepted into the batch
+	synced   atomic.Int64 // records on disk past an fsync
+	bytes    atomic.Int64 // durable log size, header included
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWriter wraps an open log file positioned for appending at offset
+// (its current durable size, header included) and starts the
+// group-commit goroutine. The caller is responsible for the header
+// already being on disk; Create and OpenAt handle that for real files.
+func NewWriter(f File, offset int64, opts Options) *Writer {
+	w := &Writer{
+		opts: opts.withDefaults(),
+		f:    f,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	w.bytes.Store(offset)
+	go w.commitLoop()
+	return w
+}
+
+// Create writes a fresh, empty log at path atomically — header to a
+// temp file, fsync, rename — and returns its appender. An existing log
+// at path is replaced wholesale, which is exactly the compaction
+// rotation step: the snapshot that made the old log redundant is
+// already durable when Create runs.
+func Create(path string, opts Options) (*Writer, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if _, err := f.Write(Header()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	// The fd survives the rename (same inode), so keep appending through it.
+	return NewWriter(f, HeaderLen, opts), nil
+}
+
+// OpenAt truncates the log at path to offset — the intact prefix a
+// Replay of its contents reported — and returns an appender positioned
+// there. This is the open-for-append half of crash recovery: the torn
+// tail is discarded before any new frame lands.
+func OpenAt(path string, offset int64, opts Options) (*Writer, error) {
+	if offset < HeaderLen {
+		return nil, fmt.Errorf("wal: open: offset %d inside the header", offset)
+	}
+	if err := os.Truncate(path, offset); err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return NewWriter(f, offset, opts), nil
+}
+
+// syncDir fsyncs a directory so a rename in it is durable; best effort
+// (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Append adds one record to the in-memory batch. It returns once the
+// record is batched — durable only after the next group commit — except
+// when this append fills the batch to SyncEvery, in which case the
+// caller pays for the flush and the whole batch is durable on return.
+func (w *Writer) Append(r Record) error {
+	if len(r.Payload) > MaxPayload {
+		return fmt.Errorf("wal: record payload %d bytes exceeds MaxPayload %d", len(r.Payload), MaxPayload)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.pending = appendFrame(w.pending, r)
+	w.batch++
+	w.appended.Add(1)
+	if w.batch >= w.opts.SyncEvery {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs any batched records — the explicit durability
+// barrier. A no-op on an empty batch.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.flushLocked()
+}
+
+// flushLocked writes the batch and fsyncs. Called with w.mu held; the
+// group commit is the point — every appender blocked on the mutex has
+// its record in this batch or the next.
+func (w *Writer) flushLocked() error {
+	if w.batch == 0 {
+		return nil
+	}
+	n, batch := len(w.pending), w.batch
+	if _, err := w.f.Write(w.pending); err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync: %w", err)
+		return w.err
+	}
+	w.pending = w.pending[:0]
+	w.batch = 0
+	w.synced.Add(int64(batch))
+	w.bytes.Add(int64(n))
+	return nil
+}
+
+// commitLoop is the group-commit goroutine: every SyncInterval it
+// flushes whatever records the size boundary has not already committed.
+func (w *Writer) commitLoop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.opts.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			w.mu.Lock()
+			if w.err == nil {
+				_ = w.flushLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes the batch, stops the group-commit goroutine and closes
+// the file. The flush error (if any) is returned; the file is closed
+// regardless.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.err == nil {
+		err = w.flushLocked()
+	} else {
+		err = w.err
+	}
+	f := w.f
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.done
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	return err
+}
+
+// Err returns the sticky write/fsync error, nil while the log is healthy.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Appended returns how many records Append has accepted.
+func (w *Writer) Appended() int64 { return w.appended.Load() }
+
+// Synced returns how many records an fsync has made durable.
+func (w *Writer) Synced() int64 { return w.synced.Load() }
+
+// Bytes returns the durable log size in bytes, header included.
+func (w *Writer) Bytes() int64 { return w.bytes.Load() }

@@ -1,0 +1,337 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+	"repro/internal/wal/walfault"
+)
+
+// collect replays data into a slice of records.
+func collect(t *testing.T, data []byte) (recs []wal.Record, good int64, err error) {
+	t.Helper()
+	_, good, err = wal.Replay(data, func(r wal.Record) error {
+		recs = append(recs, wal.Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	return recs, good, err
+}
+
+// TestRoundTrip pins the basic contract: records appended and synced
+// through a Writer replay back byte-identical, in order, with a clean
+// (nil) end and the full file length as the good offset.
+func TestRoundTrip(t *testing.T) {
+	f := walfault.New(walfault.Plan{}, wal.Header())
+	w := wal.NewWriter(f, wal.HeaderLen, wal.Options{SyncEvery: 1000, SyncInterval: time.Hour})
+	want := []wal.Record{
+		{Type: 1, Payload: []byte("alpha")},
+		{Type: 2, Payload: nil},
+		{Type: 3, Payload: bytes.Repeat([]byte{0xAB}, 1024)},
+	}
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data := f.Durable()
+	got, good, err := collect(t, data)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if good != int64(len(data)) {
+		t.Fatalf("good offset %d, want %d", good, len(data))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if w.Appended() != 3 || w.Synced() != 3 {
+		t.Fatalf("counters appended=%d synced=%d, want 3/3", w.Appended(), w.Synced())
+	}
+	if w.Bytes() != int64(len(data)) {
+		t.Fatalf("Bytes() = %d, want %d", w.Bytes(), len(data))
+	}
+}
+
+// TestGroupCommitSizeBoundary pins that the SyncEvery-th append flushes
+// and fsyncs the whole batch from the appending goroutine: before it
+// nothing is durable, after it everything is.
+func TestGroupCommitSizeBoundary(t *testing.T) {
+	f := walfault.New(walfault.Plan{}, wal.Header())
+	w := wal.NewWriter(f, wal.HeaderLen, wal.Options{SyncEvery: 4, SyncInterval: time.Hour})
+	for i := 0; i < 3; i++ {
+		if err := w.Append(wal.Record{Type: 1, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got, _, _ := collect(t, f.Durable()); len(got) != 0 {
+		t.Fatalf("durable records before the size boundary: %d, want 0", len(got))
+	}
+	if err := w.Append(wal.Record{Type: 1, Payload: []byte{3}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got, _, _ := collect(t, f.Durable()); len(got) != 4 {
+		t.Fatalf("durable records after the size boundary: %d, want 4", len(got))
+	}
+	w.Close()
+}
+
+// TestGroupCommitInterval pins the other flush trigger: an under-filled
+// batch reaches disk once the group-commit goroutine's interval elapses,
+// with no explicit Sync.
+func TestGroupCommitInterval(t *testing.T) {
+	f := walfault.New(walfault.Plan{}, wal.Header())
+	w := wal.NewWriter(f, wal.HeaderLen, wal.Options{SyncEvery: 1000, SyncInterval: 2 * time.Millisecond})
+	defer w.Close()
+	if err := w.Append(wal.Record{Type: 7, Payload: []byte("interval")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got, _, _ := collect(t, f.Durable()); len(got) == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flush never made the record durable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTornWriteRecovers crashes the log mid-frame (torn write at a byte
+// boundary inside record 3) and pins recovery: replay of the survivor
+// image delivers exactly the records fsynced before the tear, reports
+// ErrTorn, and the good offset marks the intact prefix.
+func TestTornWriteRecovers(t *testing.T) {
+	// First, a clean run to learn the offsets of each frame.
+	clean := walfault.New(walfault.Plan{}, wal.Header())
+	w := wal.NewWriter(clean, wal.HeaderLen, wal.Options{SyncEvery: 1, SyncInterval: time.Hour})
+	for i := 0; i < 4; i++ {
+		if err := w.Append(wal.Record{Type: 1, Payload: []byte(fmt.Sprintf("record-%d", i))}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	w.Close()
+	ends := wal.FrameEnds(clean.Durable())
+	if len(ends) != 4 {
+		t.Fatalf("FrameEnds: %d boundaries, want 4", len(ends))
+	}
+
+	// Now re-run with a torn write 3 bytes into record 2's frame.
+	tearAt := ends[1] + 3
+	f := walfault.New(walfault.Plan{FailWriteAtByte: tearAt, TornWrite: true}, wal.Header())
+	w = wal.NewWriter(f, wal.HeaderLen, wal.Options{SyncEvery: 1, SyncInterval: time.Hour})
+	var appendErr error
+	for i := 0; i < 4; i++ {
+		if err := w.Append(wal.Record{Type: 1, Payload: []byte(fmt.Sprintf("record-%d", i))}); err != nil {
+			appendErr = err
+			break
+		}
+	}
+	if !errors.Is(appendErr, walfault.ErrInjected) {
+		t.Fatalf("append past the tear = %v, want ErrInjected", appendErr)
+	}
+	// Sticky error: the writer refuses to interleave more frames.
+	if err := w.Append(wal.Record{Type: 1, Payload: []byte("after")}); !errors.Is(err, walfault.ErrInjected) {
+		t.Fatalf("append after fault = %v, want sticky ErrInjected", err)
+	}
+	w.Close()
+
+	// The crash image: everything written, including the torn tail.
+	img := f.Bytes()
+	got, good, err := collect(t, img)
+	if !errors.Is(err, wal.ErrTorn) {
+		t.Fatalf("Replay of torn image: err = %v, want ErrTorn", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records from torn image, want 2", len(got))
+	}
+	if good != ends[1] {
+		t.Fatalf("good offset %d, want %d (end of record 2)", good, ends[1])
+	}
+}
+
+// TestShortFsyncLosesTail pins the durability boundary: records
+// appended after the last successful fsync are lost to a crash — and
+// only those. The third fsync fails (short fsync), so records 3+ never
+// become durable even though the file image contains them.
+func TestShortFsyncLosesTail(t *testing.T) {
+	f := walfault.New(walfault.Plan{FailSyncAt: 3}, wal.Header())
+	w := wal.NewWriter(f, wal.HeaderLen, wal.Options{SyncEvery: 1, SyncInterval: time.Hour})
+	var lastErr error
+	for i := 0; i < 5; i++ {
+		if err := w.Append(wal.Record{Type: 1, Payload: []byte{byte(i)}}); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, walfault.ErrInjected) {
+		t.Fatalf("append through failing fsync = %v, want ErrInjected", lastErr)
+	}
+	w.Close()
+	got, _, err := collect(t, f.Durable())
+	if err != nil {
+		t.Fatalf("Replay of durable image: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("durable records = %d, want 2 (fsyncs 1 and 2)", len(got))
+	}
+}
+
+// TestReplayRejectsBadHeader pins that a non-WAL file is refused with
+// ErrBadHeader rather than truncated into an "empty log".
+func TestReplayRejectsBadHeader(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTWAL\x01\x00"),
+		append([]byte("RCAWAL"), 0xFF, 0xFF), // wrong version
+	} {
+		if _, _, err := wal.Replay(data, func(wal.Record) error { return nil }); !errors.Is(err, wal.ErrBadHeader) {
+			t.Fatalf("Replay(%q) err = %v, want ErrBadHeader", data, err)
+		}
+	}
+}
+
+// TestReplayCorruptLength pins the allocation guard: a frame whose
+// length field is garbage (huge or zero) is a torn frame, not a panic
+// or a giant allocation.
+func TestReplayCorruptLength(t *testing.T) {
+	data := wal.Header()
+	data = append(data, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0) // length ~4G
+	if _, good, err := wal.Replay(data, func(wal.Record) error { return nil }); !errors.Is(err, wal.ErrTorn) || good != wal.HeaderLen {
+		t.Fatalf("huge length: good=%d err=%v, want %d/ErrTorn", good, err, wal.HeaderLen)
+	}
+	data = wal.Header()
+	data = append(data, 0, 0, 0, 0, 0, 0, 0, 0) // length 0 (no type byte)
+	if _, _, err := wal.Replay(data, func(wal.Record) error { return nil }); !errors.Is(err, wal.ErrTorn) {
+		t.Fatalf("zero length: err = %v, want ErrTorn", err)
+	}
+}
+
+// TestReplayBitFlip pins checksum enforcement: flipping any payload bit
+// of the last frame turns it into a torn frame; earlier records still
+// replay.
+func TestReplayBitFlip(t *testing.T) {
+	f := walfault.New(walfault.Plan{}, wal.Header())
+	w := wal.NewWriter(f, wal.HeaderLen, wal.Options{SyncEvery: 1, SyncInterval: time.Hour})
+	for i := 0; i < 3; i++ {
+		if err := w.Append(wal.Record{Type: 1, Payload: []byte(fmt.Sprintf("payload-%d", i))}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	w.Close()
+	img := f.Durable()
+	img[len(img)-2] ^= 0x40
+	got, good, err := collect(t, img)
+	if !errors.Is(err, wal.ErrTorn) {
+		t.Fatalf("bit-flipped image: err = %v, want ErrTorn", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("bit-flipped image replayed %d records, want 2", len(got))
+	}
+	ends := wal.FrameEnds(img)
+	if len(ends) != 2 || good != ends[1] {
+		t.Fatalf("good = %d, FrameEnds = %v; want truncation at the second boundary", good, ends)
+	}
+}
+
+// TestCreateOpenAtFiles exercises the real-file path: Create writes the
+// header via temp+rename, OpenAt truncates a torn tail and appends
+// after the intact prefix.
+func TestCreateOpenAtFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := wal.Create(path, wal.Options{SyncEvery: 1, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := w.Append(wal.Record{Type: 9, Payload: []byte("one")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	// Simulate a crash that tore a half-frame onto the tail.
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh.Write([]byte{0x05, 0x00})
+	fh.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, good, rerr := collect(t, data)
+	if !errors.Is(rerr, wal.ErrTorn) || len(recs) != 1 {
+		t.Fatalf("torn file: %d records, err %v; want 1, ErrTorn", len(recs), rerr)
+	}
+	w, err = wal.OpenAt(path, good, wal.Options{SyncEvery: 1, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("OpenAt: %v", err)
+	}
+	if err := w.Append(wal.Record{Type: 9, Payload: []byte("two")}); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, rerr = collect(t, data)
+	if rerr != nil || len(recs) != 2 {
+		t.Fatalf("recovered file: %d records, err %v; want 2, nil", len(recs), rerr)
+	}
+	if string(recs[1].Payload) != "two" {
+		t.Fatalf("recovered tail record = %q, want %q", recs[1].Payload, "two")
+	}
+}
+
+// TestWriterRejectsOversizedPayload pins the MaxPayload append guard.
+func TestWriterRejectsOversizedPayload(t *testing.T) {
+	f := walfault.New(walfault.Plan{}, wal.Header())
+	w := wal.NewWriter(f, wal.HeaderLen, wal.Options{SyncEvery: 1, SyncInterval: time.Hour})
+	defer w.Close()
+	if err := w.Append(wal.Record{Type: 1, Payload: make([]byte, wal.MaxPayload+1)}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+// TestClosedWriterRefusesAppends pins ErrClosed and Close idempotency.
+func TestClosedWriterRefusesAppends(t *testing.T) {
+	f := walfault.New(walfault.Plan{}, wal.Header())
+	w := wal.NewWriter(f, wal.HeaderLen, wal.Options{})
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := w.Append(wal.Record{Type: 1}); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}

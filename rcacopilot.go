@@ -249,6 +249,25 @@ type Config struct {
 	// open waiting for companions before flushing it. 0 defaults to 500µs.
 	// Only meaningful with BatchMax >= 2.
 	BatchWait time.Duration
+	// WALDir enables the durable vector store: TrainEmbedding opens a
+	// write-ahead-logged store rooted at this directory, replaying any
+	// previous snapshot + log, so a SIGKILL'd deployment reboots with its
+	// learned history, trained quantizer, converged probe budgets, and
+	// feedback retry schedule intact. Train the embedding from the same
+	// corpus with the same Seed on every boot — the logged vectors belong
+	// to that embedding space. Empty (the default) keeps the in-memory
+	// store.
+	WALDir string
+	// WALSyncEvery is the WAL group-commit size boundary (0 defaults to
+	// 64; 1 fsyncs every learned entry). Requires WALDir.
+	WALSyncEvery int
+	// WALSyncInterval is the WAL group-commit flush cadence for
+	// under-filled batches (0 defaults to 50ms). Requires WALDir.
+	WALSyncInterval time.Duration
+	// WALCompactBytes is the log size that triggers snapshot compaction
+	// and log rotation (0 defaults to 4 MiB; negative disables automatic
+	// compaction). Requires WALDir.
+	WALCompactBytes int64
 }
 
 // System is an assembled RCACopilot deployment over a fleet.
@@ -283,21 +302,25 @@ func NewSystem(fleet *Fleet, cfg Config) (*System, error) {
 		}
 	}
 	cop, err := core.New(fleet, chat, core.Config{
-		Team:         cfg.Team,
-		MultiTenant:  cfg.MultiTenant,
-		K:            cfg.K,
-		Alpha:        cfg.Alpha,
-		Context:      cfg.Context,
-		Shards:       cfg.Shards,
-		Partitioner:  cfg.Partitioner,
-		Probes:       cfg.Probes,
-		RecallTarget: cfg.RecallTarget,
-		ShadowRate:   cfg.ShadowRate,
-		RetrainSkew:  cfg.RetrainSkew,
-		Quantized:    cfg.Quantized,
-		Overfetch:    cfg.Overfetch,
-		BatchMax:     cfg.BatchMax,
-		BatchWait:    cfg.BatchWait,
+		Team:            cfg.Team,
+		MultiTenant:     cfg.MultiTenant,
+		K:               cfg.K,
+		Alpha:           cfg.Alpha,
+		Context:         cfg.Context,
+		Shards:          cfg.Shards,
+		Partitioner:     cfg.Partitioner,
+		Probes:          cfg.Probes,
+		RecallTarget:    cfg.RecallTarget,
+		ShadowRate:      cfg.ShadowRate,
+		RetrainSkew:     cfg.RetrainSkew,
+		Quantized:       cfg.Quantized,
+		Overfetch:       cfg.Overfetch,
+		BatchMax:        cfg.BatchMax,
+		BatchWait:       cfg.BatchWait,
+		WALDir:          cfg.WALDir,
+		WALSyncEvery:    cfg.WALSyncEvery,
+		WALSyncInterval: cfg.WALSyncInterval,
+		WALCompactBytes: cfg.WALCompactBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -335,19 +358,21 @@ func (s *System) TrainEmbedding(history []*Incident) error {
 	if err != nil {
 		return err
 	}
-	s.copilot.SetEmbedder(core.FastTextEmbedder{Model: model})
-	return nil
+	_, err = s.copilot.SetEmbedder(core.FastTextEmbedder{Model: model})
+	return err
 }
 
 // UseGPTEmbedding swaps the retriever to the chat model's embedding
 // endpoint — the paper's "GPT-4 Embed." baseline variant. Like
 // TrainEmbedding, swapping resets the vector DB; re-add the history
-// afterwards.
-func (s *System) UseGPTEmbedding(dim int) {
+// afterwards. The returned error is non-nil only with Config.WALDir set,
+// when reopening the durable store fails.
+func (s *System) UseGPTEmbedding(dim int) error {
 	if dim <= 0 {
 		dim = 64
 	}
-	s.copilot.SetEmbedder(core.LLMEmbedder{Client: s.copilot.Chat(), EmbedDim: dim})
+	_, err := s.copilot.SetEmbedder(core.LLMEmbedder{Client: s.copilot.Chat(), EmbedDim: dim})
+	return err
 }
 
 // AddHistory inserts labelled historical incidents into the vector DB,
@@ -422,6 +447,43 @@ func (s *System) Learn(inc *Incident) error { return s.copilot.Learn(inc.Clone()
 func (s *System) Feedback() *FeedbackLoop {
 	s.loopOnce.Do(func() {
 		s.loop = feedback.New(nil, s.copilot)
+		if d := s.copilot.Durable(); d != nil {
+			// Durable deployment (Config.WALDir): the retry schedule rides
+			// the vector store's WAL as opaque sidecar records. Restore the
+			// schedule the crashed process owed first, then journal every
+			// transition from here on, and let compaction re-log the live
+			// schedule into each freshly rotated log. Note the loop is built
+			// lazily — with WALDir set, call Feedback() after TrainEmbedding
+			// so the durable store (and its replayed records) exists.
+			var ts []feedback.RetryTransition
+			for _, p := range d.RetryRecords() {
+				t, err := feedback.DecodeRetryTransition(p)
+				if err != nil {
+					// The frame checksum verified, so this is a schema drift
+					// across versions, not crash damage; dropping one
+					// schedule entry only costs a redrive until resubmit.
+					continue
+				}
+				ts = append(ts, t)
+			}
+			s.loop.RestoreRetrySchedule(ts)
+			s.loop.SetRetryJournal(func(t feedback.RetryTransition) {
+				if p, err := t.Encode(); err == nil {
+					// A sticky log error surfaces through the durable
+					// store's Stats; the in-memory schedule keeps working.
+					_ = d.AppendRetry(p)
+				}
+			})
+			d.SetRetrySnapshot(func() [][]byte {
+				var out [][]byte
+				for _, t := range s.loop.RetryTransitions() {
+					if p, err := t.Encode(); err == nil {
+						out = append(out, p)
+					}
+				}
+				return out
+			})
+		}
 		if s.cfg.AsyncLearnQueue > 0 {
 			// Start cannot fail here: the learner is non-nil and the loop
 			// is freshly built.
